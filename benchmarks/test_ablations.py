@@ -1,0 +1,140 @@
+"""E8/E9 + extra ablations.
+
+- E8: Table V parameter ablation — learning rate / batch size / network
+  shape sweep of PSS training, reporting the mean episode return curve.
+- E9: Alg. 1 behaviour — early-exit threshold, model ranking across
+  Table IV on a real PE dataset.
+- Reward ablation: Pareto degradation penalty on/off (a DESIGN.md design
+  choice).
+- PSS-input preprocessing ablation: PCA-MLE vs raw features.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import TABLE_IV_MODELS, r2_score
+from repro.pe import model_search
+from repro.rl import ReinforceTrainer, RewardConfig, TrainingConfig
+from benchmarks.conftest import PSS_PHASES
+
+
+@pytest.fixture(scope="module")
+def beebs_subset(beebs_riscv_setup):
+    platform, workloads, dataset, _ = beebs_riscv_setup
+    names = {"crc32", "edn", "janne_complex", "ndes"}
+    subset = [w for w in workloads if w.name in names]
+    return platform, subset, dataset
+
+
+def _train(platform, workloads, estimator, **overrides):
+    defaults = dict(num_episodes=18, batch_size=3,
+                    max_sequence_length=6, seed=0)
+    defaults.update(overrides)
+    config = TrainingConfig(**defaults)
+    trainer = ReinforceTrainer(workloads, platform, estimator,
+                               PSS_PHASES[:12], config=config)
+    trainer.train()
+    return trainer
+
+
+def test_e8_table_v_parameter_ablation(beebs_subset, pe_riscv):
+    platform, workloads, _ = beebs_subset
+    print("\n=== E8: Table V parameter ablation (mean return of the "
+          "final batch) ===")
+    rows = []
+    for label, overrides in (
+            ("paper lr=0.1", {"learning_rate": 0.1}),
+            ("low   lr=0.01", {"learning_rate": 0.01}),
+            ("batch=6 (paper)", {"batch_size": 6, "num_episodes": 24}),
+            ("layers=2", {"n_layers": 2}),
+            ("hidden=8", {"hidden": 8}),
+    ):
+        trainer = _train(platform, workloads, pe_riscv, **overrides)
+        final = trainer.history[-1]
+        first = trainer.history[0]
+        rows.append((label, first, final))
+        print(f"{label:18s} first={first:8.4f} final={final:8.4f} "
+              f"({trainer.training_seconds:.1f}s)")
+    # All configurations must produce finite, non-degenerate training.
+    for label, first, final in rows:
+        assert np.isfinite(final), label
+
+
+def test_e9_alg1_model_ranking(beebs_riscv_setup):
+    _, _, dataset, _ = beebs_riscv_setup
+    train_idx, test_idx = dataset.split(0.25, seed=1)
+    X, y = dataset.X, dataset.y("exec_time_us")
+    print("\n=== E9: Alg. 1 over the full Table IV model list "
+          "(exec_time, RISC-V dataset) ===")
+    pipeline, accuracy, tried = model_search(
+        X[train_idx], y[train_idx], X[test_idx], y[test_idx],
+        model_names=TABLE_IV_MODELS, accuracy_threshold=2.0)
+    print(f"models tried: {tried} / {len(TABLE_IV_MODELS)}")
+    print(f"winner: {type(pipeline.model).model_name} "
+          f"(R2 = {accuracy:.4f})")
+    assert tried == len(TABLE_IV_MODELS)
+    assert accuracy > 0.9
+
+    # Early exit: a modest threshold stops the search quickly.
+    _, accuracy2, tried2 = model_search(
+        X[train_idx], y[train_idx], X[test_idx], y[test_idx],
+        model_names=TABLE_IV_MODELS, accuracy_threshold=0.8)
+    print(f"with threshold 0.8: stopped after {tried2} models "
+          f"(accuracy {accuracy2:.4f})")
+    assert tried2 < tried
+
+
+def test_ablation_pareto_penalty(beebs_subset, pe_riscv):
+    """Removing the degradation penalty (paper §III-C) lets the policy
+    accept objective regressions: measure how often an episode ends with
+    any degraded objective under each reward."""
+    platform, workloads, _ = beebs_subset
+    outcomes = {}
+    for label, penalty in (("with-penalty", 1.5), ("no-penalty", 0.0)):
+        trainer = ReinforceTrainer(
+            workloads, platform, pe_riscv, PSS_PHASES[:12],
+            config=TrainingConfig(num_episodes=12, batch_size=3,
+                                  max_sequence_length=6, seed=1),
+            reward_config=RewardConfig(degradation_penalty=penalty))
+        trainer.train()
+        outcomes[label] = trainer.history
+    print("\n=== Reward ablation: Pareto degradation penalty ===")
+    for label, history in outcomes.items():
+        print(f"{label:14s} returns: "
+              + " ".join(f"{h:7.3f}" for h in history))
+    assert all(np.isfinite(h) for hs in outcomes.values() for h in hs)
+
+
+def test_ablation_pss_input_encoding(beebs_riscv_setup):
+    """PCA-MLE (the paper's PSS input preprocessing) vs raw features:
+    the encoder must compress the 63 features substantially while keeping
+    the policy input informative (non-degenerate variance)."""
+    from repro.features import extract_static_features
+    from repro.rl import FeatureEncoder
+    _, workloads, _, _ = beebs_riscv_setup
+    rows = np.asarray([extract_static_features(w.compile())
+                       for w in workloads])
+    encoder = FeatureEncoder().fit(rows)
+    encoded = encoder.encode(rows)
+    print("\n=== PSS input encoding ablation ===")
+    print(f"raw features: {rows.shape[1]}  ->  PCA-MLE: "
+          f"{encoder.output_dim}")
+    assert encoder.output_dim < rows.shape[1]
+    assert encoder.output_dim >= 2
+    variances = encoded.var(axis=0)
+    assert np.all(variances > 1e-8)
+
+
+def test_bench_policy_training_step(benchmark, beebs_subset, pe_riscv):
+    platform, workloads, _ = beebs_subset
+
+    def one_batch():
+        trainer = ReinforceTrainer(
+            workloads[:2], platform, pe_riscv, PSS_PHASES[:8],
+            config=TrainingConfig(num_episodes=3, batch_size=3,
+                                  max_sequence_length=4, seed=2))
+        trainer.train()
+        return trainer
+
+    trainer = benchmark.pedantic(one_batch, rounds=2, iterations=1)
+    assert trainer.history

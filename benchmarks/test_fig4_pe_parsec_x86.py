@@ -1,0 +1,72 @@
+"""E1 — Paper Fig. 4: PE predicted vs profiled distributions, PARSEC on
+x86 (four metrics: execution time, energy, #instructions, avg power).
+
+The paper shows near-identical per-benchmark distributions; here we print
+per-workload profiled vs predicted mean±std for each metric and assert
+the per-metric R² is high.  The benchmark timings measure the PE's
+prediction throughput (its raison d'être: replacing profiling).
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import r2_score
+
+
+@pytest.fixture(scope="module")
+def fig4(parsec_x86_setup, pe_x86):
+    platform, workloads, dataset, _ = parsec_x86_setup
+    X = dataset.X
+    predictions = {m: pe_x86.pipelines[m].predict(X)
+                   for m in pe_x86.metrics}
+    print("\n=== Fig. 4: PE vs profiling, PARSEC on x86 ===")
+    by_workload = {}
+    for i, row in enumerate(dataset.rows):
+        by_workload.setdefault(row["workload"], []).append(i)
+    for metric in pe_x86.metrics:
+        y = dataset.y(metric)
+        p = predictions[metric]
+        print(f"\n--- {metric} (profiled -> predicted, per workload) ---")
+        for name, idx in sorted(by_workload.items()):
+            yt, pt = y[idx], p[idx]
+            print(f"{name:16s} {yt.mean():12.3f}±{yt.std():9.3f} -> "
+                  f"{pt.mean():12.3f}±{pt.std():9.3f}")
+        print(f"{'R2':16s} {r2_score(y, p):.4f}   "
+              f"(model: {pe_x86.report[metric]['model']}, "
+              f"prep: {pe_x86.report[metric]['preprocessor']})")
+    return platform, workloads, dataset, pe_x86, predictions
+
+
+def test_fig4_distributions_match(fig4):
+    from repro.models import mean_absolute_percentage_error
+    _, _, dataset, pe, predictions = fig4
+    for metric in pe.metrics:
+        y = dataset.y(metric)
+        p = predictions[metric]
+        # R² is meaningless for near-constant metrics (x86 average power
+        # varies <2% across variants); relative error is the right lens
+        # there, matching the paper's percentage-error reporting.
+        r2 = r2_score(y, p)
+        mape = mean_absolute_percentage_error(y, p)
+        assert r2 > 0.85 or mape < 0.02, (metric, r2, mape)
+        # Distribution-level fidelity: the predicted distribution's mean
+        # tracks the profiled one (the paper's "same bias" property).
+        assert np.mean(p) == pytest.approx(np.mean(y), rel=0.1), metric
+
+
+def test_bench_pe_prediction(benchmark, fig4):
+    _, _, dataset, pe, _ = fig4
+    features = dataset.X[0]
+    result = benchmark(pe.predict, features)
+    assert result["exec_time_us"] > 0
+
+
+def test_bench_profiling_one_point(benchmark, fig4):
+    platform, workloads, _, _, _ = fig4
+    workload = workloads[0]
+
+    def profile():
+        return platform.profile(workload.compile())
+
+    measurement = benchmark.pedantic(profile, rounds=3, iterations=1)
+    assert measurement.cycles > 0

@@ -1,0 +1,63 @@
+"""E3 — Paper Fig. 6: PE predicted vs profiled distribution overview,
+BEEBS on RISC-V (the paper shows a scatter overview because BEEBS has
+many more benchmarks than PARSEC)."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    mean_absolute_percentage_error,
+    r2_score,
+)
+
+
+@pytest.fixture(scope="module")
+def fig6(beebs_riscv_setup, pe_riscv):
+    platform, workloads, dataset, _ = beebs_riscv_setup
+    X = dataset.X
+    predictions = {m: pe_riscv.pipelines[m].predict(X)
+                   for m in pe_riscv.metrics}
+    print("\n=== Fig. 6: PE vs profiling overview, BEEBS on RISC-V ===")
+    print(f"{'metric':14s} {'R2':>7s} {'MAPE%':>7s} "
+          f"{'points':>7s}  model")
+    for metric in pe_riscv.metrics:
+        y = dataset.y(metric)
+        p = predictions[metric]
+        print(f"{metric:14s} {r2_score(y, p):7.4f} "
+              f"{100 * mean_absolute_percentage_error(y, p):7.2f} "
+              f"{len(y):7d}  "
+              f"{pe_riscv.report[metric]['preprocessor']}+"
+              f"{pe_riscv.report[metric]['model']}")
+    # Distribution points sample (profiled, predicted) pairs.
+    y = dataset.y("exec_time_us")
+    p = predictions["exec_time_us"]
+    order = np.argsort(y)
+    sample = order[:: max(1, len(order) // 12)]
+    print("\nexec_time distribution points (profiled -> predicted, us):")
+    for i in sample:
+        print(f"  {y[i]:10.2f} -> {p[i]:10.2f}")
+    return platform, workloads, dataset, pe_riscv, predictions
+
+
+def test_fig6_overview_quality(fig6):
+    _, _, dataset, pe, predictions = fig6
+    for metric in pe.metrics:
+        assert r2_score(dataset.y(metric), predictions[metric]) > 0.85, \
+            metric
+
+
+def test_fig6_dataset_in_paper_range(fig6):
+    _, _, dataset, _, _ = fig6
+    # Paper §IV: between 200 and 600 data points.
+    assert 200 <= len(dataset) <= 600
+
+
+def test_bench_pe_batch_prediction(benchmark, fig6):
+    _, _, dataset, pe, _ = fig6
+    X = dataset.X
+
+    def predict_all():
+        return pe.pipelines["exec_time_us"].predict(X)
+
+    result = benchmark(predict_all)
+    assert len(result) == len(dataset)

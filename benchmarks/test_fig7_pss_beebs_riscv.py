@@ -1,0 +1,65 @@
+"""E4 — Paper Fig. 7: PSS validation for BEEBS on RISC-V.
+
+Same presentation as Fig. 5 on the embedded platform.  Paper pointers:
+(1) MLComp better on average than standard policies, reducing energy
+while optimizing other objectives; (2) memory size roughly unchanged;
+(3) more balanced results than standard policies.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import evaluate_levels, print_relative_table
+
+LEVELS = ("-O1", "-O2", "-O3", "-Oz")
+
+
+@pytest.fixture(scope="module")
+def fig7(beebs_riscv_setup, pss_riscv):
+    platform, workloads, _, _ = beebs_riscv_setup
+    _, selector = pss_riscv
+    rows = evaluate_levels(platform, workloads, selector, LEVELS)
+    means = print_relative_table(
+        "Fig. 7: PSS validation, BEEBS on RISC-V", rows,
+        [*LEVELS, "MLComp"])
+    return platform, workloads, selector, rows, means
+
+
+def test_fig7_pss_improves_time_and_energy(fig7):
+    _, _, _, _, means = fig7
+    assert means["MLComp"]["time"] < 1.0
+    assert means["MLComp"]["energy"] < 1.0
+
+
+def test_fig7_code_size_roughly_flat(fig7):
+    _, _, _, _, means = fig7
+    assert means["MLComp"]["size"] <= 1.05
+
+
+def test_fig7_balanced_objectives(fig7):
+    """Paper pointer 3: MLComp results are more balanced — the spread
+    between its time and energy ratios is small."""
+    _, _, _, _, means = fig7
+    spread = abs(means["MLComp"]["time"] - means["MLComp"]["energy"])
+    assert spread < 0.1
+
+
+def test_fig7_per_workload_safety(fig7):
+    _, _, _, rows, _ = fig7
+    regressions = sum(1 for entry in rows.values()
+                      if entry["MLComp"]["time"] > 1.10)
+    # At most a small minority of programs may regress slightly.
+    assert regressions <= len(rows) // 4
+
+
+def test_bench_pss_on_embedded_kernel(benchmark, fig7):
+    _, workloads, selector, _, _ = fig7
+    workload = [w for w in workloads if w.name == "crc32"][0]
+
+    def optimize():
+        module = workload.compile()
+        selector.optimize(module)
+        return module
+
+    module = benchmark.pedantic(optimize, rounds=3, iterations=1)
+    assert module is not None

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Explore the Pareto front of phase sequences for one program.
+
+Profiles many phase sequences of a BEEBS kernel on the RISC-V platform,
+extracts the (time, energy, size) Pareto front, and checks where the
+standard -O levels and a random-search baseline land relative to it —
+the multi-objective picture behind the paper's "quasi-Pareto-optimal"
+claim (§III-D).
+
+Run:  python examples/explore_pareto_front.py
+"""
+
+import numpy as np
+
+from repro.baselines import RandomPhaseSearch, STANDARD_LEVELS
+from repro.pareto import dominates, pareto_front
+from repro.passes import PassManager
+from repro.profiling import random_phase_sequences
+from repro.sim import Platform
+from repro.workloads import load_workload
+
+
+def measure(platform, workload, sequence):
+    module = workload.compile()
+    PassManager().run(module, sequence)
+    measurement = platform.profile(module)
+    metrics = measurement.metrics()
+    return (metrics["exec_time_us"], metrics["energy_uj"],
+            float(measurement.code_size))
+
+
+def main():
+    platform = Platform("riscv")
+    workload = load_workload("beebs", "matmult_int")
+
+    candidates = {"-O0": ()}
+    for level, sequence in STANDARD_LEVELS.items():
+        candidates[level] = tuple(sequence)
+    for i, sequence in enumerate(random_phase_sequences(40, seed=9)):
+        candidates[f"rand{i:02d}"] = sequence
+
+    names = list(candidates)
+    points = np.array([measure(platform, workload, candidates[n])
+                       for n in names])
+    front = pareto_front(points)
+    front_names = {names[i] for i in front}
+
+    print(f"Pareto exploration of '{workload.name}' "
+          f"({len(names)} sequences)\n")
+    print(f"{'sequence':10s} {'time us':>9s} {'energy uJ':>10s} "
+          f"{'size B':>7s}  on front?")
+    order = np.argsort(points[:, 0])
+    for i in order[:18]:
+        t, e, s = points[i]
+        marker = "  *" if names[i] in front_names else ""
+        print(f"{names[i]:10s} {t:9.2f} {e:10.3f} {s:7.0f}{marker}")
+
+    print(f"\nPareto front size: {len(front)} / {len(names)}")
+    on_front = [level for level in STANDARD_LEVELS
+                if level in front_names]
+    print(f"standard levels on the front: {on_front or 'none'}")
+
+    # Is any standard level dominated by a random sequence?
+    for level in STANDARD_LEVELS:
+        li = names.index(level)
+        dominators = [names[j] for j in range(len(names))
+                      if j != li and dominates(points[j], points[li])]
+        if dominators:
+            print(f"{level} is dominated by: {dominators[:4]}")
+
+    searcher = RandomPhaseSearch(n_trials=10, seed=1)
+    best_sequence, best_time = searcher.search(workload, platform)
+    print(f"\nrandom search best time: {best_time:.2f} us with "
+          f"{len(best_sequence)} phases")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Look inside the compiler: IR before/after phases, machine code, and
+the 63 static features the ML models consume.
+
+Run:  python examples/inspect_compiler.py
+"""
+
+from repro.backend import compile_module
+from repro.features import STATIC_FEATURE_NAMES, extract_static_features
+from repro.ir import function_to_text, run_module
+from repro.lang import compile_source
+from repro.passes import PassManager
+
+SOURCE = """
+int sum_squares(int n) {
+  int total = 0;
+  for (int i = 1; i <= n; i++) {
+    total += i * i;
+  }
+  return total;
+}
+
+int main() {
+  print_int(sum_squares(10));
+  return 0;
+}
+"""
+
+
+def main():
+    module = compile_source(SOURCE)
+    print("=== IR straight out of the frontend ===")
+    print(function_to_text(module.get_function("sum_squares")))
+
+    PassManager().run(module, ["mem2reg", "instcombine", "indvars",
+                               "simplifycfg"])
+    print("=== after mem2reg + instcombine + indvars + simplifycfg ===")
+    print(function_to_text(module.get_function("sum_squares")))
+
+    result = run_module(module)
+    print(f"interpreted output: {result.output}  "
+          f"(in {result.steps} IR steps)")
+
+    program = compile_module(module, "riscv")
+    mfunc = program.functions["sum_squares"]
+    print(f"\n=== RISC-V machine code for sum_squares "
+          f"({program.code_size} total bytes) ===")
+    for block in mfunc.blocks:
+        print(f"{block.label}:")
+        for instr in block.instructions:
+            print(f"  [{instr.address:4x}] {instr!r:40s} "
+                  f"({instr.size} bytes)")
+
+    features = extract_static_features(module)
+    print("\n=== non-zero static features (of the 63) ===")
+    for name, value in zip(STATIC_FEATURE_NAMES, features):
+        if value != 0:
+            print(f"  {name:28s} {value:10.3f}")
+
+
+if __name__ == "__main__":
+    main()

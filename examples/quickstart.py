@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: compile a program, optimize it three ways, measure it.
+
+Demonstrates the substrate MLComp is built on: the mini-C frontend, the
+optimization phases, the two target platforms, and the dynamic features
+the Performance Estimator learns to predict.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.baselines import STANDARD_LEVELS
+from repro.lang import compile_source
+from repro.passes import PassManager, available_phases
+from repro.sim import Platform
+
+SOURCE = """
+// Dot product with a scaling loop — plenty for the optimizer to do.
+int a[64];
+int b[64];
+
+int main() {
+  for (int i = 0; i < 64; i++) {
+    a[i] = i * 3 % 17;
+    b[i] = i * 5 % 13;
+  }
+  int dot = 0;
+  for (int i = 0; i < 64; i++) {
+    dot += a[i] * b[i];
+  }
+  print_int(dot);
+  return dot % 251;
+}
+"""
+
+
+def main():
+    print(f"{len(available_phases())} optimization phases available\n")
+
+    platform = Platform("x86")
+    print(f"{'pipeline':10s} {'time (us)':>10s} {'energy (uJ)':>12s} "
+          f"{'instrs':>8s} {'size (B)':>9s}")
+    for level in ("-O0", "-O1", "-O2", "-O3"):
+        module = compile_source(SOURCE)
+        PassManager().run(module, STANDARD_LEVELS[level])
+        measurement = platform.profile(module)
+        metrics = measurement.metrics()
+        print(f"{level:10s} {metrics['exec_time_us']:10.3f} "
+              f"{metrics['energy_uj']:12.3f} "
+              f"{int(metrics['instructions']):8d} "
+              f"{measurement.code_size:9d}")
+
+    # A custom phase sequence of your own:
+    module = compile_source(SOURCE)
+    custom = ["mem2reg", "instcombine", "loop-idiom", "licm",
+              "loop-vectorize", "gvn", "simplifycfg", "dce"]
+    PassManager().run(module, custom)
+    measurement = platform.profile(module)
+    print(f"{'custom':10s} {measurement.metrics()['exec_time_us']:10.3f} "
+          f"{measurement.metrics()['energy_uj']:12.3f} "
+          f"{int(measurement.metrics()['instructions']):8d} "
+          f"{measurement.code_size:9d}")
+    print("\noutput:", measurement.output,
+          "return:", measurement.return_value)
+
+
+if __name__ == "__main__":
+    main()

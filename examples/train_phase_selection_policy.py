@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Train and deploy a Phase Selection Policy (the full MLComp flow).
+
+All four boxes of the paper's Fig. 2: data extraction, PE training,
+REINFORCE policy training against PE-predicted rewards, and deployment
+of the PSS (with the max-inactive-subsequence rule of §III-D).
+
+Run:  python examples/train_phase_selection_policy.py
+"""
+
+from repro.baselines import STANDARD_LEVELS
+from repro.pipeline import MLComp
+from repro.rl import TrainingConfig
+
+
+def main():
+    mlcomp = MLComp(target="riscv", suite="beebs")
+    # Keep the demo quick: a subset of workloads and a compact policy
+    # schedule (Table V's full parameters are TrainingConfig.paper()).
+    mlcomp.workloads = mlcomp.workloads[:8]
+    mlcomp.phases = [
+        "mem2reg", "instcombine", "simplifycfg", "gvn", "early-cse",
+        "licm", "loop-rotate", "loop-unroll", "loop-idiom", "sccp",
+        "inline", "dce", "dse", "reassociate", "tailcallelim",
+    ]
+
+    print("[1/4] Data Extraction")
+    dataset = mlcomp.extract_data(n_sequences=8, seed=3)
+    print(f"  -> {len(dataset)} points")
+
+    print("[2/4] Performance Estimator training (Alg. 1)")
+    estimator = mlcomp.train_estimator(mode="fast")
+    print("\n".join("  " + line
+                    for line in estimator.summary().splitlines()))
+
+    print("[3/4] Phase Selection Policy training (Alg. 2, REINFORCE)")
+    selector = mlcomp.train_policy(config=TrainingConfig(
+        num_episodes=36, batch_size=6, max_sequence_length=8, seed=0))
+    returns = mlcomp.trainer.history
+    print(f"  batch returns: "
+          + " ".join(f"{r:6.3f}" for r in returns))
+
+    print("[4/4] Deployment: PSS vs standard levels")
+    print(f"{'workload':16s} {'-O0 us':>9s} {'-O2 us':>9s} "
+          f"{'PSS us':>9s} {'PSS seq len':>12s}")
+    for workload in mlcomp.workloads:
+        o0 = mlcomp.evaluate_workload(workload, sequence=[])
+        o2 = mlcomp.evaluate_workload(workload,
+                                      sequence=STANDARD_LEVELS["-O2"])
+        module = workload.compile()
+        applied = selector.optimize(module)
+        pss = mlcomp.platform.profile(module)
+        print(f"{workload.name:16s} "
+              f"{o0.metrics()['exec_time_us']:9.2f} "
+              f"{o2.metrics()['exec_time_us']:9.2f} "
+              f"{pss.metrics()['exec_time_us']:9.2f} "
+              f"{len(applied):12d}")
+
+    # The trained PSS is a single artifact, deployable without the PE
+    # (paper §III-D).
+    selector.save("/tmp/mlcomp_pss_riscv.npz")
+    print("\nsaved policy bundle to /tmp/mlcomp_pss_riscv.npz")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Setup shim.
+
+The execution environment has no ``wheel`` package and no network, so PEP 660
+editable installs (``pip install -e .`` with build isolation) cannot build.
+``python setup.py develop`` and ``pip install -e . --no-build-isolation``
+with the legacy code path both work through this shim.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of MLComp (DATE 2021): ML-based performance "
+        "estimation and adaptive selection of Pareto-optimal compiler "
+        "optimization sequences"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

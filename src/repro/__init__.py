@@ -1,0 +1,46 @@
+"""MLComp reproduction: ML-based performance estimation and adaptive
+selection of Pareto-optimal compiler optimization sequences (DATE 2021).
+
+The package is organized as a stack of substrates:
+
+- :mod:`repro.lang` — a mini-C frontend (lexer, parser, semantic analysis).
+- :mod:`repro.ir` — a typed, SSA-capable intermediate representation.
+- :mod:`repro.passes` — the optimization phases of the paper's Table VI.
+- :mod:`repro.backend` — instruction selection and register allocation for
+  an x86-like and a RISC-V-like target.
+- :mod:`repro.sim` — a platform simulator with timing and energy models.
+- :mod:`repro.features` / :mod:`repro.profiling` — feature extraction and
+  the Data Extraction step (box 1 of the paper's Fig. 2).
+- :mod:`repro.preprocess` / :mod:`repro.models` / :mod:`repro.search` — the
+  preprocessing algorithms (Table III), regression models (Table IV), and
+  the Optuna-like heuristic search used by PE training.
+- :mod:`repro.pe` — the Performance Estimator and its model search (Alg. 1).
+- :mod:`repro.rl` / :mod:`repro.pss` — REINFORCE policy training (Alg. 2)
+  and the deployed Phase Sequence Selector.
+- :mod:`repro.baselines` / :mod:`repro.pareto` — standard -O pipelines and
+  Pareto-dominance tooling.
+- :mod:`repro.pipeline` — the four-step MLComp orchestration.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    CompilationError,
+    LexerError,
+    MLCompError,
+    ParserError,
+    SemanticError,
+    SimulationError,
+    VerificationError,
+)
+
+__all__ = [
+    "MLCompError",
+    "CompilationError",
+    "LexerError",
+    "ParserError",
+    "SemanticError",
+    "SimulationError",
+    "VerificationError",
+    "__version__",
+]

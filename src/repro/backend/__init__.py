@@ -1,0 +1,16 @@
+"""Back end: instruction selection, register allocation, ISAs, encoding."""
+
+from repro.backend.isa import ISA, RiscV, TARGETS, X86, get_isa
+from repro.backend.codegen import code_size, compile_module
+from repro.backend.mir import (
+    MachineBlock,
+    MachineFunction,
+    MachineInstr,
+    MachineProgram,
+)
+
+__all__ = [
+    "ISA", "X86", "RiscV", "TARGETS", "get_isa",
+    "compile_module", "code_size",
+    "MachineProgram", "MachineFunction", "MachineBlock", "MachineInstr",
+]

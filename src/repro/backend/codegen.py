@@ -1,0 +1,103 @@
+"""Code generation driver: IR module → MachineProgram.
+
+Steps: instruction selection per function, register allocation, post-RA
+SLP fusion (x86 with the ``slp-enabled`` attribute), global data layout,
+and code layout/encoding (assigning every instruction an address and a
+byte size — the paper's "code size" metric).
+"""
+
+from repro.backend.isa import get_isa
+from repro.backend.isel import select_function
+from repro.backend.mir import MachineInstr, MachineProgram, PhysReg
+from repro.backend.regalloc import allocate_registers
+
+_GLOBAL_BASE = 0x1000
+_SLP_OPCODES = ("fadd", "fsub", "fmul")
+
+
+def compile_module(module, target):
+    """Lower an IR module for ``target`` ('x86' or 'riscv')."""
+    isa = get_isa(target) if isinstance(target, str) else target
+    program = MachineProgram(module.name, isa.name)
+    _layout_globals(module, program)
+    for function in module.defined_functions():
+        mfunc = select_function(function, isa, program)
+        allocate_registers(mfunc, isa)
+        if isa.has_vector and mfunc.slp_enabled:
+            _slp_fuse(mfunc, isa)
+        program.add_function(mfunc)
+    _layout_code(program, isa)
+    return program
+
+
+def _layout_globals(module, program):
+    address = _GLOBAL_BASE
+    for gv in module.globals.values():
+        cells = gv.value_type.size_cells()
+        program.global_layout[gv.name] = (address, cells)
+        init = gv.initializer
+        if init is None:
+            values = [0] * cells
+        elif isinstance(init, (list, tuple)):
+            values = list(init) + [0] * (cells - len(init))
+        else:
+            values = [init]
+        for offset, value in enumerate(values):
+            program.global_init[address + offset] = value
+        address += cells
+    program.data_cells = address - _GLOBAL_BASE
+
+
+def _slp_fuse(mfunc, isa):
+    """Pack runs of ``vector_lanes`` consecutive, independent, same-opcode
+    float ops into one ``vop`` (post-RA superword-level parallelism)."""
+    lanes = isa.vector_lanes
+    for block in mfunc.blocks:
+        instructions = block.instructions
+        result = []
+        index = 0
+        while index < len(instructions):
+            group = instructions[index:index + lanes]
+            if len(group) == lanes and _fusable_group(group):
+                vop = MachineInstr("vop", [group[0].opcode])
+                vop.lanes = [tuple(i.operands[:3]) for i in group]
+                result.append(vop)
+                index += lanes
+            else:
+                result.append(instructions[index])
+                index += 1
+        block.instructions = result
+
+
+def _fusable_group(group):
+    opcode = group[0].opcode
+    if opcode not in _SLP_OPCODES:
+        return False
+    if any(i.opcode != opcode for i in group):
+        return False
+    written = set()
+    for instr in group:
+        dst, a, b = instr.operands[:3]
+        if not all(isinstance(r, PhysReg) for r in (dst, a, b)):
+            return False
+        # Lanes must be independent: no lane reads a prior lane's result.
+        if a.name in written or b.name in written:
+            return False
+        written.add(dst.name)
+    return True
+
+
+def _layout_code(program, isa):
+    address = 0
+    for mfunc in program.functions.values():
+        for block in mfunc.blocks:
+            for instr in block.instructions:
+                instr.address = address
+                instr.size = isa.encode_size(instr)
+                address += instr.size
+    program.code_size = address
+
+
+def code_size(module, target):
+    """Convenience: compile and return the encoded code size in bytes."""
+    return compile_module(module, target).code_size

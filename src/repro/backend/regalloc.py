@@ -1,0 +1,283 @@
+"""Linear-scan register allocation over MachineFunctions.
+
+Pipeline per function:
+
+1. linearize instructions and compute per-block liveness (backward
+   dataflow over virtual registers);
+2. build conservative live intervals [start, end];
+3. intervals that are live across a ``call`` are assigned stack slots
+   up front (the ABI is all-caller-saved);
+4. classic linear scan assigns the rest to physical registers, spilling
+   the interval with the furthest end on pressure;
+5. rewrite: spilled operands are loaded into reserved scratch registers
+   before each use and stored after each def.
+"""
+
+from repro.backend.mir import (
+    Imm,
+    MachineInstr,
+    PhysReg,
+    StackSlot,
+    VirtReg,
+)
+
+_SCRATCH_PER_CLASS = 3
+
+
+def _instr_vregs(instr):
+    """(defs, uses) virtual registers of an instruction."""
+    defs, uses = [], []
+    opcode = instr.opcode
+    ops = instr.operands
+    if opcode in ("li", "lfi", "frame_alloc"):
+        defs.append(ops[0])
+    elif opcode in ("mv", "fneg", "cvtsi2sd", "cvtsd2si",
+                    "fsqrt", "fexp", "flog", "fsin", "fcos", "fabs"):
+        defs.append(ops[0])
+        uses.append(ops[1])
+    elif opcode in ("add", "sub", "mul", "div", "rem", "and", "or", "xor",
+                    "shl", "sar", "shr", "fadd", "fsub", "fmul", "fdiv",
+                    "fpow"):
+        defs.append(ops[0])
+        uses.extend(ops[1:3])
+    elif opcode == "lea":
+        defs.append(ops[0])
+        uses.extend(ops[1:3])
+    elif opcode in ("setcc", "fsetcc"):
+        defs.append(ops[0])
+        uses.extend(ops[1:3])
+    elif opcode in ("bcc", "fbcc"):
+        uses.extend(ops[0:2])
+    elif opcode == "cmov":
+        defs.append(ops[0])
+        uses.extend(ops[1:4])
+    elif opcode == "ld":
+        defs.append(ops[0])
+        uses.append(ops[1])
+    elif opcode == "st":
+        uses.extend(ops[0:2])
+    elif opcode == "print":
+        uses.append(ops[1])
+    elif opcode in ("memset", "memcpy"):
+        uses.extend(ops[0:3])
+    elif opcode in ("jmp", "call", "ret"):
+        pass
+    else:
+        raise TypeError(f"regalloc: unknown opcode {opcode!r}")
+    defs = [d for d in defs if isinstance(d, VirtReg)]
+    uses = [u for u in uses if isinstance(u, VirtReg)]
+    return defs, uses
+
+
+class Allocator:
+    def __init__(self, mfunc, isa):
+        self.mfunc = mfunc
+        self.isa = isa
+        # Reserve scratch registers per class from the allocatable pools.
+        self.scratch = {
+            "int": isa.alloc_int[-_SCRATCH_PER_CLASS:],
+            "float": isa.alloc_float[-_SCRATCH_PER_CLASS:],
+        }
+        self.pools = {
+            "int": isa.alloc_int[:-_SCRATCH_PER_CLASS],
+            "float": isa.alloc_float[:-_SCRATCH_PER_CLASS],
+        }
+
+    def run(self):
+        order, positions, block_ranges = self._linearize()
+        live_in, live_out = self._liveness()
+        intervals = self._intervals(order, block_ranges, live_in, live_out)
+        call_positions = [i for i, instr in enumerate(order)
+                          if instr.opcode == "call"]
+        assignment, spills = self._allocate(intervals, call_positions)
+        self._rewrite(assignment, spills)
+        return assignment, spills
+
+    # -- step 1/2: order + liveness ---------------------------------------
+    def _linearize(self):
+        order = []
+        block_ranges = {}
+        for block in self.mfunc.blocks:
+            start = len(order)
+            order.extend(block.instructions)
+            block_ranges[id(block)] = (start, len(order) - 1)
+        positions = {id(instr): i for i, instr in enumerate(order)}
+        return order, positions, block_ranges
+
+    def _block_successors(self, block):
+        result = []
+        labels = {b.label: b for b in self.mfunc.blocks}
+        for instr in block.instructions:
+            if instr.opcode in ("jmp", "bcc", "fbcc"):
+                label = instr.operands[-1]
+                result.append(labels[label.name])
+        return result
+
+    def _liveness(self):
+        gen = {}
+        kill = {}
+        for block in self.mfunc.blocks:
+            g, k = set(), set()
+            for instr in block.instructions:
+                defs, uses = _instr_vregs(instr)
+                for use in uses:
+                    if use.vid not in k:
+                        g.add(use.vid)
+                for define in defs:
+                    k.add(define.vid)
+            gen[id(block)] = g
+            kill[id(block)] = k
+        live_in = {id(b): set() for b in self.mfunc.blocks}
+        live_out = {id(b): set() for b in self.mfunc.blocks}
+        changed = True
+        succs = {id(b): self._block_successors(b)
+                 for b in self.mfunc.blocks}
+        while changed:
+            changed = False
+            for block in reversed(self.mfunc.blocks):
+                bid = id(block)
+                out = set()
+                for succ in succs[bid]:
+                    out |= live_in[id(succ)]
+                new_in = gen[bid] | (out - kill[bid])
+                if out != live_out[bid] or new_in != live_in[bid]:
+                    live_out[bid] = out
+                    live_in[bid] = new_in
+                    changed = True
+        return live_in, live_out
+
+    # -- step 3: intervals ---------------------------------------------------
+    def _intervals(self, order, block_ranges, live_in, live_out):
+        intervals = {}  # vid -> [start, end, cls]
+
+        def extend(vreg, pos):
+            entry = intervals.get(vreg.vid)
+            if entry is None:
+                intervals[vreg.vid] = [pos, pos, vreg.cls]
+            else:
+                entry[0] = min(entry[0], pos)
+                entry[1] = max(entry[1], pos)
+
+        for pos, instr in enumerate(order):
+            defs, uses = _instr_vregs(instr)
+            for vreg in defs + uses:
+                extend(vreg, pos)
+        vreg_by_id = {}
+        for instr in order:
+            defs, uses = _instr_vregs(instr)
+            for vreg in defs + uses:
+                vreg_by_id[vreg.vid] = vreg
+        for block in self.mfunc.blocks:
+            start, end = block_ranges[id(block)]
+            for vid in live_in[id(block)]:
+                extend(vreg_by_id[vid], start)
+            for vid in live_out[id(block)]:
+                extend(vreg_by_id[vid], end)
+        return intervals
+
+    # -- step 4: linear scan ------------------------------------------------
+    def _allocate(self, intervals, call_positions):
+        assignment = {}
+        spills = {}
+        items = sorted(intervals.items(), key=lambda kv: kv[1][0])
+
+        def crosses_call(start, end):
+            return any(start <= c < end for c in call_positions)
+
+        active = {"int": [], "float": []}
+        free = {cls: list(self.pools[cls]) for cls in ("int", "float")}
+
+        for vid, (start, end, cls) in items:
+            if crosses_call(start, end):
+                spills[vid] = self.mfunc.new_slot()
+                continue
+            # Expire old intervals.
+            still_active = []
+            for other_end, other_vid, reg in active[cls]:
+                if other_end < start:
+                    free[cls].append(reg)
+                else:
+                    still_active.append((other_end, other_vid, reg))
+            active[cls] = still_active
+            if free[cls]:
+                reg = free[cls].pop()
+                assignment[vid] = reg
+                active[cls].append((end, vid, reg))
+            else:
+                # Spill the active interval with the furthest end if it
+                # ends after this one; otherwise spill this interval.
+                active[cls].sort()
+                furthest = active[cls][-1]
+                if furthest[0] > end:
+                    spills[furthest[1]] = self.mfunc.new_slot()
+                    reg = furthest[2]
+                    del assignment[furthest[1]]
+                    active[cls] = active[cls][:-1]
+                    assignment[vid] = reg
+                    active[cls].append((end, vid, reg))
+                else:
+                    spills[vid] = self.mfunc.new_slot()
+        return assignment, spills
+
+    # -- step 5: rewrite ----------------------------------------------------
+    def _rewrite(self, assignment, spills):
+        frame = self.mfunc
+        for block in frame.blocks:
+            rewritten = []
+            for instr in block.instructions:
+                defs, uses = _instr_vregs(instr)
+                scratch_index = {"int": 0, "float": 0}
+                mapping = {}
+                loads = []
+                stores = []
+                for use in uses:
+                    if use.vid in mapping:
+                        continue
+                    if use.vid in spills:
+                        scratch = self._take_scratch(use.cls, scratch_index)
+                        mapping[use.vid] = scratch
+                        loads.append(MachineInstr(
+                            "ld", [scratch, StackSlot(
+                                spills[use.vid].index), Imm(0)]))
+                    else:
+                        mapping[use.vid] = assignment[use.vid]
+                for define in defs:
+                    if define.vid in spills:
+                        if define.vid in mapping:
+                            scratch = mapping[define.vid]
+                        elif scratch_index[define.cls] >= \
+                                len(self.scratch[define.cls]):
+                            # All scratch registers feed uses; the def may
+                            # alias the last one — operands are read before
+                            # the destination is written.
+                            scratch = self.scratch[define.cls][-1]
+                            mapping[define.vid] = scratch
+                        else:
+                            scratch = self._take_scratch(define.cls,
+                                                         scratch_index)
+                            mapping[define.vid] = scratch
+                        stores.append(MachineInstr(
+                            "st", [scratch, StackSlot(
+                                spills[define.vid].index), Imm(0)]))
+                    elif define.vid not in mapping:
+                        mapping[define.vid] = assignment[define.vid]
+                instr.operands = [
+                    mapping[op.vid] if isinstance(op, VirtReg) else op
+                    for op in instr.operands
+                ]
+                rewritten.extend(loads)
+                rewritten.append(instr)
+                rewritten.extend(stores)
+            block.instructions = rewritten
+
+    def _take_scratch(self, cls, scratch_index):
+        index = scratch_index[cls]
+        if index >= len(self.scratch[cls]):
+            raise RuntimeError("out of scratch registers")
+        scratch_index[cls] += 1
+        return self.scratch[cls][index]
+
+
+def allocate_registers(mfunc, isa):
+    """Run register allocation in place; returns (assignment, spills)."""
+    return Allocator(mfunc, isa).run()

@@ -1,0 +1,15 @@
+"""Baselines: the standard fixed -O pipelines the paper's Figs. 5/7
+compare against, plus random-search and genetic phase-ordering baselines.
+"""
+
+from repro.baselines.standard import STANDARD_LEVELS, standard_pipeline
+from repro.baselines.searchers import (
+    GeneticSearch,
+    RandomPhaseSearch,
+    IterativeElimination,
+)
+
+__all__ = [
+    "STANDARD_LEVELS", "standard_pipeline",
+    "RandomPhaseSearch", "GeneticSearch", "IterativeElimination",
+]

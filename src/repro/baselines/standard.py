@@ -1,0 +1,67 @@
+"""Standard optimization levels.
+
+Fixed pipelines in the spirit of LLVM's -O1/-O2/-O3/-Os/-Oz built from
+this compiler's phases.  These are the "standard state-of-the-art
+optimizations" the paper's Figs. 5 and 7 compare the PSS against.
+"""
+
+_O1 = (
+    "mem2reg", "instcombine", "simplifycfg", "early-cse",
+    "sccp", "dce", "simplifycfg",
+)
+
+_O2 = (
+    "mem2reg", "sroa", "early-cse", "simplifycfg", "instcombine",
+    "ipsccp", "called-value-propagation", "globalopt", "deadargelim",
+    "inline", "instcombine", "simplifycfg", "jump-threading",
+    "correlated-propagation", "reassociate", "loop-rotate", "licm",
+    "loop-unswitch", "indvars", "loop-idiom", "loop-deletion",
+    "loop-unroll", "gvn", "memcpyopt", "sccp", "bdce", "instcombine",
+    "dse", "simplifycfg", "adce", "globaldce", "constmerge",
+)
+
+_O3 = (
+    "mem2reg", "sroa", "early-cse", "simplifycfg", "instcombine",
+    "aggressive-instcombine", "ipsccp", "called-value-propagation",
+    "globalopt", "deadargelim", "inline", "argpromotion", "instcombine",
+    "simplifycfg", "callsite-splitting", "jump-threading",
+    "correlated-propagation", "reassociate", "loop-rotate", "licm",
+    "loop-unswitch", "indvars", "loop-idiom", "loop-deletion",
+    "loop-distribute", "loop-unroll", "loop-vectorize", "slp-vectorizer",
+    "gvn", "memcpyopt", "mldst-motion", "sccp", "bdce", "div-rem-pairs",
+    "instcombine", "dse", "licm", "loop-sink", "speculative-execution",
+    "float2int", "simplifycfg", "adce", "globaldce", "constmerge",
+    "tailcallelim",
+)
+
+_OS = (
+    "mem2reg", "early-cse", "simplifycfg", "instcombine", "ipsccp",
+    "globalopt", "deadargelim", "inline", "instcombine",
+    "jump-threading", "reassociate", "licm", "loop-rotate", "indvars",
+    "loop-idiom", "loop-deletion", "gvn", "sccp", "instcombine", "dse",
+    "simplifycfg", "adce", "globaldce", "constmerge", "deadargelim",
+)
+
+_OZ = (
+    "mem2reg", "simplifycfg", "instcombine", "ipsccp", "globalopt",
+    "deadargelim", "early-cse", "jump-threading", "licm", "loop-rotate",
+    "loop-idiom", "loop-deletion", "gvn", "sccp", "instcombine", "dse",
+    "simplifycfg", "adce", "globaldce", "constmerge",
+)
+
+STANDARD_LEVELS = {
+    "-O0": (),
+    "-O1": _O1,
+    "-O2": _O2,
+    "-O3": _O3,
+    "-Os": _OS,
+    "-Oz": _OZ,
+}
+
+
+def standard_pipeline(level):
+    try:
+        return list(STANDARD_LEVELS[level])
+    except KeyError:
+        raise KeyError(f"unknown level {level!r}; "
+                       f"available: {sorted(STANDARD_LEVELS)}") from None

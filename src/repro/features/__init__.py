@@ -1,0 +1,25 @@
+"""Feature extraction for the Performance Estimator and the PSS policy."""
+
+from repro.features.static_features import (
+    STATIC_FEATURE_NAMES,
+    extract_static_features,
+)
+from repro.features.costmodel import (
+    COST_FEATURE_NAMES,
+    extract_cost_features,
+)
+from repro.features.extractor import (
+    FEATURE_NAMES,
+    MACHINE_OPCODES,
+    PLATFORM_FEATURE_NAMES,
+    extract_features,
+    extract_platform_features,
+)
+
+__all__ = [
+    "STATIC_FEATURE_NAMES", "PLATFORM_FEATURE_NAMES", "FEATURE_NAMES",
+    "COST_FEATURE_NAMES", "extract_cost_features",
+    "MACHINE_OPCODES",
+    "extract_static_features", "extract_platform_features",
+    "extract_features",
+]

@@ -1,0 +1,59 @@
+"""Combined feature extraction: static IR features + platform-specific
+instruction-count features from generated code (paper §III-A: "Our tool
+also extracts platform-specific instruction counts from generated code
+for PE training").
+"""
+
+import numpy as np
+
+from repro.features.static_features import (
+    STATIC_FEATURE_NAMES,
+    extract_static_features,
+)
+
+# Static machine-opcode classes counted per target.
+MACHINE_OPCODES = (
+    "li", "lfi", "mv", "lea", "add", "sub", "mul", "div", "rem",
+    "and", "or", "xor", "shl", "sar", "shr",
+    "fadd", "fsub", "fmul", "fdiv",
+    "fsqrt", "fexp", "flog", "fsin", "fcos", "fabs", "fpow",
+    "cvtsi2sd", "cvtsd2si", "setcc", "fsetcc", "bcc", "fbcc",
+    "cmov", "ld", "st", "jmp", "call", "ret", "print",
+    "memset", "memcpy", "vop", "frame_alloc",
+)
+
+PLATFORM_FEATURE_NAMES = tuple(
+    [f"m_{op}" for op in MACHINE_OPCODES] +
+    ["code_size_bytes", "frame_cells_total", "machine_instructions"])
+
+from repro.features.costmodel import (  # noqa: E402 (feature group)
+    COST_FEATURE_NAMES,
+    extract_cost_features,
+)
+
+FEATURE_NAMES = (STATIC_FEATURE_NAMES + PLATFORM_FEATURE_NAMES
+                 + COST_FEATURE_NAMES)
+
+
+def extract_platform_features(program):
+    """Static machine-code features of a compiled MachineProgram."""
+    histogram = program.instruction_histogram()
+    values = [float(histogram.get(op, 0)) for op in MACHINE_OPCODES]
+    frame_cells = sum(f.frame_slots for f in program.functions.values())
+    instructions = sum(f.instruction_count()
+                      for f in program.functions.values())
+    values.extend([float(program.code_size), float(frame_cells),
+                   float(instructions)])
+    return np.array(values, dtype=float)
+
+
+def extract_features(module, platform=None):
+    """Full PE input vector: 63 static features, plus platform features
+    and static cost-model estimates when a platform is given (the PE is
+    trained per platform)."""
+    static = extract_static_features(module)
+    if platform is None:
+        return static
+    program = platform.compile(module)
+    return np.concatenate([static, extract_platform_features(program),
+                           extract_cost_features(module)])

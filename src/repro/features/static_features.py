@@ -1,0 +1,235 @@
+"""Static IR feature extraction.
+
+63 Milepost-GCC-style code features (paper §III-A and §IV: "The 63 code
+features that our static analysis obtains"): instruction mix, CFG shape,
+loop structure, call-graph shape, and constant usage.
+"""
+
+import numpy as np
+
+from repro.ir import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CondBranchInst,
+    ConstantFloat,
+    ConstantInt,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    LoadInst,
+    LoopInfo,
+    PhiInst,
+    RetInst,
+    SelectInst,
+    StoreInst,
+)
+from repro.ir.cfg import DominatorTree, reverse_postorder
+from repro.passes.loop_utils import constant_trip_count, ensure_preheader
+
+_OPCODES = ("add", "sub", "mul", "sdiv", "srem", "and", "or", "xor",
+            "shl", "ashr", "lshr", "fadd", "fsub", "fmul", "fdiv")
+
+_MATH_INTRINSICS = frozenset({"sqrt", "exp", "log", "sin", "cos", "pow",
+                              "fabs"})
+
+STATIC_FEATURE_NAMES = tuple(
+    [f"n_{op}" for op in _OPCODES] +
+    ["n_icmp", "n_fcmp", "n_load", "n_store", "n_gep", "n_phi",
+     "n_select", "n_call", "n_cast", "n_alloca",
+     "n_blocks", "n_instructions", "n_functions", "n_cfg_edges",
+     "avg_block_size", "max_block_size", "max_blocks_per_function",
+     "n_loops", "max_loop_depth", "avg_loop_depth",
+     "n_const_trip_loops", "n_innermost_loops", "n_back_edges",
+     "n_cond_branches", "n_uncond_branches", "n_returns",
+     "branch_density", "mem_density", "float_fraction", "int_fraction",
+     "n_const_operands", "const_operand_fraction", "n_distinct_consts",
+     "n_intrinsic_calls", "n_math_calls", "n_print_calls",
+     "phi_density", "max_phis_per_block", "n_args_total",
+     "n_globals", "global_array_cells", "n_recursive_functions",
+     "n_callgraph_edges", "max_call_chain", "n_const_index_geps",
+     "dom_tree_height", "max_rpo_length", "n_block_mem_intrinsics"])
+
+assert len(STATIC_FEATURE_NAMES) == 63, len(STATIC_FEATURE_NAMES)
+
+
+def extract_static_features(module):
+    """Return the 63-dimensional static feature vector of a module."""
+    counts = {name: 0.0 for name in STATIC_FEATURE_NAMES}
+    opcode_counts = {op: 0 for op in _OPCODES}
+    total_instructions = 0
+    total_blocks = 0
+    block_sizes = []
+    distinct_constants = set()
+    const_operands = 0
+    total_operands = 0
+    float_ops = 0
+    int_ops = 0
+
+    functions = module.defined_functions()
+    counts["n_functions"] = float(len(functions))
+    counts["n_globals"] = float(len(module.globals))
+    counts["global_array_cells"] = float(sum(
+        gv.value_type.size_cells() for gv in module.globals.values()
+        if gv.value_type.is_array()))
+
+    call_edges = set()
+    recursive = set()
+
+    for function in functions:
+        total_blocks += len(function.blocks)
+        counts["max_blocks_per_function"] = max(
+            counts["max_blocks_per_function"], float(len(function.blocks)))
+        counts["n_args_total"] += len(function.args)
+        for block in function.blocks:
+            block_sizes.append(len(block.instructions))
+            phis_here = 0
+            for inst in block.instructions:
+                total_instructions += 1
+                for op in inst.operands:
+                    total_operands += 1
+                    if isinstance(op, ConstantInt):
+                        const_operands += 1
+                        distinct_constants.add(("i", op.value))
+                    elif isinstance(op, ConstantFloat):
+                        const_operands += 1
+                        distinct_constants.add(("f", op.value))
+                if isinstance(inst, BinaryInst):
+                    opcode_counts[inst.opcode] += 1
+                    if inst.opcode.startswith("f"):
+                        float_ops += 1
+                    else:
+                        int_ops += 1
+                elif isinstance(inst, ICmpInst):
+                    counts["n_icmp"] += 1
+                elif isinstance(inst, FCmpInst):
+                    counts["n_fcmp"] += 1
+                elif isinstance(inst, LoadInst):
+                    counts["n_load"] += 1
+                elif isinstance(inst, StoreInst):
+                    counts["n_store"] += 1
+                elif isinstance(inst, GEPInst):
+                    counts["n_gep"] += 1
+                    if isinstance(inst.index, ConstantInt):
+                        counts["n_const_index_geps"] += 1
+                elif isinstance(inst, PhiInst):
+                    counts["n_phi"] += 1
+                    phis_here += 1
+                elif isinstance(inst, SelectInst):
+                    counts["n_select"] += 1
+                elif isinstance(inst, CallInst):
+                    counts["n_call"] += 1
+                    if inst.is_intrinsic():
+                        counts["n_intrinsic_calls"] += 1
+                        if inst.callee in _MATH_INTRINSICS:
+                            counts["n_math_calls"] += 1
+                        elif inst.callee in ("print_int", "print_float"):
+                            counts["n_print_calls"] += 1
+                        elif inst.callee in ("memset", "memcpy"):
+                            counts["n_block_mem_intrinsics"] += 1
+                    else:
+                        call_edges.add((function.name, inst.callee.name))
+                        if inst.callee is function:
+                            recursive.add(function.name)
+                elif isinstance(inst, CastInst):
+                    counts["n_cast"] += 1
+                elif isinstance(inst, AllocaInst):
+                    counts["n_alloca"] += 1
+                elif isinstance(inst, CondBranchInst):
+                    counts["n_cond_branches"] += 1
+                elif isinstance(inst, BranchInst):
+                    counts["n_uncond_branches"] += 1
+                elif isinstance(inst, RetInst):
+                    counts["n_returns"] += 1
+            counts["max_phis_per_block"] = max(
+                counts["max_phis_per_block"], float(phis_here))
+        counts["n_cfg_edges"] += sum(len(b.successors())
+                                     for b in function.blocks)
+        # Loops.
+        info = LoopInfo(function)
+        counts["n_loops"] += len(info.loops)
+        counts["n_innermost_loops"] += len(info.innermost_loops())
+        counts["max_loop_depth"] = max(counts["max_loop_depth"],
+                                       float(info.max_depth()))
+        depths = [loop.depth for loop in info.loops]
+        if depths:
+            counts["avg_loop_depth"] = max(
+                counts["avg_loop_depth"], float(np.mean(depths)))
+        for loop in info.loops:
+            counts["n_back_edges"] += len(loop.latches())
+            preheader = loop.preheader()
+            if preheader is not None:
+                trip, _ = constant_trip_count(loop, preheader)
+                if trip is not None:
+                    counts["n_const_trip_loops"] += 1
+        # Dominator tree height, RPO length.
+        dom = DominatorTree(function)
+        counts["dom_tree_height"] = max(
+            counts["dom_tree_height"], float(_tree_height(dom)))
+        counts["max_rpo_length"] = max(
+            counts["max_rpo_length"], float(len(reverse_postorder(function))))
+
+    for op in _OPCODES:
+        counts[f"n_{op}"] = float(opcode_counts[op])
+    counts["n_blocks"] = float(total_blocks)
+    counts["n_instructions"] = float(total_instructions)
+    counts["avg_block_size"] = float(np.mean(block_sizes)) if block_sizes \
+        else 0.0
+    counts["max_block_size"] = float(max(block_sizes)) if block_sizes \
+        else 0.0
+    counts["branch_density"] = (counts["n_cond_branches"] /
+                                max(total_instructions, 1))
+    mem_ops = counts["n_load"] + counts["n_store"]
+    counts["mem_density"] = mem_ops / max(total_instructions, 1)
+    arith = float_ops + int_ops
+    counts["float_fraction"] = float_ops / max(arith, 1)
+    counts["int_fraction"] = int_ops / max(arith, 1)
+    counts["n_const_operands"] = float(const_operands)
+    counts["const_operand_fraction"] = const_operands / \
+        max(total_operands, 1)
+    counts["n_distinct_consts"] = float(len(distinct_constants))
+    counts["n_recursive_functions"] = float(len(recursive))
+    counts["n_callgraph_edges"] = float(len(call_edges))
+    counts["max_call_chain"] = float(_longest_chain(call_edges))
+    counts["phi_density"] = counts["n_phi"] / max(total_instructions, 1)
+
+    return np.array([counts[name] for name in STATIC_FEATURE_NAMES],
+                    dtype=float)
+
+
+def _tree_height(dom):
+    heights = {}
+
+    def height(block):
+        if block in heights:
+            return heights[block]
+        children = dom.children.get(block, [])
+        result = 1 + max((height(c) for c in children), default=0)
+        heights[block] = result
+        return result
+
+    if not dom.rpo:
+        return 0
+    return height(dom.rpo[0])
+
+
+def _longest_chain(edges, cap=16):
+    """Longest path in the call graph, ignoring cycles beyond ``cap``."""
+    adjacency = {}
+    for caller, callee in edges:
+        adjacency.setdefault(caller, []).append(callee)
+
+    best = 0
+    for start in adjacency:
+        stack = [(start, 1, frozenset([start]))]
+        while stack:
+            node, length, seen = stack.pop()
+            best = max(best, length)
+            if length >= cap:
+                continue
+            for nxt in adjacency.get(node, ()):
+                if nxt not in seen:
+                    stack.append((nxt, length + 1, seen | {nxt}))
+    return best

@@ -1,0 +1,74 @@
+"""Basic blocks and their CFG neighbourhood queries."""
+
+from repro.ir.instructions import PhiInst
+
+
+class BasicBlock:
+    def __init__(self, name, parent=None):
+        self.name = name
+        self.parent = parent  # Function
+        self.instructions = []
+
+    # -- structure ---------------------------------------------------------
+    def append(self, instruction):
+        instruction.parent = self
+        self.instructions.append(instruction)
+        return instruction
+
+    def insert(self, index, instruction):
+        instruction.parent = self
+        self.instructions.insert(index, instruction)
+        return instruction
+
+    def insert_before_terminator(self, instruction):
+        term = self.terminator()
+        if term is None:
+            return self.append(instruction)
+        return self.insert(self.instructions.index(term), instruction)
+
+    def terminator(self):
+        if self.instructions and self.instructions[-1].is_terminator():
+            return self.instructions[-1]
+        return None
+
+    def phis(self):
+        result = []
+        for inst in self.instructions:
+            if isinstance(inst, PhiInst):
+                result.append(inst)
+            else:
+                break
+        return result
+
+    def first_non_phi_index(self):
+        for i, inst in enumerate(self.instructions):
+            if not isinstance(inst, PhiInst):
+                return i
+        return len(self.instructions)
+
+    # -- CFG -----------------------------------------------------------------
+    def successors(self):
+        term = self.terminator()
+        return [] if term is None else term.successors()
+
+    def predecessors(self):
+        if self.parent is None:
+            return []
+        preds = []
+        for block in self.parent.blocks:
+            if self in block.successors():
+                preds.append(block)
+        return preds
+
+    def remove_from_parent(self):
+        """Detach the block, dropping all instruction operands."""
+        for inst in list(self.instructions):
+            inst.drop_all_references()
+            inst.parent = None
+        self.instructions = []
+        if self.parent is not None:
+            self.parent.blocks.remove(self)
+            self.parent = None
+
+    def __repr__(self):
+        return f"<BasicBlock {self.name} ({len(self.instructions)} insts)>"

@@ -1,0 +1,241 @@
+"""CFG analyses: orderings, dominators, dominance frontiers, natural loops.
+
+The dominator computation is the Cooper–Harvey–Kennedy iterative algorithm,
+which is simple and fast enough for the function sizes this compiler sees.
+"""
+
+
+def successors_map(function):
+    return {block: block.successors() for block in function.blocks}
+
+
+def predecessors_map(function):
+    preds = {block: [] for block in function.blocks}
+    for block in function.blocks:
+        for succ in block.successors():
+            if succ in preds:
+                preds[succ].append(block)
+    return preds
+
+
+def reverse_postorder(function):
+    """Blocks in reverse postorder from the entry (unreachable excluded)."""
+    entry = function.entry
+    if entry is None:
+        return []
+    visited = set()
+    order = []
+
+    # Iterative DFS to avoid recursion limits on long CFG chains.
+    stack = [(entry, iter(entry.successors()))]
+    visited.add(entry)
+    while stack:
+        block, succs = stack[-1]
+        advanced = False
+        for succ in succs:
+            if succ not in visited:
+                visited.add(succ)
+                stack.append((succ, iter(succ.successors())))
+                advanced = True
+                break
+        if not advanced:
+            order.append(block)
+            stack.pop()
+    order.reverse()
+    return order
+
+
+def reachable_blocks(function):
+    return set(reverse_postorder(function))
+
+
+class DominatorTree:
+    """Immediate-dominator tree for the reachable part of a function."""
+
+    def __init__(self, function):
+        self.function = function
+        self.rpo = reverse_postorder(function)
+        self._index = {b: i for i, b in enumerate(self.rpo)}
+        self.idom = {}
+        self._compute()
+        self.children = {b: [] for b in self.rpo}
+        for block, dom in self.idom.items():
+            if dom is not None and dom is not block:
+                self.children[dom].append(block)
+
+    def _compute(self):
+        if not self.rpo:
+            return
+        entry = self.rpo[0]
+        preds = predecessors_map(self.function)
+        idom = {entry: entry}
+        changed = True
+        while changed:
+            changed = False
+            for block in self.rpo[1:]:
+                candidates = [p for p in preds[block]
+                              if p in idom and p in self._index]
+                if not candidates:
+                    continue
+                new_idom = candidates[0]
+                for pred in candidates[1:]:
+                    new_idom = self._intersect(idom, pred, new_idom)
+                if idom.get(block) is not new_idom:
+                    idom[block] = new_idom
+                    changed = True
+        self.idom = {b: (None if b is entry else idom.get(b))
+                     for b in self.rpo}
+        self.idom[entry] = None
+
+    def _intersect(self, idom, a, b):
+        while a is not b:
+            while self._index[a] > self._index[b]:
+                a = idom[a]
+            while self._index[b] > self._index[a]:
+                b = idom[b]
+        return a
+
+    def dominates(self, a, b):
+        """True if block ``a`` dominates block ``b`` (reflexive)."""
+        while b is not None:
+            if a is b:
+                return True
+            b = self.idom.get(b)
+        return False
+
+    def strictly_dominates(self, a, b):
+        return a is not b and self.dominates(a, b)
+
+    def instruction_dominates(self, inst, other):
+        """True if the definition ``inst`` dominates the use site ``other``."""
+        if inst.parent is other.parent:
+            block = inst.parent.instructions
+            return block.index(inst) < block.index(other)
+        return self.strictly_dominates(inst.parent, other.parent)
+
+    def dominance_frontiers(self):
+        preds = predecessors_map(self.function)
+        frontiers = {b: set() for b in self.rpo}
+        for block in self.rpo:
+            block_preds = [p for p in preds[block] if p in self._index]
+            if len(block_preds) < 2:
+                continue
+            for pred in block_preds:
+                runner = pred
+                while runner is not None and runner is not self.idom[block]:
+                    frontiers[runner].add(block)
+                    runner = self.idom.get(runner)
+        return frontiers
+
+
+class Loop:
+    """A natural loop: header plus the body blocks of its back edges."""
+
+    def __init__(self, header):
+        self.header = header
+        self.blocks = {header}
+        self.parent = None
+        self.children = []
+
+    @property
+    def depth(self):
+        depth = 1
+        loop = self.parent
+        while loop is not None:
+            depth += 1
+            loop = loop.parent
+        return depth
+
+    def contains(self, block):
+        return block in self.blocks
+
+    def exit_blocks(self):
+        """Blocks outside the loop targeted from inside."""
+        exits = []
+        for block in self.blocks:
+            for succ in block.successors():
+                if succ not in self.blocks and succ not in exits:
+                    exits.append(succ)
+        return exits
+
+    def exiting_blocks(self):
+        return [b for b in self.blocks
+                if any(s not in self.blocks for s in b.successors())]
+
+    def latches(self):
+        return [p for p in self.header.predecessors() if p in self.blocks]
+
+    def preheader(self):
+        """The unique out-of-loop predecessor of the header, if any, and
+        only if it unconditionally branches to the header."""
+        outside = [p for p in self.header.predecessors()
+                   if p not in self.blocks]
+        if len(outside) != 1:
+            return None
+        candidate = outside[0]
+        if candidate.successors() == [self.header]:
+            return candidate
+        return None
+
+    def __repr__(self):
+        return (f"<Loop header={self.header.name} "
+                f"blocks={len(self.blocks)} depth={self.depth}>")
+
+
+class LoopInfo:
+    """Discovers the natural-loop nest of a function."""
+
+    def __init__(self, function):
+        self.function = function
+        self.loops = []       # all loops, outermost first
+        self.top_level = []
+        self._block_loop = {}
+        self._compute()
+
+    def _compute(self):
+        dom = DominatorTree(self.function)
+        headers = {}
+        preds = predecessors_map(self.function)
+        for block in dom.rpo:
+            for succ in block.successors():
+                if succ in dom._index and dom.dominates(succ, block):
+                    loop = headers.setdefault(succ, Loop(succ))
+                    self._collect(loop, block, preds)
+        loops = list(headers.values())
+        # Establish nesting: a loop is a child of the smallest loop strictly
+        # containing its header (other than itself).
+        loops.sort(key=lambda lp: len(lp.blocks))
+        for i, inner in enumerate(loops):
+            for outer in loops[i + 1:]:
+                if outer is not inner and inner.header in outer.blocks:
+                    inner.parent = outer
+                    outer.children.append(inner)
+                    break
+        self.loops = sorted(loops, key=lambda lp: lp.depth)
+        self.top_level = [lp for lp in loops if lp.parent is None]
+        for loop in sorted(loops, key=lambda lp: -len(lp.blocks)):
+            for block in loop.blocks:
+                self._block_loop[block] = loop
+
+    def _collect(self, loop, latch, preds):
+        worklist = [latch]
+        while worklist:
+            block = worklist.pop()
+            if block in loop.blocks:
+                continue
+            loop.blocks.add(block)
+            worklist.extend(preds.get(block, []))
+
+    def loop_of(self, block):
+        """Innermost loop containing ``block``, or None."""
+        return self._block_loop.get(block)
+
+    def depth_of(self, block):
+        loop = self.loop_of(block)
+        return 0 if loop is None else loop.depth
+
+    def innermost_loops(self):
+        return [lp for lp in self.loops if not lp.children]
+
+    def max_depth(self):
+        return max((lp.depth for lp in self.loops), default=0)

@@ -1,0 +1,68 @@
+"""Whole-module cloning.
+
+Used by analyses that want to normalize a module (e.g. run mem2reg to
+expose induction variables) without mutating the module under
+measurement.
+"""
+
+from repro.ir.function import Function, Module
+from repro.ir.instructions import CallInst, PhiInst
+from repro.ir.values import GlobalVariable
+
+
+def clone_module(module):
+    """Deep-copy ``module`` (functions, blocks, instructions, globals)."""
+    from repro.passes.cloning import clone_instruction
+
+    copy = Module(module.name)
+    # Globals first (operands of instructions).
+    global_map = {}
+    for gv in module.globals.values():
+        initializer = gv.initializer
+        if isinstance(initializer, (list, tuple)):
+            initializer = list(initializer)
+        clone = GlobalVariable(gv.name, gv.value_type, initializer,
+                               gv.is_constant_global)
+        copy.add_global(clone)
+        global_map[id(gv)] = clone
+    # Function shells (call targets).
+    function_map = {}
+    for function in module.functions.values():
+        shell = Function(function.name, function.ftype)
+        shell.is_pure = function.is_pure
+        shell.accesses_memory = function.accesses_memory
+        shell.attributes = set(function.attributes)
+        copy.add_function(shell)
+        function_map[id(function)] = shell
+    # Bodies.
+    for function in module.functions.values():
+        shell = function_map[id(function)]
+        value_map = dict(global_map)
+        for old_arg, new_arg in zip(function.args, shell.args):
+            new_arg.name = old_arg.name
+            value_map[id(old_arg)] = new_arg
+        block_map = {}
+        for block in function.blocks:
+            block_map[id(block)] = shell.append_block(block.name)
+        for block in function.blocks:
+            target = block_map[id(block)]
+            for inst in block.instructions:
+                clone = clone_instruction(inst, value_map, block_map,
+                                          shell)
+                if isinstance(clone, CallInst) and \
+                        not clone.is_intrinsic():
+                    # Retarget to the cloned callee.
+                    clone.callee = function_map[id(clone.callee)]
+                target.append(clone)
+                value_map[id(inst)] = clone
+        # Phi incoming lists (second pass: all blocks/values exist).
+        for block in function.blocks:
+            target = block_map[id(block)]
+            for inst, clone in zip(block.instructions,
+                                   target.instructions):
+                if isinstance(inst, PhiInst):
+                    for value, pred in inst.incoming():
+                        clone.add_incoming(
+                            value_map.get(id(value), value),
+                            block_map.get(id(pred), pred))
+    return copy

@@ -1,0 +1,315 @@
+"""Reference interpreter for IR modules.
+
+The interpreter defines the *semantics* of the IR.  Every optimization pass
+must preserve behaviour under this interpreter — the property-based tests
+in ``tests/passes`` run random pass pipelines and compare program output
+against the unoptimized module.
+
+Memory is cell-addressed: each scalar value occupies one cell, arrays
+occupy ``count`` consecutive cells.  Pointers are plain integer addresses.
+"""
+
+import math
+
+from repro.errors import SimulationError
+from repro.ir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CondBranchInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    LoadInst,
+    PhiInst,
+    RetInst,
+    SelectInst,
+    StoreInst,
+    UnreachableInst,
+)
+from repro.ir.intrinsics import evaluate_float_intrinsic
+from repro.ir.types import I64, IntType
+from repro.ir.values import (
+    Argument,
+    ConstantFloat,
+    ConstantInt,
+    GlobalVariable,
+    UndefValue,
+)
+
+_I64 = I64
+
+
+class ExecutionResult:
+    """Outcome of interpreting a program."""
+
+    def __init__(self, return_value, output, steps):
+        self.return_value = return_value
+        self.output = tuple(output)
+        self.steps = steps
+
+    def observable(self):
+        """The externally observable behaviour (used by differential tests)."""
+        return (self.return_value, self.output)
+
+    def __repr__(self):
+        return (f"<ExecutionResult ret={self.return_value} "
+                f"|output|={len(self.output)} steps={self.steps}>")
+
+
+class Interpreter:
+    def __init__(self, module, fuel=5_000_000):
+        self.module = module
+        self.fuel = fuel
+        self.memory = {}
+        self.output = []
+        self.steps = 0
+        self._next_address = 16  # 0 is reserved as a null-ish sentinel
+        self._global_addresses = {}
+        self._allocate_globals()
+
+    # -- memory -------------------------------------------------------------
+    def _allocate(self, cells):
+        address = self._next_address
+        self._next_address += cells
+        return address
+
+    def _allocate_globals(self):
+        for gv in self.module.globals.values():
+            cells = gv.value_type.size_cells()
+            address = self._allocate(cells)
+            self._global_addresses[gv.name] = address
+            init = gv.initializer
+            if init is None:
+                values = [0] * cells
+            elif isinstance(init, (list, tuple)):
+                values = list(init) + [0] * (cells - len(init))
+            else:
+                values = [init]
+            for offset, value in enumerate(values):
+                self.memory[address + offset] = value
+
+    def load_cell(self, address):
+        if address <= 0:
+            raise SimulationError(f"load from invalid address {address}")
+        return self.memory.get(address, 0)
+
+    def store_cell(self, address, value):
+        if address <= 0:
+            raise SimulationError(f"store to invalid address {address}")
+        self.memory[address] = value
+
+    # -- entry point -----------------------------------------------------------
+    def run(self, function_name="main", args=()):
+        function = self.module.get_function(function_name)
+        value = self._call(function, list(args))
+        return ExecutionResult(value, self.output, self.steps)
+
+    # -- evaluation ------------------------------------------------------------
+    def _call(self, function, arg_values):
+        if function.is_declaration():
+            raise SimulationError(f"call to declaration @{function.name}")
+        env = {}
+        for arg, value in zip(function.args, arg_values):
+            env[arg] = value
+        block = function.entry
+        prev_block = None
+        while True:
+            # Phi nodes evaluate in parallel against the incoming edge.
+            phis = block.phis()
+            if phis:
+                values = [self._eval(env, p.incoming_value_for(prev_block))
+                          for p in phis]
+                for phi, value in zip(phis, values):
+                    env[phi] = value
+            for inst in block.instructions[len(phis):]:
+                self.steps += 1
+                if self.steps > self.fuel:
+                    raise SimulationError("interpreter fuel exhausted")
+                kind = type(inst)
+                if kind is BranchInst:
+                    prev_block, block = block, inst.target
+                    break
+                if kind is CondBranchInst:
+                    cond = self._eval(env, inst.condition)
+                    target = inst.true_target if cond else inst.false_target
+                    prev_block, block = block, target
+                    break
+                if kind is RetInst:
+                    if inst.value is None:
+                        return None
+                    return self._eval(env, inst.value)
+                if kind is UnreachableInst:
+                    raise SimulationError("executed unreachable")
+                env[inst] = self._execute(env, inst)
+            else:
+                raise SimulationError(
+                    f"fell off the end of block {block.name}")
+
+    def _eval(self, env, value):
+        if isinstance(value, ConstantInt):
+            return value.value
+        if isinstance(value, ConstantFloat):
+            return value.value
+        if isinstance(value, UndefValue):
+            return 0.0 if value.type.is_float() else 0
+        if isinstance(value, GlobalVariable):
+            return self._global_addresses[value.name]
+        if isinstance(value, (Argument,)):
+            return env[value]
+        return env[value]
+
+    def _execute(self, env, inst):
+        if isinstance(inst, BinaryInst):
+            return self._binop(inst.opcode, self._eval(env, inst.lhs),
+                               self._eval(env, inst.rhs), inst.type)
+        if isinstance(inst, ICmpInst):
+            return int(self._icmp(inst.predicate,
+                                  self._eval(env, inst.operands[0]),
+                                  self._eval(env, inst.operands[1])))
+        if isinstance(inst, FCmpInst):
+            return int(self._fcmp(inst.predicate,
+                                  self._eval(env, inst.operands[0]),
+                                  self._eval(env, inst.operands[1])))
+        if isinstance(inst, AllocaInst):
+            return self._allocate(inst.allocated_type.size_cells())
+        if isinstance(inst, LoadInst):
+            return self.load_cell(self._eval(env, inst.pointer))
+        if isinstance(inst, StoreInst):
+            self.store_cell(self._eval(env, inst.pointer),
+                            self._eval(env, inst.value))
+            return None
+        if isinstance(inst, GEPInst):
+            base = self._eval(env, inst.base)
+            index = self._eval(env, inst.index)
+            element = inst.type.pointee
+            return base + index * element.size_cells()
+        if isinstance(inst, SelectInst):
+            cond = self._eval(env, inst.condition)
+            return self._eval(env,
+                              inst.true_value if cond else inst.false_value)
+        if isinstance(inst, CastInst):
+            return self._cast(inst, self._eval(env, inst.value))
+        if isinstance(inst, CallInst):
+            args = [self._eval(env, a) for a in inst.args]
+            if inst.is_intrinsic():
+                return self._intrinsic(inst.callee, args)
+            return self._call(inst.callee, args)
+        raise SimulationError(f"cannot interpret {inst!r}")
+
+    # -- operators -----------------------------------------------------------
+    def _binop(self, opcode, a, b, type_):
+        if opcode == "add":
+            return type_.wrap(a + b)
+        if opcode == "sub":
+            return type_.wrap(a - b)
+        if opcode == "mul":
+            return type_.wrap(a * b)
+        if opcode == "sdiv":
+            if b == 0:
+                raise SimulationError("integer division by zero")
+            return type_.wrap(int(a / b))  # C-style truncation
+        if opcode == "srem":
+            if b == 0:
+                raise SimulationError("integer remainder by zero")
+            return type_.wrap(a - int(a / b) * b)
+        if opcode == "and":
+            return type_.wrap(a & b)
+        if opcode == "or":
+            return type_.wrap(a | b)
+        if opcode == "xor":
+            return type_.wrap(a ^ b)
+        if opcode == "shl":
+            return type_.wrap(a << (b & 63))
+        if opcode == "ashr":
+            return type_.wrap(a >> (b & 63))
+        if opcode == "lshr":
+            mask = (1 << type_.bits) - 1
+            return type_.wrap((a & mask) >> (b & 63))
+        if opcode == "fadd":
+            return a + b
+        if opcode == "fsub":
+            return a - b
+        if opcode == "fmul":
+            return a * b
+        if opcode == "fdiv":
+            if b == 0.0:
+                if a == 0.0 or math.isnan(a):
+                    return float("nan")
+                return math.copysign(float("inf"), a) * math.copysign(1.0, b)
+            return a / b
+        raise SimulationError(f"unknown binop {opcode}")
+
+    @staticmethod
+    def _icmp(predicate, a, b):
+        return {
+            "eq": a == b, "ne": a != b,
+            "slt": a < b, "sle": a <= b,
+            "sgt": a > b, "sge": a >= b,
+        }[predicate]
+
+    @staticmethod
+    def _fcmp(predicate, a, b):
+        if math.isnan(a) or math.isnan(b):
+            return False
+        return {
+            "oeq": a == b, "one": a != b,
+            "olt": a < b, "ole": a <= b,
+            "ogt": a > b, "oge": a >= b,
+        }[predicate]
+
+    @staticmethod
+    def _cast(inst, value):
+        opcode = inst.opcode
+        if opcode in ("sext", "zext"):
+            if opcode == "zext":
+                source_bits = inst.value.type.bits
+                value &= (1 << source_bits) - 1
+            return inst.type.wrap(value)
+        if opcode == "trunc":
+            return inst.type.wrap(value)
+        if opcode == "sitofp":
+            return float(value)
+        if opcode == "fptosi":
+            if math.isnan(value) or math.isinf(value):
+                return 0
+            return inst.type.wrap(int(value))
+        raise SimulationError(f"unknown cast {opcode}")
+
+    def _intrinsic(self, name, args):
+        if name == "print_int":
+            self.output.append(("i", IntType(64).wrap(int(args[0]))))
+            return None
+        if name == "print_float":
+            value = args[0]
+            # Round for printing so that value-preserving float
+            # reassociations in passes do not flip differential tests.
+            self.output.append(("f", float(f"{value:.6g}")))
+            return None
+        if name == "imin":
+            return min(args[0], args[1])
+        if name == "imax":
+            return max(args[0], args[1])
+        if name == "iabs":
+            return _I64.wrap(abs(args[0]))
+        if name == "memset":
+            dest, value, count = args
+            for i in range(int(count)):
+                self.store_cell(dest + i, value)
+            self.steps += max(0, int(count) - 1)
+            return None
+        if name == "memcpy":
+            dest, src, count = args
+            values = [self.load_cell(src + i) for i in range(int(count))]
+            for i, v in enumerate(values):
+                self.store_cell(dest + i, v)
+            self.steps += max(0, int(count) - 1)
+            return None
+        return evaluate_float_intrinsic(name, args)
+
+
+def run_module(module, function_name="main", args=(), fuel=5_000_000):
+    """Convenience wrapper: interpret ``function_name`` and return the result."""
+    return Interpreter(module, fuel=fuel).run(function_name, args)

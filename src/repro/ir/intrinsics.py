@@ -1,0 +1,70 @@
+"""Intrinsic function signatures shared by the frontend, interpreter,
+backend lowering, and the simulator's cost model."""
+
+import math
+
+from repro.ir.types import F64, I64, VOID
+
+# name -> (param types or None for variadic-by-shape, return type)
+_FLOAT_UNARY = ("sqrt", "exp", "log", "sin", "cos", "fabs")
+
+
+def intrinsic_return_type(name, args):
+    if name in _FLOAT_UNARY or name == "pow":
+        return F64
+    if name in ("imin", "imax"):
+        return I64
+    if name == "iabs":
+        return I64
+    if name in ("print_int", "print_float", "memset", "memcpy"):
+        return VOID
+    raise ValueError(f"unknown intrinsic {name!r}")
+
+
+def intrinsic_param_types(name):
+    if name in _FLOAT_UNARY:
+        return (F64,)
+    if name == "pow":
+        return (F64, F64)
+    if name in ("imin", "imax"):
+        return (I64, I64)
+    if name == "iabs":
+        return (I64,)
+    if name == "print_int":
+        return (I64,)
+    if name == "print_float":
+        return (F64,)
+    if name == "memset":
+        # (dest pointer, value, count) — pointer type checked structurally.
+        return None
+    if name == "memcpy":
+        return None
+    raise ValueError(f"unknown intrinsic {name!r}")
+
+
+def evaluate_float_intrinsic(name, args):
+    """Reference semantics used by both the interpreter and the simulator."""
+    if name == "sqrt":
+        return math.sqrt(args[0]) if args[0] >= 0.0 else float("nan")
+    if name == "exp":
+        try:
+            return math.exp(args[0])
+        except OverflowError:
+            return float("inf")
+    if name == "log":
+        if args[0] > 0.0:
+            return math.log(args[0])
+        return float("-inf") if args[0] == 0.0 else float("nan")
+    if name == "sin":
+        return math.sin(args[0])
+    if name == "cos":
+        return math.cos(args[0])
+    if name == "fabs":
+        return abs(args[0])
+    if name == "pow":
+        try:
+            result = math.pow(args[0], args[1])
+        except (OverflowError, ValueError):
+            result = float("nan")
+        return result
+    raise ValueError(f"not a float intrinsic: {name!r}")

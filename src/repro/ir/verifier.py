@@ -1,0 +1,142 @@
+"""Structural verifier for IR modules.
+
+Passes are run under differential testing in the test suite; the verifier
+catches structural corruption early so failures point at the offending pass
+rather than at the interpreter or backend.
+"""
+
+from repro.errors import VerificationError
+from repro.ir.cfg import DominatorTree, reachable_blocks
+from repro.ir.instructions import Instruction, PhiInst
+from repro.ir.values import Argument, Constant, GlobalVariable
+from repro.ir.function import Function
+
+
+def verify_module(module):
+    for function in module.functions.values():
+        if not function.is_declaration():
+            verify_function(function)
+
+
+def verify_function(function):
+    if not function.blocks:
+        return
+    _check_terminators(function)
+    _check_parent_links(function)
+    _check_operand_scope(function)
+    _check_phis(function)
+    _check_use_lists(function)
+    _check_dominance(function)
+
+
+def _fail(function, message):
+    raise VerificationError(f"in @{function.name}: {message}")
+
+
+def _check_terminators(function):
+    for block in function.blocks:
+        term = block.terminator()
+        if term is None:
+            _fail(function, f"block {block.name} has no terminator")
+        for inst in block.instructions[:-1]:
+            if inst.is_terminator():
+                _fail(function,
+                      f"terminator in the middle of block {block.name}")
+        for succ in term.successors():
+            if succ not in function.blocks:
+                _fail(function,
+                      f"block {block.name} branches to a detached block")
+
+
+def _check_parent_links(function):
+    for block in function.blocks:
+        if block.parent is not function:
+            _fail(function, f"block {block.name} has a stale parent link")
+        for inst in block.instructions:
+            if inst.parent is not block:
+                _fail(function, f"instruction in {block.name} has a stale "
+                                f"parent link: {inst!r}")
+
+
+def _check_operand_scope(function):
+    for block in function.blocks:
+        for inst in block.instructions:
+            for op in inst.operands:
+                if isinstance(op, Instruction):
+                    if op.parent is None or op.parent.parent is not function:
+                        _fail(function,
+                              f"operand {op!r} of {inst!r} is detached")
+                elif isinstance(op, Argument):
+                    if op.function is not function:
+                        _fail(function,
+                              f"foreign argument used by {inst!r}")
+                elif not isinstance(op, (Constant, GlobalVariable, Function)):
+                    _fail(function, f"invalid operand kind: {op!r}")
+
+
+def _check_phis(function):
+    reachable = reachable_blocks(function)
+    for block in function.blocks:
+        if block not in reachable:
+            # Unreachable code may hold stale phi entries until a CFG
+            # cleanup pass runs; it can never execute, so tolerate it.
+            continue
+        preds = block.predecessors()
+        for phi in block.phis():
+            if len(phi.incoming_blocks) != len(phi.operands):
+                _fail(function, "phi incoming/operand length mismatch")
+            incoming = set(id(b) for b in phi.incoming_blocks)
+            if incoming != set(id(p) for p in preds):
+                _fail(function,
+                      f"phi in {block.name} does not match predecessors "
+                      f"({[b.name for b in phi.incoming_blocks]} vs "
+                      f"{[p.name for p in preds]})")
+        seen_non_phi = False
+        for inst in block.instructions:
+            if isinstance(inst, PhiInst):
+                if seen_non_phi:
+                    _fail(function,
+                          f"phi after non-phi in block {block.name}")
+            else:
+                seen_non_phi = True
+
+
+def _check_use_lists(function):
+    for block in function.blocks:
+        for inst in block.instructions:
+            for index, op in enumerate(inst.operands):
+                if (inst, index) not in op.uses:
+                    _fail(function,
+                          f"use list of {op!r} missing ({inst!r}, {index})")
+
+
+def _check_dominance(function):
+    dom = DominatorTree(function)
+    reachable = reachable_blocks(function)
+    for block in function.blocks:
+        if block not in reachable:
+            continue
+        for inst in block.instructions:
+            if isinstance(inst, PhiInst):
+                for value, pred in inst.incoming():
+                    if isinstance(value, Instruction):
+                        if pred not in reachable:
+                            continue
+                        if value.parent not in reachable:
+                            _fail(function,
+                                  f"phi incoming from unreachable def: "
+                                  f"{inst!r}")
+                        term = pred.terminator()
+                        if not dom.instruction_dominates(value, term) and \
+                                value is not inst:
+                            _fail(function,
+                                  f"phi incoming {value!r} does not "
+                                  f"dominate edge {pred.name}->{block.name}")
+                continue
+            for op in inst.operands:
+                if isinstance(op, Instruction):
+                    if op.parent not in reachable:
+                        continue
+                    if not dom.instruction_dominates(op, inst):
+                        _fail(function,
+                              f"{op!r} does not dominate its use {inst!r}")

@@ -1,0 +1,7 @@
+"""Mini-C frontend: lexer, parser, and IR generation."""
+
+from repro.lang.lexer import Token, tokenize
+from repro.lang.parser import parse
+from repro.lang.irgen import IRGenerator, compile_source
+
+__all__ = ["Token", "tokenize", "parse", "IRGenerator", "compile_source"]

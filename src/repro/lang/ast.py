@@ -1,0 +1,173 @@
+"""Abstract syntax tree for the mini-C language.
+
+Nodes are intentionally plain: positional fields plus a source location for
+diagnostics.  Semantic information (types) is attached during IR
+generation, not stored on the tree.
+"""
+
+
+class Node:
+    def __init__(self, line=0, column=0):
+        self.line = line
+        self.column = column
+
+
+# -- top level ---------------------------------------------------------------
+
+class Program(Node):
+    def __init__(self, declarations, **kw):
+        super().__init__(**kw)
+        self.declarations = declarations  # GlobalDecl | FunctionDef
+
+
+class GlobalDecl(Node):
+    def __init__(self, type_name, name, array_size, initializer,
+                 is_const=False, **kw):
+        super().__init__(**kw)
+        self.type_name = type_name
+        self.name = name
+        self.array_size = array_size      # None for scalars
+        self.initializer = initializer    # Expr | list[Expr] | None
+        self.is_const = is_const
+
+
+class Param(Node):
+    def __init__(self, type_name, name, is_array, **kw):
+        super().__init__(**kw)
+        self.type_name = type_name
+        self.name = name
+        self.is_array = is_array
+
+
+class FunctionDef(Node):
+    def __init__(self, return_type, name, params, body, **kw):
+        super().__init__(**kw)
+        self.return_type = return_type
+        self.name = name
+        self.params = params
+        self.body = body
+
+
+# -- statements -----------------------------------------------------------------
+
+class Block(Node):
+    def __init__(self, statements, **kw):
+        super().__init__(**kw)
+        self.statements = statements
+
+
+class VarDecl(Node):
+    def __init__(self, type_name, name, array_size, initializer, **kw):
+        super().__init__(**kw)
+        self.type_name = type_name
+        self.name = name
+        self.array_size = array_size
+        self.initializer = initializer
+
+
+class ExprStmt(Node):
+    def __init__(self, expr, **kw):
+        super().__init__(**kw)
+        self.expr = expr
+
+
+class Assign(Node):
+    def __init__(self, target, value, **kw):
+        super().__init__(**kw)
+        self.target = target  # Identifier | Index
+        self.value = value
+
+
+class If(Node):
+    def __init__(self, condition, then_body, else_body, **kw):
+        super().__init__(**kw)
+        self.condition = condition
+        self.then_body = then_body
+        self.else_body = else_body
+
+
+class While(Node):
+    def __init__(self, condition, body, **kw):
+        super().__init__(**kw)
+        self.condition = condition
+        self.body = body
+
+
+class For(Node):
+    def __init__(self, init, condition, step, body, **kw):
+        super().__init__(**kw)
+        self.init = init          # VarDecl | Assign | None
+        self.condition = condition
+        self.step = step          # Assign | None
+        self.body = body
+
+
+class Return(Node):
+    def __init__(self, value, **kw):
+        super().__init__(**kw)
+        self.value = value
+
+
+class Break(Node):
+    pass
+
+
+class Continue(Node):
+    pass
+
+
+# -- expressions -------------------------------------------------------------
+
+class IntLiteral(Node):
+    def __init__(self, value, **kw):
+        super().__init__(**kw)
+        self.value = value
+
+
+class FloatLiteral(Node):
+    def __init__(self, value, **kw):
+        super().__init__(**kw)
+        self.value = value
+
+
+class Identifier(Node):
+    def __init__(self, name, **kw):
+        super().__init__(**kw)
+        self.name = name
+
+
+class Index(Node):
+    def __init__(self, base, index, **kw):
+        super().__init__(**kw)
+        self.base = base      # Identifier
+        self.index = index
+
+
+class Unary(Node):
+    def __init__(self, op, operand, **kw):
+        super().__init__(**kw)
+        self.op = op          # '-', '!', '~'
+        self.operand = operand
+
+
+class Binary(Node):
+    def __init__(self, op, lhs, rhs, **kw):
+        super().__init__(**kw)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class Ternary(Node):
+    def __init__(self, condition, then_value, else_value, **kw):
+        super().__init__(**kw)
+        self.condition = condition
+        self.then_value = then_value
+        self.else_value = else_value
+
+
+class Call(Node):
+    def __init__(self, name, args, **kw):
+        super().__init__(**kw)
+        self.name = name
+        self.args = args

@@ -1,0 +1,587 @@
+"""IR generation (with semantic analysis) for the mini-C language.
+
+This is the frontend of Fig. 1 in the paper: it lowers source to the IR the
+optimization phases operate on.  Locals are allocated with ``alloca`` and
+accessed through loads/stores — promoting them to SSA registers is the job
+of the ``mem2reg`` phase, which is what makes phase ordering matter.
+"""
+
+from repro.errors import SemanticError
+from repro.ir import (
+    ArrayType,
+    ConstantFloat,
+    ConstantInt,
+    F64,
+    Function,
+    FunctionType,
+    GlobalVariable,
+    I1,
+    I64,
+    IRBuilder,
+    Module,
+    PointerType,
+    VOID,
+)
+from repro.ir.instructions import INTRINSICS
+from repro.ir.intrinsics import intrinsic_param_types, intrinsic_return_type
+from repro.lang import ast
+from repro.lang.parser import parse
+
+_TYPE_MAP = {"int": I64, "float": F64, "void": VOID}
+
+
+def _err(node, message):
+    raise SemanticError(f"{message} at line {node.line}:{node.column}")
+
+
+class _Scope:
+    def __init__(self, parent=None):
+        self.parent = parent
+        self.symbols = {}
+
+    def define(self, name, entry, node):
+        if name in self.symbols:
+            _err(node, f"redefinition of {name!r}")
+        self.symbols[name] = entry
+
+    def lookup(self, name):
+        scope = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+
+class _Symbol:
+    """A named slot: either a scalar (pointer to T) or an array pointer."""
+
+    def __init__(self, pointer, element_type, is_array):
+        self.pointer = pointer
+        self.element_type = element_type
+        self.is_array = is_array
+
+
+class IRGenerator:
+    def __init__(self, program, module_name="module"):
+        self.program = program
+        self.module = Module(module_name)
+        self.builder = IRBuilder()
+        self.function = None
+        self.globals_scope = _Scope()
+        self.scope = self.globals_scope
+        self.loop_stack = []  # (continue_target, break_target)
+
+    # -- entry -------------------------------------------------------------
+    def generate(self):
+        functions = [d for d in self.program.declarations
+                     if isinstance(d, ast.FunctionDef)]
+        globals_ = [d for d in self.program.declarations
+                    if isinstance(d, ast.GlobalDecl)]
+        for decl in globals_:
+            self._gen_global(decl)
+        # Two passes over functions so forward references work.
+        for decl in functions:
+            self._declare_function(decl)
+        for decl in functions:
+            self._gen_function(decl)
+        if "main" not in self.module.functions:
+            raise SemanticError("program has no 'main' function")
+        return self.module
+
+    # -- globals ----------------------------------------------------------------
+    def _gen_global(self, decl):
+        element = _TYPE_MAP[decl.type_name]
+        if decl.array_size is not None:
+            value_type = ArrayType(element, decl.array_size)
+            init = None
+            if decl.initializer is not None:
+                if not isinstance(decl.initializer, list):
+                    _err(decl, "array initializer must be a brace list")
+                if len(decl.initializer) > decl.array_size:
+                    _err(decl, "too many initializer elements")
+                init = [self._const_expr(e, element)
+                        for e in decl.initializer]
+        else:
+            value_type = element
+            init = None
+            if decl.initializer is not None:
+                init = self._const_expr(decl.initializer, element)
+        gv = GlobalVariable(decl.name, value_type, init, decl.is_const)
+        self.module.add_global(gv)
+        symbol = _Symbol(gv, element, decl.array_size is not None)
+        self.globals_scope.define(decl.name, symbol, decl)
+
+    def _const_expr(self, expr, target_type):
+        value = self._const_eval(expr)
+        if target_type.is_float():
+            return float(value)
+        if isinstance(value, float):
+            _err(expr, "float value in int initializer")
+        return I64.wrap(int(value))
+
+    def _const_eval(self, expr):
+        if isinstance(expr, ast.IntLiteral):
+            return expr.value
+        if isinstance(expr, ast.FloatLiteral):
+            return expr.value
+        if isinstance(expr, ast.Unary) and expr.op == "-":
+            return -self._const_eval(expr.operand)
+        if isinstance(expr, ast.Binary):
+            lhs = self._const_eval(expr.lhs)
+            rhs = self._const_eval(expr.rhs)
+            ops = {"+": lambda a, b: a + b, "-": lambda a, b: a - b,
+                   "*": lambda a, b: a * b,
+                   "/": lambda a, b: a / b if isinstance(a, float) else
+                   int(a / b)}
+            if expr.op in ops:
+                return ops[expr.op](lhs, rhs)
+        _err(expr, "initializer is not a constant expression")
+
+    # -- functions --------------------------------------------------------------
+    def _declare_function(self, decl):
+        params = []
+        for param in decl.params:
+            base = _TYPE_MAP[param.type_name]
+            params.append(PointerType(base) if param.is_array else base)
+        ftype = FunctionType(_TYPE_MAP[decl.return_type], params)
+        function = Function(decl.name, ftype)
+        try:
+            self.module.add_function(function)
+        except ValueError:
+            _err(decl, f"redefinition of function {decl.name!r}")
+
+    def _gen_function(self, decl):
+        self.function = self.module.get_function(decl.name)
+        entry = self.function.append_block("entry")
+        self.builder.set_insert_point(entry)
+        self.scope = _Scope(self.globals_scope)
+        for param, arg in zip(decl.params, self.function.args):
+            arg.name = param.name
+            if param.is_array:
+                symbol = _Symbol(arg, arg.type.pointee, True)
+            else:
+                slot = self.builder.alloca(arg.type, name=f"{param.name}_addr")
+                self.builder.store(arg, slot)
+                symbol = _Symbol(slot, arg.type, False)
+            self.scope.define(param.name, symbol, decl)
+        self._gen_block(decl.body)
+        self._seal_blocks(decl)
+        self.scope = self.globals_scope
+        self.function = None
+
+    def _seal_blocks(self, decl):
+        """Give every dangling block an implicit return."""
+        ret = self.function.ftype.ret
+        for block in self.function.blocks:
+            if block.terminator() is None:
+                self.builder.set_insert_point(block)
+                if ret.is_void():
+                    self.builder.ret()
+                elif ret.is_float():
+                    self.builder.ret(ConstantFloat(F64, 0.0))
+                else:
+                    self.builder.ret(ConstantInt(I64, 0))
+
+    # -- statements ----------------------------------------------------------------
+    def _gen_block(self, block):
+        outer = self.scope
+        self.scope = _Scope(outer)
+        for stmt in block.statements:
+            self._gen_stmt(stmt)
+        self.scope = outer
+
+    def _gen_stmt(self, stmt):
+        if isinstance(stmt, ast.Block):
+            self._gen_block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            self._gen_var_decl(stmt)
+        elif isinstance(stmt, ast.Assign):
+            self._gen_assign(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._gen_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._gen_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._gen_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._gen_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._gen_return(stmt)
+        elif isinstance(stmt, ast.Break):
+            self._gen_break(stmt)
+        elif isinstance(stmt, ast.Continue):
+            self._gen_continue(stmt)
+        else:
+            _err(stmt, f"cannot generate code for {type(stmt).__name__}")
+
+    def _entry_alloca(self, allocated_type, name):
+        """Allocate local slots in the entry block (as clang does), so
+        every activation has one stable slot per local and mem2reg sees
+        all of them."""
+        from repro.ir import AllocaInst
+        slot = AllocaInst(allocated_type, name)
+        slot.name = f"{name}.{self.function.next_name('a')}"
+        self.function.entry.insert(0, slot)
+        return slot
+
+    def _gen_var_decl(self, stmt):
+        element = _TYPE_MAP[stmt.type_name]
+        if stmt.array_size is not None:
+            slot = self._entry_alloca(ArrayType(element, stmt.array_size),
+                                      stmt.name)
+            symbol = _Symbol(slot, element, True)
+            if stmt.initializer is not None:
+                _err(stmt, "local array initializers are not supported")
+        else:
+            slot = self._entry_alloca(element, stmt.name)
+            symbol = _Symbol(slot, element, False)
+            if stmt.initializer is not None:
+                value = self._gen_expr(stmt.initializer)
+                value = self._convert(value, element, stmt)
+                self.builder.store(value, slot)
+        self.scope.define(stmt.name, symbol, stmt)
+
+    def _gen_assign(self, stmt):
+        pointer, element = self._gen_lvalue(stmt.target)
+        value = self._gen_expr(stmt.value)
+        value = self._convert(value, element, stmt)
+        self.builder.store(value, pointer)
+
+    def _gen_lvalue(self, target):
+        if isinstance(target, ast.Identifier):
+            symbol = self._lookup(target)
+            if symbol.is_array:
+                _err(target, f"cannot assign to array {target.name!r}")
+            return symbol.pointer, symbol.element_type
+        if isinstance(target, ast.Index):
+            symbol = self._lookup(target.base)
+            if not symbol.is_array:
+                _err(target, f"{target.base.name!r} is not an array")
+            index = self._to_int(self._gen_expr(target.index), target)
+            pointer = self.builder.gep(symbol.pointer, index)
+            return pointer, symbol.element_type
+        _err(target, "invalid assignment target")
+
+    def _gen_if(self, stmt):
+        condition = self._gen_condition(stmt.condition)
+        then_block = self.function.append_block("if.then")
+        merge_block = self.function.append_block("if.end")
+        else_block = merge_block
+        if stmt.else_body is not None:
+            else_block = self.function.append_block("if.else")
+        self.builder.cond_br(condition, then_block, else_block)
+        self.builder.set_insert_point(then_block)
+        self._gen_stmt(stmt.then_body)
+        if self.builder.block.terminator() is None:
+            self.builder.br(merge_block)
+        if stmt.else_body is not None:
+            self.builder.set_insert_point(else_block)
+            self._gen_stmt(stmt.else_body)
+            if self.builder.block.terminator() is None:
+                self.builder.br(merge_block)
+        self.builder.set_insert_point(merge_block)
+
+    def _gen_while(self, stmt):
+        header = self.function.append_block("while.cond")
+        body = self.function.append_block("while.body")
+        exit_block = self.function.append_block("while.end")
+        self.builder.br(header)
+        self.builder.set_insert_point(header)
+        condition = self._gen_condition(stmt.condition)
+        self.builder.cond_br(condition, body, exit_block)
+        self.builder.set_insert_point(body)
+        self.loop_stack.append((header, exit_block))
+        self._gen_stmt(stmt.body)
+        self.loop_stack.pop()
+        if self.builder.block.terminator() is None:
+            self.builder.br(header)
+        self.builder.set_insert_point(exit_block)
+
+    def _gen_for(self, stmt):
+        outer = self.scope
+        self.scope = _Scope(outer)
+        if stmt.init is not None:
+            self._gen_stmt(stmt.init)
+        header = self.function.append_block("for.cond")
+        body = self.function.append_block("for.body")
+        step_block = self.function.append_block("for.step")
+        exit_block = self.function.append_block("for.end")
+        self.builder.br(header)
+        self.builder.set_insert_point(header)
+        if stmt.condition is not None:
+            condition = self._gen_condition(stmt.condition)
+            self.builder.cond_br(condition, body, exit_block)
+        else:
+            self.builder.br(body)
+        self.builder.set_insert_point(body)
+        self.loop_stack.append((step_block, exit_block))
+        self._gen_stmt(stmt.body)
+        self.loop_stack.pop()
+        if self.builder.block.terminator() is None:
+            self.builder.br(step_block)
+        self.builder.set_insert_point(step_block)
+        if stmt.step is not None:
+            self._gen_stmt(stmt.step)
+        self.builder.br(header)
+        self.builder.set_insert_point(exit_block)
+        self.scope = outer
+
+    def _gen_return(self, stmt):
+        ret = self.function.ftype.ret
+        if ret.is_void():
+            if stmt.value is not None:
+                _err(stmt, "void function cannot return a value")
+            self.builder.ret()
+        else:
+            if stmt.value is None:
+                _err(stmt, "non-void function must return a value")
+            value = self._convert(self._gen_expr(stmt.value), ret, stmt)
+            self.builder.ret(value)
+        # Code after a return lands in a fresh (unreachable) block.
+        dead = self.function.append_block("dead")
+        self.builder.set_insert_point(dead)
+
+    def _gen_break(self, stmt):
+        if not self.loop_stack:
+            _err(stmt, "break outside of a loop")
+        self.builder.br(self.loop_stack[-1][1])
+        self.builder.set_insert_point(self.function.append_block("dead"))
+
+    def _gen_continue(self, stmt):
+        if not self.loop_stack:
+            _err(stmt, "continue outside of a loop")
+        self.builder.br(self.loop_stack[-1][0])
+        self.builder.set_insert_point(self.function.append_block("dead"))
+
+    # -- expressions -------------------------------------------------------------
+    def _gen_expr(self, expr):
+        if isinstance(expr, ast.IntLiteral):
+            return ConstantInt(I64, expr.value)
+        if isinstance(expr, ast.FloatLiteral):
+            return ConstantFloat(F64, expr.value)
+        if isinstance(expr, ast.Identifier):
+            symbol = self._lookup(expr)
+            if symbol.is_array:
+                _err(expr, f"array {expr.name!r} used as a scalar")
+            return self.builder.load(symbol.pointer)
+        if isinstance(expr, ast.Index):
+            pointer, _ = self._gen_lvalue(expr)
+            return self.builder.load(pointer)
+        if isinstance(expr, ast.Unary):
+            return self._gen_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._gen_binary(expr)
+        if isinstance(expr, ast.Ternary):
+            return self._gen_ternary(expr)
+        if isinstance(expr, ast.Call):
+            return self._gen_call(expr)
+        _err(expr, f"cannot generate code for {type(expr).__name__}")
+
+    def _gen_unary(self, expr):
+        value = self._gen_expr(expr.operand)
+        if expr.op == "-":
+            if value.type.is_float():
+                return self.builder.fsub(ConstantFloat(F64, 0.0), value)
+            return self.builder.sub(ConstantInt(I64, 0), value)
+        if expr.op == "!":
+            condition = self._to_i1(value, expr)
+            flipped = self.builder.icmp("eq", condition, ConstantInt(I1, 0))
+            return self.builder.cast("zext", flipped, I64)
+        if expr.op == "~":
+            value = self._to_int(value, expr)
+            return self.builder.binop("xor", value, ConstantInt(I64, -1))
+        _err(expr, f"unknown unary operator {expr.op!r}")
+
+    _CMP_OPS = {"==": ("eq", "oeq"), "!=": ("ne", "one"),
+                "<": ("slt", "olt"), "<=": ("sle", "ole"),
+                ">": ("sgt", "ogt"), ">=": ("sge", "oge")}
+    _INT_ONLY = {"%": "srem", "&": "and", "|": "or", "^": "xor",
+                 "<<": "shl", ">>": "ashr"}
+    _ARITH = {"+": ("add", "fadd"), "-": ("sub", "fsub"),
+              "*": ("mul", "fmul"), "/": ("sdiv", "fdiv")}
+
+    def _gen_binary(self, expr):
+        if expr.op in ("&&", "||"):
+            return self._gen_logical(expr)
+        lhs = self._gen_expr(expr.lhs)
+        rhs = self._gen_expr(expr.rhs)
+        if expr.op in self._CMP_OPS:
+            lhs, rhs, is_float = self._unify(lhs, rhs, expr)
+            int_pred, float_pred = self._CMP_OPS[expr.op]
+            if is_float:
+                bit = self.builder.fcmp(float_pred, lhs, rhs)
+            else:
+                bit = self.builder.icmp(int_pred, lhs, rhs)
+            return self.builder.cast("zext", bit, I64)
+        if expr.op in self._INT_ONLY:
+            lhs = self._to_int(lhs, expr)
+            rhs = self._to_int(rhs, expr)
+            return self.builder.binop(self._INT_ONLY[expr.op], lhs, rhs)
+        if expr.op in self._ARITH:
+            lhs, rhs, is_float = self._unify(lhs, rhs, expr)
+            int_op, float_op = self._ARITH[expr.op]
+            return self.builder.binop(float_op if is_float else int_op,
+                                      lhs, rhs)
+        _err(expr, f"unknown binary operator {expr.op!r}")
+
+    def _gen_logical(self, expr):
+        """Short-circuit && / || producing an i64 0/1."""
+        rhs_block = self.function.append_block("logic.rhs")
+        merge = self.function.append_block("logic.end")
+        lhs = self._to_i1(self._gen_expr(expr.lhs), expr)
+        lhs_block = self.builder.block
+        if expr.op == "&&":
+            self.builder.cond_br(lhs, rhs_block, merge)
+        else:
+            self.builder.cond_br(lhs, merge, rhs_block)
+        self.builder.set_insert_point(rhs_block)
+        rhs = self._to_i1(self._gen_expr(expr.rhs), expr)
+        rhs_exit = self.builder.block
+        self.builder.br(merge)
+        self.builder.set_insert_point(merge)
+        phi = self.builder.phi(I1)
+        short_value = ConstantInt(I1, 0 if expr.op == "&&" else 1)
+        phi.add_incoming(short_value, lhs_block)
+        phi.add_incoming(rhs, rhs_exit)
+        return self.builder.cast("zext", phi, I64)
+
+    def _gen_ternary(self, expr):
+        condition = self._gen_condition(expr.condition)
+        then_block = self.function.append_block("sel.then")
+        else_block = self.function.append_block("sel.else")
+        merge = self.function.append_block("sel.end")
+        self.builder.cond_br(condition, then_block, else_block)
+        self.builder.set_insert_point(then_block)
+        then_value = self._gen_expr(expr.then_value)
+        then_exit = self.builder.block
+        self.builder.set_insert_point(else_block)
+        else_value = self._gen_expr(expr.else_value)
+        else_exit = self.builder.block
+        if then_value.type != else_value.type:
+            if then_value.type.is_float() or else_value.type.is_float():
+                self.builder.set_insert_point(then_exit)
+                then_value = self._convert(then_value, F64, expr)
+                then_exit = self.builder.block
+                self.builder.set_insert_point(else_exit)
+                else_value = self._convert(else_value, F64, expr)
+                else_exit = self.builder.block
+            else:
+                _err(expr, "ternary arms have incompatible types")
+        self.builder.set_insert_point(then_exit)
+        self.builder.br(merge)
+        self.builder.set_insert_point(else_exit)
+        self.builder.br(merge)
+        self.builder.set_insert_point(merge)
+        phi = self.builder.phi(then_value.type)
+        phi.add_incoming(then_value, then_exit)
+        phi.add_incoming(else_value, else_exit)
+        return phi
+
+    def _gen_call(self, expr):
+        if expr.name in INTRINSICS:
+            return self._gen_intrinsic_call(expr)
+        function = self.module.functions.get(expr.name)
+        if function is None:
+            _err(expr, f"call to undefined function {expr.name!r}")
+        params = function.ftype.params
+        if len(params) != len(expr.args):
+            _err(expr, f"{expr.name!r} expects {len(params)} arguments, "
+                       f"got {len(expr.args)}")
+        args = []
+        for arg_expr, ptype in zip(expr.args, params):
+            if ptype.is_pointer():
+                if not isinstance(arg_expr, ast.Identifier):
+                    _err(arg_expr, "array argument must be an array name")
+                symbol = self._lookup(arg_expr)
+                if not symbol.is_array:
+                    _err(arg_expr, f"{arg_expr.name!r} is not an array")
+                pointer = symbol.pointer
+                if pointer.type != ptype:
+                    if pointer.type.pointee.is_array():
+                        pointer = self.builder.gep(pointer,
+                                                   ConstantInt(I64, 0))
+                    else:
+                        _err(arg_expr, "array element type mismatch")
+                args.append(pointer)
+            else:
+                value = self._gen_expr(arg_expr)
+                args.append(self._convert(value, ptype, arg_expr))
+        return self.builder.call(function, args)
+
+    def _gen_intrinsic_call(self, expr):
+        name = expr.name
+        if name in ("memset", "memcpy"):
+            _err(expr, f"{name} is compiler-internal")
+        param_types = intrinsic_param_types(name)
+        if len(param_types) != len(expr.args):
+            _err(expr, f"{name!r} expects {len(param_types)} arguments")
+        args = []
+        for arg_expr, ptype in zip(expr.args, param_types):
+            value = self._gen_expr(arg_expr)
+            args.append(self._convert(value, ptype, arg_expr))
+        return self.builder.call(name, args)
+
+    # -- conversions -------------------------------------------------------------
+    def _gen_condition(self, expr):
+        return self._to_i1(self._gen_expr(expr), expr)
+
+    def _to_i1(self, value, node):
+        if value.type == I1:
+            return value
+        if value.type.is_float():
+            return self.builder.fcmp("one", value, ConstantFloat(F64, 0.0))
+        if value.type.is_int():
+            return self.builder.icmp("ne", value,
+                                     ConstantInt(value.type, 0))
+        _err(node, f"value of type {value.type} is not a condition")
+
+    def _to_int(self, value, node):
+        if value.type == I64:
+            return value
+        if value.type == I1:
+            return self.builder.cast("zext", value, I64)
+        if value.type.is_float():
+            return self.builder.cast("fptosi", value, I64)
+        _err(node, f"cannot convert {value.type} to int")
+
+    def _unify(self, lhs, rhs, node):
+        """Apply the usual arithmetic conversions to a binary pair."""
+        lhs = self._normalize_scalar(lhs, node)
+        rhs = self._normalize_scalar(rhs, node)
+        if lhs.type.is_float() or rhs.type.is_float():
+            return (self._convert(lhs, F64, node),
+                    self._convert(rhs, F64, node), True)
+        return lhs, rhs, False
+
+    def _normalize_scalar(self, value, node):
+        """Widen i1 results (from comparisons) to i64, reject pointers."""
+        if value.type == I1:
+            return self.builder.cast("zext", value, I64)
+        if not value.type.is_scalar():
+            _err(node, f"value of type {value.type} in arithmetic")
+        return value
+
+    def _convert(self, value, target, node):
+        if value.type == target:
+            return value
+        if target.is_float() and value.type.is_int():
+            value = self._to_int(value, node)
+            return self.builder.sitofp(value)
+        if target == I64 and value.type.is_float():
+            return self.builder.cast("fptosi", value, I64)
+        if target == I64 and value.type == I1:
+            return self.builder.cast("zext", value, I64)
+        _err(node, f"cannot convert {value.type} to {target}")
+
+    def _lookup(self, node):
+        symbol = self.scope.lookup(node.name)
+        if symbol is None:
+            _err(node, f"use of undeclared identifier {node.name!r}")
+        return symbol
+
+
+def compile_source(source, module_name="module"):
+    """Parse and lower mini-C ``source`` into an IR :class:`Module`."""
+    program = parse(source)
+    return IRGenerator(program, module_name).generate()

@@ -1,0 +1,110 @@
+"""Lexer for the mini-C language used to express workloads."""
+
+from repro.errors import LexerError
+
+KEYWORDS = frozenset({
+    "int", "float", "void", "if", "else", "while", "for", "return",
+    "break", "continue", "const",
+})
+
+# Multi-character operators first so maximal munch works.
+OPERATORS = (
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+    "++", "--", "<<", ">>",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+)
+
+
+class Token:
+    __slots__ = ("kind", "text", "value", "line", "column")
+
+    def __init__(self, kind, text, value=None, line=0, column=0):
+        self.kind = kind      # 'ident', 'keyword', 'int', 'float', 'op', 'eof'
+        self.text = text
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def __repr__(self):
+        return f"<Token {self.kind} {self.text!r} @{self.line}:{self.column}>"
+
+
+def tokenize(source):
+    """Convert source text into a list of tokens (EOF token included)."""
+    tokens = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        column = i - line_start + 1
+        # Comments.
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise LexerError("unterminated block comment", line, column)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        # Identifiers / keywords.
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, None, line, column))
+            i = j
+            continue
+        # Numbers.
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            is_float = False
+            while j < n and source[j].isdigit():
+                j += 1
+            if j < n and source[j] == ".":
+                is_float = True
+                j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            if j < n and source[j] in "eE":
+                is_float = True
+                j += 1
+                if j < n and source[j] in "+-":
+                    j += 1
+                if j >= n or not source[j].isdigit():
+                    raise LexerError("malformed exponent", line, column)
+                while j < n and source[j].isdigit():
+                    j += 1
+            text = source[i:j]
+            if is_float:
+                tokens.append(Token("float", text, float(text), line, column))
+            else:
+                tokens.append(Token("int", text, int(text), line, column))
+            i = j
+            continue
+        # Operators / punctuation.
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, None, line, column))
+                i += len(op)
+                break
+        else:
+            raise LexerError(f"unexpected character {ch!r}", line, column)
+    tokens.append(Token("eof", "", None, line, (n - line_start) + 1))
+    return tokens

@@ -1,0 +1,331 @@
+"""Recursive-descent parser for the mini-C language."""
+
+from repro.errors import ParserError
+from repro.lang import ast
+from repro.lang.lexer import tokenize
+
+# Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_COMPOUND_OPS = {"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+                 "<<=": "<<", ">>=": ">>"}
+
+
+class Parser:
+    def __init__(self, source):
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token helpers --------------------------------------------------------
+    @property
+    def current(self):
+        return self.tokens[self.pos]
+
+    def _loc(self):
+        token = self.current
+        return {"line": token.line, "column": token.column}
+
+    def advance(self):
+        token = self.current
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def check(self, kind, text=None):
+        token = self.current
+        if token.kind != kind:
+            return False
+        return text is None or token.text == text
+
+    def accept(self, kind, text=None):
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind, text=None):
+        if self.check(kind, text):
+            return self.advance()
+        token = self.current
+        expected = text if text is not None else kind
+        raise ParserError(
+            f"expected {expected!r}, found {token.text or token.kind!r}",
+            token.line, token.column)
+
+    # -- top level ---------------------------------------------------------------
+    def parse_program(self):
+        loc = self._loc()
+        declarations = []
+        while not self.check("eof"):
+            declarations.append(self._declaration())
+        return ast.Program(declarations, **loc)
+
+    def _declaration(self):
+        loc = self._loc()
+        is_const = bool(self.accept("keyword", "const"))
+        type_token = self.expect("keyword")
+        if type_token.text not in ("int", "float", "void"):
+            raise ParserError(f"expected a type, found {type_token.text!r}",
+                              type_token.line, type_token.column)
+        name = self.expect("ident").text
+        if self.check("op", "("):
+            if is_const:
+                raise ParserError("functions cannot be const",
+                                  type_token.line, type_token.column)
+            return self._function_rest(type_token.text, name, loc)
+        return self._global_rest(type_token.text, name, is_const, loc)
+
+    def _function_rest(self, return_type, name, loc):
+        self.expect("op", "(")
+        params = []
+        if not self.check("op", ")"):
+            while True:
+                ploc = self._loc()
+                ptype = self.expect("keyword")
+                if ptype.text not in ("int", "float"):
+                    raise ParserError(
+                        f"invalid parameter type {ptype.text!r}",
+                        ptype.line, ptype.column)
+                pname = self.expect("ident").text
+                is_array = False
+                if self.accept("op", "["):
+                    self.expect("op", "]")
+                    is_array = True
+                params.append(ast.Param(ptype.text, pname, is_array, **ploc))
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        body = self._block()
+        return ast.FunctionDef(return_type, name, params, body, **loc)
+
+    def _global_rest(self, type_name, name, is_const, loc):
+        if type_name == "void":
+            raise ParserError("void variables are not allowed",
+                              loc["line"], loc["column"])
+        array_size = None
+        if self.accept("op", "["):
+            array_size = self.expect("int").value
+            self.expect("op", "]")
+        initializer = None
+        if self.accept("op", "="):
+            if self.accept("op", "{"):
+                initializer = []
+                if not self.check("op", "}"):
+                    while True:
+                        initializer.append(self._expression())
+                        if not self.accept("op", ","):
+                            break
+                self.expect("op", "}")
+            else:
+                initializer = self._expression()
+        self.expect("op", ";")
+        return ast.GlobalDecl(type_name, name, array_size, initializer,
+                              is_const, **loc)
+
+    # -- statements ----------------------------------------------------------------
+    def _block(self):
+        loc = self._loc()
+        self.expect("op", "{")
+        statements = []
+        while not self.check("op", "}"):
+            statements.append(self._statement())
+        self.expect("op", "}")
+        return ast.Block(statements, **loc)
+
+    def _statement(self):
+        loc = self._loc()
+        if self.check("op", "{"):
+            return self._block()
+        if self.check("keyword", "int") or self.check("keyword", "float"):
+            return self._var_decl()
+        if self.accept("keyword", "if"):
+            self.expect("op", "(")
+            condition = self._expression()
+            self.expect("op", ")")
+            then_body = self._statement()
+            else_body = None
+            if self.accept("keyword", "else"):
+                else_body = self._statement()
+            return ast.If(condition, then_body, else_body, **loc)
+        if self.accept("keyword", "while"):
+            self.expect("op", "(")
+            condition = self._expression()
+            self.expect("op", ")")
+            return ast.While(condition, self._statement(), **loc)
+        if self.accept("keyword", "for"):
+            return self._for(loc)
+        if self.accept("keyword", "return"):
+            value = None
+            if not self.check("op", ";"):
+                value = self._expression()
+            self.expect("op", ";")
+            return ast.Return(value, **loc)
+        if self.accept("keyword", "break"):
+            self.expect("op", ";")
+            return ast.Break(**loc)
+        if self.accept("keyword", "continue"):
+            self.expect("op", ";")
+            return ast.Continue(**loc)
+        stmt = self._simple_statement()
+        self.expect("op", ";")
+        return stmt
+
+    def _var_decl(self):
+        loc = self._loc()
+        type_name = self.advance().text
+        name = self.expect("ident").text
+        array_size = None
+        if self.accept("op", "["):
+            array_size = self.expect("int").value
+            self.expect("op", "]")
+        initializer = None
+        if self.accept("op", "="):
+            initializer = self._expression()
+        self.expect("op", ";")
+        return ast.VarDecl(type_name, name, array_size, initializer, **loc)
+
+    def _for(self, loc):
+        self.expect("op", "(")
+        init = None
+        if not self.check("op", ";"):
+            if self.check("keyword", "int") or self.check("keyword", "float"):
+                init = self._var_decl()  # consumes the ';'
+            else:
+                init = self._simple_statement()
+                self.expect("op", ";")
+        else:
+            self.expect("op", ";")
+        condition = None
+        if not self.check("op", ";"):
+            condition = self._expression()
+        self.expect("op", ";")
+        step = None
+        if not self.check("op", ")"):
+            step = self._simple_statement()
+        self.expect("op", ")")
+        return ast.For(init, condition, step, self._statement(), **loc)
+
+    def _simple_statement(self):
+        """Assignment, compound assignment, increment, or expression."""
+        loc = self._loc()
+        expr = self._expression()
+        if self.check("op", "="):
+            self.advance()
+            value = self._expression()
+            self._check_assignable(expr, loc)
+            return ast.Assign(expr, value, **loc)
+        for compound, op in _COMPOUND_OPS.items():
+            if self.check("op", compound):
+                self.advance()
+                value = self._expression()
+                self._check_assignable(expr, loc)
+                return ast.Assign(expr, ast.Binary(op, expr, value, **loc),
+                                  **loc)
+        if self.check("op", "++") or self.check("op", "--"):
+            token = self.advance()
+            op = "+" if token.text == "++" else "-"
+            self._check_assignable(expr, loc)
+            one = ast.IntLiteral(1, **loc)
+            return ast.Assign(expr, ast.Binary(op, expr, one, **loc), **loc)
+        return ast.ExprStmt(expr, **loc)
+
+    @staticmethod
+    def _check_assignable(expr, loc):
+        if not isinstance(expr, (ast.Identifier, ast.Index)):
+            raise ParserError("target of assignment is not an lvalue",
+                              loc["line"], loc["column"])
+
+    # -- expressions -------------------------------------------------------------
+    def _expression(self):
+        return self._ternary()
+
+    def _ternary(self):
+        loc = self._loc()
+        condition = self._binary(1)
+        if self.accept("op", "?"):
+            then_value = self._expression()
+            self.expect("op", ":")
+            else_value = self._expression()
+            return ast.Ternary(condition, then_value, else_value, **loc)
+        return condition
+
+    def _binary(self, min_precedence):
+        loc = self._loc()
+        lhs = self._unary()
+        while True:
+            token = self.current
+            if token.kind != "op":
+                return lhs
+            precedence = _PRECEDENCE.get(token.text)
+            if precedence is None or precedence < min_precedence:
+                return lhs
+            self.advance()
+            rhs = self._binary(precedence + 1)
+            lhs = ast.Binary(token.text, lhs, rhs, **loc)
+
+    def _unary(self):
+        loc = self._loc()
+        if self.accept("op", "-"):
+            return ast.Unary("-", self._unary(), **loc)
+        if self.accept("op", "!"):
+            return ast.Unary("!", self._unary(), **loc)
+        if self.accept("op", "~"):
+            return ast.Unary("~", self._unary(), **loc)
+        if self.accept("op", "+"):
+            return self._unary()
+        return self._postfix()
+
+    def _postfix(self):
+        loc = self._loc()
+        expr = self._primary()
+        while True:
+            if self.check("op", "[") and isinstance(expr, ast.Identifier):
+                self.advance()
+                index = self._expression()
+                self.expect("op", "]")
+                expr = ast.Index(expr, index, **loc)
+            else:
+                return expr
+
+    def _primary(self):
+        loc = self._loc()
+        token = self.current
+        if token.kind == "int":
+            self.advance()
+            return ast.IntLiteral(token.value, **loc)
+        if token.kind == "float":
+            self.advance()
+            return ast.FloatLiteral(token.value, **loc)
+        if token.kind == "ident":
+            self.advance()
+            if self.accept("op", "("):
+                args = []
+                if not self.check("op", ")"):
+                    while True:
+                        args.append(self._expression())
+                        if not self.accept("op", ","):
+                            break
+                self.expect("op", ")")
+                return ast.Call(token.text, args, **loc)
+            return ast.Identifier(token.text, **loc)
+        if self.accept("op", "("):
+            expr = self._expression()
+            self.expect("op", ")")
+            return expr
+        raise ParserError(f"unexpected token {token.text or token.kind!r}",
+                          token.line, token.column)
+
+
+def parse(source):
+    """Parse mini-C source text into a :class:`repro.lang.ast.Program`."""
+    return Parser(source).parse_program()

@@ -1,0 +1,90 @@
+"""Regression models of the paper's Table IV, implemented from scratch.
+
+========================== ======================
+Paper name                 Registry name
+========================== ======================
+Ridge                      ``ridge``
+Kernel Ridge               ``kernel-ridge``
+Bayesian Ridge             ``bayesian-ridge``
+Linear                     ``linear``
+SGD                        ``sgd``
+Passive-Aggressive         ``passive-aggressive``
+ARD                        ``ard``
+Huber                      ``huber``
+Theil-Sen                  ``theil-sen``
+LARS                       ``lars``
+Lasso                      ``lasso``
+Lasso-LARS                 ``lasso-lars``
+Support Vector             ``svr``
+Nu-Support Vector          ``nu-svr``
+Linear Support Vector      ``linear-svr``
+ElasticNet                 ``elasticnet``
+Orthogonal Matching P.     ``omp``
+Multi-Layer Perceptron     ``mlp``
+Decision Tree              ``decision-tree``
+Extra Tree                 ``extra-tree``
+Random Forest              ``random-forest``
+========================== ======================
+"""
+
+from repro.models.base import (
+    MODEL_REGISTRY,
+    Regressor,
+    available_models,
+    create_model,
+    max_percentage_error,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    r2_score,
+    register_model,
+    root_mean_squared_error,
+)
+from repro.models.linear import (
+    ARDRegression,
+    BayesianRidge,
+    HuberRegressor,
+    LinearRegression,
+    PassiveAggressiveRegressor,
+    Ridge,
+    SGDRegressor,
+    TheilSenRegressor,
+)
+from repro.models.sparse import (
+    LARS,
+    Lasso,
+    LassoLars,
+    ElasticNet,
+    OrthogonalMatchingPursuit,
+)
+from repro.models.kernels import KernelRidge, LinearSVR, NuSVR, SVR
+from repro.models.trees import (
+    DecisionTreeRegressor,
+    ExtraTreeRegressor,
+    RandomForestRegressor,
+)
+from repro.models.mlp import MLPRegressor
+
+TABLE_IV_MODELS = (
+    "ridge", "kernel-ridge", "bayesian-ridge",
+    "linear", "sgd", "passive-aggressive",
+    "ard", "huber", "theil-sen",
+    "lars", "lasso", "lasso-lars",
+    "svr", "nu-svr", "linear-svr",
+    "elasticnet", "omp", "mlp",
+    "decision-tree", "extra-tree", "random-forest",
+)
+
+__all__ = [
+    "Regressor", "MODEL_REGISTRY", "available_models", "create_model",
+    "register_model", "TABLE_IV_MODELS",
+    "r2_score", "mean_absolute_error", "root_mean_squared_error",
+    "mean_absolute_percentage_error", "max_percentage_error",
+    "LinearRegression", "Ridge", "BayesianRidge", "ARDRegression",
+    "SGDRegressor", "PassiveAggressiveRegressor", "HuberRegressor",
+    "TheilSenRegressor",
+    "LARS", "Lasso", "LassoLars", "ElasticNet",
+    "OrthogonalMatchingPursuit",
+    "KernelRidge", "SVR", "NuSVR", "LinearSVR",
+    "DecisionTreeRegressor", "ExtraTreeRegressor",
+    "RandomForestRegressor", "MLPRegressor",
+]

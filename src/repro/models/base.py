@@ -1,0 +1,84 @@
+"""Regressor protocol, registry (paper Table IV), and metrics."""
+
+import numpy as np
+
+MODEL_REGISTRY = {}
+
+
+def register_model(name):
+    def decorate(cls):
+        MODEL_REGISTRY[name] = cls
+        cls.model_name = name
+        return cls
+    return decorate
+
+
+def available_models():
+    return sorted(MODEL_REGISTRY)
+
+
+def create_model(name, **kwargs):
+    try:
+        factory = MODEL_REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown model {name!r}") from None
+    return factory(**kwargs)
+
+
+class Regressor:
+    """fit/predict protocol for scalar-target regression."""
+
+    model_name = "<abstract>"
+
+    def fit(self, X, y):
+        raise NotImplementedError
+
+    def predict(self, X):
+        raise NotImplementedError
+
+    def score(self, X, y):
+        """R² score (higher is better; the Alg. 1 'accuracy')."""
+        return r2_score(y, self.predict(X))
+
+
+def _as_xy(X, y=None):
+    X = np.asarray(X, dtype=float)
+    if y is None:
+        return X
+    return X, np.asarray(y, dtype=float)
+
+
+# -- metrics -----------------------------------------------------------------
+
+def r2_score(y_true, y_pred):
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    ss_res = np.sum((y_true - y_pred) ** 2)
+    ss_tot = np.sum((y_true - y_true.mean()) ** 2)
+    if ss_tot <= 1e-24:
+        return 1.0 if ss_res <= 1e-24 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def mean_absolute_error(y_true, y_pred):
+    return float(np.mean(np.abs(np.asarray(y_true) - np.asarray(y_pred))))
+
+
+def root_mean_squared_error(y_true, y_pred):
+    return float(np.sqrt(np.mean(
+        (np.asarray(y_true) - np.asarray(y_pred)) ** 2)))
+
+
+def mean_absolute_percentage_error(y_true, y_pred):
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    denom = np.maximum(np.abs(y_true), 1e-12)
+    return float(np.mean(np.abs(y_true - y_pred) / denom))
+
+
+def max_percentage_error(y_true, y_pred):
+    """The paper's headline PE metric (< 2%)."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    denom = np.maximum(np.abs(y_true), 1e-12)
+    return float(np.max(np.abs(y_true - y_pred) / denom))

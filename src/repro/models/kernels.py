@@ -1,0 +1,174 @@
+"""Kernel models (Table IV): Kernel Ridge, SVR, Nu-SVR, Linear SVR."""
+
+import numpy as np
+
+from repro.models.base import Regressor, register_model, _as_xy
+from repro.models.linear import _LinearBase
+
+
+def _rbf(A, B, gamma):
+    sq = (np.sum(A ** 2, axis=1)[:, None]
+          + np.sum(B ** 2, axis=1)[None, :]
+          - 2.0 * A @ B.T)
+    return np.exp(-gamma * np.maximum(sq, 0.0))
+
+
+class _KernelBase(Regressor):
+    def _standardize_fit(self, X, y):
+        X, y = _as_xy(X, y)
+        self._x_mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self._x_scale = scale
+        self._y_mean = y.mean()
+        self._y_scale = max(y.std(), 1e-12)
+        Xs = (X - self._x_mean) / self._x_scale
+        ys = (y - self._y_mean) / self._y_scale
+        return Xs, ys
+
+    def _standardize_x(self, X):
+        Z = (np.asarray(X, dtype=float) - self._x_mean) / self._x_scale
+        # Clamp far-out-of-hull points (see _LinearBase.predict).
+        return np.clip(Z, -8.0, 8.0)
+
+
+@register_model("kernel-ridge")
+class KernelRidge(_KernelBase):
+    def __init__(self, alpha=0.1, gamma=None):
+        self.alpha = alpha
+        self.gamma = gamma
+
+    def fit(self, X, y):
+        Xs, ys = self._standardize_fit(X, y)
+        self.gamma_ = self.gamma or 1.0 / max(Xs.shape[1], 1)
+        K = _rbf(Xs, Xs, self.gamma_)
+        n = K.shape[0]
+        self.X_fit_ = Xs
+        self.dual_coef_ = np.linalg.solve(K + self.alpha * np.eye(n), ys)
+        return self
+
+    def predict(self, X):
+        K = _rbf(self._standardize_x(X), self.X_fit_, self.gamma_)
+        return K @ self.dual_coef_ * self._y_scale + self._y_mean
+
+
+class _SVRBase(_KernelBase):
+    """Epsilon-SVR trained by coordinate descent on the dual.
+
+    The dual variables beta_i = alpha_i - alpha_i* live in [-C, C]; the
+    bias equality constraint is dropped (targets are centered instead,
+    liblinear-style), which makes each coordinate update a closed-form
+    soft-threshold:  beta_i = clip(soft(r_i, eps) / K_ii, -C, C).
+    """
+
+    def __init__(self, C=10.0, epsilon=0.05, gamma=None, iterations=60):
+        self.C = C
+        self.epsilon = epsilon
+        self.gamma = gamma
+        self.iterations = iterations
+
+    def _fit_dual(self, K, ys, epsilon):
+        n = K.shape[0]
+        beta = np.zeros(n)
+        diag = np.diag(K).copy()
+        diag[diag <= 1e-12] = 1.0
+        Kbeta = np.zeros(n)
+        for _ in range(self.iterations):
+            max_delta = 0.0
+            for i in range(n):
+                residual = ys[i] - Kbeta[i] + K[i, i] * beta[i]
+                if residual > epsilon:
+                    target = (residual - epsilon) / diag[i]
+                elif residual < -epsilon:
+                    target = (residual + epsilon) / diag[i]
+                else:
+                    target = 0.0
+                new = float(np.clip(target, -self.C, self.C))
+                delta = new - beta[i]
+                if delta != 0.0:
+                    Kbeta += delta * K[:, i]
+                    beta[i] = new
+                    max_delta = max(max_delta, abs(delta))
+            if max_delta < 1e-6:
+                break
+        return beta
+
+    def predict(self, X):
+        K = _rbf(self._standardize_x(X), self.X_fit_, self.gamma_)
+        raw = K @ self.beta_ + self.intercept_
+        return raw * self._y_scale + self._y_mean
+
+
+@register_model("svr")
+class SVR(_SVRBase):
+    def fit(self, X, y):
+        Xs, ys = self._standardize_fit(X, y)
+        self.gamma_ = self.gamma or 1.0 / max(Xs.shape[1], 1)
+        K = _rbf(Xs, Xs, self.gamma_)
+        self.X_fit_ = Xs
+        self.beta_ = self._fit_dual(K, ys, self.epsilon)
+        residual = ys - K @ self.beta_
+        self.intercept_ = np.median(residual)
+        return self
+
+
+@register_model("nu-svr")
+class NuSVR(_SVRBase):
+    """nu-SVR: epsilon is selected so that roughly a (1 - nu) fraction of
+    training points fall inside the tube."""
+
+    def __init__(self, C=10.0, nu=0.5, gamma=None, iterations=400):
+        super().__init__(C=C, epsilon=0.0, gamma=gamma,
+                         iterations=iterations)
+        self.nu = nu
+
+    def fit(self, X, y):
+        Xs, ys = self._standardize_fit(X, y)
+        self.gamma_ = self.gamma or 1.0 / max(Xs.shape[1], 1)
+        K = _rbf(Xs, Xs, self.gamma_)
+        self.X_fit_ = Xs
+        # Pilot fit without a tube, then set epsilon from the residual
+        # quantile targeted by nu.
+        pilot = self._fit_dual(K, ys, 0.0)
+        residual = np.abs(ys - K @ pilot)
+        epsilon = float(np.quantile(residual, 1.0 - self.nu))
+        self.epsilon_ = epsilon
+        self.beta_ = self._fit_dual(K, ys, epsilon)
+        self.intercept_ = np.median(ys - K @ self.beta_)
+        return self
+
+
+@register_model("linear-svr")
+class LinearSVR(_LinearBase):
+    """Epsilon-insensitive linear regression by subgradient descent."""
+
+    def __init__(self, C=1.0, epsilon=0.05, epochs=300,
+                 learning_rate=0.01, seed=0):
+        self.C = C
+        self.epsilon = epsilon
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.seed = seed
+
+    def fit(self, X, y):
+        Xs, ys = self._prepare(X, y)
+        n, d = Xs.shape
+        # Normalize the target too so epsilon has consistent meaning.
+        y_scale = max(ys.std(), 1e-12)
+        yn = ys / y_scale
+        coef = np.zeros(d)
+        rng = np.random.default_rng(self.seed)
+        for epoch in range(self.epochs):
+            lr = self.learning_rate / (1.0 + 0.02 * epoch)
+            order = rng.permutation(n)
+            for i in order:
+                pred = Xs[i] @ coef
+                error = pred - yn[i]
+                grad = coef / (self.C * n)
+                if error > self.epsilon:
+                    grad = grad + Xs[i]
+                elif error < -self.epsilon:
+                    grad = grad - Xs[i]
+                coef -= lr * grad
+        self.coef_ = coef * y_scale
+        return self

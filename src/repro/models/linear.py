@@ -1,0 +1,247 @@
+"""Linear-family regressors (Table IV rows 1–3 and robust variants):
+Linear, Ridge, Bayesian Ridge, ARD, SGD, Passive-Aggressive, Huber,
+Theil-Sen.
+"""
+
+import numpy as np
+
+from repro.models.base import Regressor, register_model, _as_xy
+
+
+class _LinearBase(Regressor):
+    """Shared predict path: standardized design with intercept."""
+
+    def _prepare(self, X, y):
+        X, y = _as_xy(X, y)
+        self._x_mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self._x_scale = scale
+        self._y_mean = y.mean()
+        Xs = (X - self._x_mean) / self._x_scale
+        ys = y - self._y_mean
+        return Xs, ys
+
+    # Standardized inputs are clamped at inference: program-feature
+    # vectors far outside the training hull (a rare phase creating a
+    # feature value tens of sigma out) would otherwise extrapolate the
+    # linear model into nonsense.
+    Z_CLIP = 8.0
+
+    def predict(self, X):
+        X = np.asarray(X, dtype=float)
+        Xs = (X - self._x_mean) / self._x_scale
+        Xs = np.clip(Xs, -self.Z_CLIP, self.Z_CLIP)
+        return Xs @ self.coef_ + self._y_mean
+
+
+@register_model("linear")
+class LinearRegression(_LinearBase):
+    """Ordinary least squares via lstsq."""
+
+    def fit(self, X, y):
+        Xs, ys = self._prepare(X, y)
+        self.coef_, *_ = np.linalg.lstsq(Xs, ys, rcond=None)
+        return self
+
+
+@register_model("ridge")
+class Ridge(_LinearBase):
+    def __init__(self, alpha=1.0):
+        self.alpha = alpha
+
+    def fit(self, X, y):
+        Xs, ys = self._prepare(X, y)
+        n_features = Xs.shape[1]
+        A = Xs.T @ Xs + self.alpha * np.eye(n_features)
+        self.coef_ = np.linalg.solve(A, Xs.T @ ys)
+        return self
+
+
+@register_model("bayesian-ridge")
+class BayesianRidge(_LinearBase):
+    """Evidence-maximizing ridge: iteratively re-estimates the noise
+    precision (alpha) and weight precision (lambda)."""
+
+    def __init__(self, max_iterations=100, tolerance=1e-4):
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+
+    def fit(self, X, y):
+        Xs, ys = self._prepare(X, y)
+        n, d = Xs.shape
+        XtX = Xs.T @ Xs
+        Xty = Xs.T @ ys
+        eigenvalues = np.linalg.eigvalsh(XtX)
+        alpha = 1.0 / max(ys.var(), 1e-9)   # noise precision
+        lam = 1.0                           # weight precision
+        coef = np.zeros(d)
+        for _ in range(self.max_iterations):
+            A = lam * np.eye(d) + alpha * XtX
+            coef_new = alpha * np.linalg.solve(A, Xty)
+            gamma = np.sum(alpha * eigenvalues /
+                           (lam + alpha * eigenvalues))
+            lam = gamma / max(coef_new @ coef_new, 1e-12)
+            residual = ys - Xs @ coef_new
+            alpha = max(n - gamma, 1e-9) / max(residual @ residual, 1e-12)
+            if np.max(np.abs(coef_new - coef)) < self.tolerance:
+                coef = coef_new
+                break
+            coef = coef_new
+        self.coef_ = coef
+        self.alpha_ = alpha
+        self.lambda_ = lam
+        return self
+
+
+@register_model("ard")
+class ARDRegression(_LinearBase):
+    """Automatic relevance determination: per-feature precision."""
+
+    def __init__(self, max_iterations=60, prune_threshold=1e8):
+        self.max_iterations = max_iterations
+        self.prune_threshold = prune_threshold
+
+    def fit(self, X, y):
+        Xs, ys = self._prepare(X, y)
+        n, d = Xs.shape
+        alpha = 1.0 / max(ys.var(), 1e-9)
+        lam = np.ones(d)
+        keep = np.ones(d, dtype=bool)
+        coef = np.zeros(d)
+        for _ in range(self.max_iterations):
+            Xk = Xs[:, keep]
+            A = np.diag(lam[keep]) + alpha * Xk.T @ Xk
+            try:
+                sigma = np.linalg.inv(A)
+            except np.linalg.LinAlgError:
+                sigma = np.linalg.pinv(A)
+            mean = alpha * sigma @ Xk.T @ ys
+            gamma = 1.0 - lam[keep] * np.diag(sigma)
+            lam_new = np.maximum(gamma, 1e-12) / \
+                np.maximum(mean ** 2, 1e-12)
+            residual = ys - Xk @ mean
+            alpha = max(n - gamma.sum(), 1e-9) / \
+                max(residual @ residual, 1e-12)
+            lam[keep] = lam_new
+            coef = np.zeros(d)
+            coef[keep] = mean
+            new_keep = lam < self.prune_threshold
+            if new_keep.sum() == 0:
+                break
+            keep = new_keep
+        self.coef_ = coef
+        return self
+
+
+@register_model("sgd")
+class SGDRegressor(_LinearBase):
+    """Mini-batch SGD on squared loss with L2 penalty."""
+
+    def __init__(self, epochs=200, learning_rate=0.01, alpha=1e-4,
+                 batch_size=16, seed=0):
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.alpha = alpha
+        self.batch_size = batch_size
+        self.seed = seed
+
+    def fit(self, X, y):
+        Xs, ys = self._prepare(X, y)
+        n, d = Xs.shape
+        rng = np.random.default_rng(self.seed)
+        coef = np.zeros(d)
+        for epoch in range(self.epochs):
+            order = rng.permutation(n)
+            lr = self.learning_rate / (1.0 + 0.01 * epoch)
+            for start in range(0, n, self.batch_size):
+                batch = order[start:start + self.batch_size]
+                Xb, yb = Xs[batch], ys[batch]
+                grad = Xb.T @ (Xb @ coef - yb) / len(batch) \
+                    + self.alpha * coef
+                coef -= lr * grad
+        self.coef_ = coef
+        return self
+
+
+@register_model("passive-aggressive")
+class PassiveAggressiveRegressor(_LinearBase):
+    """Online PA-II regression with an epsilon-insensitive loss."""
+
+    def __init__(self, epochs=40, C=1.0, epsilon=0.01, seed=0):
+        self.epochs = epochs
+        self.C = C
+        self.epsilon = epsilon
+        self.seed = seed
+
+    def fit(self, X, y):
+        Xs, ys = self._prepare(X, y)
+        n, d = Xs.shape
+        rng = np.random.default_rng(self.seed)
+        coef = np.zeros(d)
+        for _ in range(self.epochs):
+            for i in rng.permutation(n):
+                pred = Xs[i] @ coef
+                loss = abs(ys[i] - pred) - self.epsilon
+                if loss > 0:
+                    norm = Xs[i] @ Xs[i] + 1.0 / (2.0 * self.C)
+                    tau = loss / max(norm, 1e-12)
+                    coef += tau * np.sign(ys[i] - pred) * Xs[i]
+        self.coef_ = coef
+        return self
+
+
+@register_model("huber")
+class HuberRegressor(_LinearBase):
+    """Huber loss via iteratively reweighted least squares."""
+
+    def __init__(self, epsilon=1.35, max_iterations=50, alpha=1e-4):
+        self.epsilon = epsilon
+        self.max_iterations = max_iterations
+        self.alpha = alpha
+
+    def fit(self, X, y):
+        Xs, ys = self._prepare(X, y)
+        n, d = Xs.shape
+        coef = np.zeros(d)
+        scale = max(ys.std(), 1e-9)
+        for _ in range(self.max_iterations):
+            residual = ys - Xs @ coef
+            threshold = self.epsilon * scale
+            weights = np.where(np.abs(residual) <= threshold, 1.0,
+                               threshold / np.maximum(np.abs(residual),
+                                                      1e-12))
+            W = weights[:, None]
+            A = Xs.T @ (W * Xs) + self.alpha * np.eye(d)
+            coef_new = np.linalg.solve(A, Xs.T @ (weights * ys))
+            if np.max(np.abs(coef_new - coef)) < 1e-6:
+                coef = coef_new
+                break
+            coef = coef_new
+            scale = max(np.median(np.abs(residual)) * 1.4826, 1e-9)
+        self.coef_ = coef
+        return self
+
+
+@register_model("theil-sen")
+class TheilSenRegressor(_LinearBase):
+    """Robust regression: median of least-squares fits over random
+    feature-space subsamples."""
+
+    def __init__(self, n_subsamples=None, n_fits=120, seed=0):
+        self.n_subsamples = n_subsamples
+        self.n_fits = n_fits
+        self.seed = seed
+
+    def fit(self, X, y):
+        Xs, ys = self._prepare(X, y)
+        n, d = Xs.shape
+        size = self.n_subsamples or min(n, max(d + 2, n // 3))
+        rng = np.random.default_rng(self.seed)
+        coefs = []
+        for _ in range(self.n_fits):
+            idx = rng.choice(n, size=size, replace=False)
+            coef, *_ = np.linalg.lstsq(Xs[idx], ys[idx], rcond=None)
+            coefs.append(coef)
+        self.coef_ = np.median(np.asarray(coefs), axis=0)
+        return self

@@ -1,0 +1,100 @@
+"""Multi-layer perceptron regressor with manual backprop + Adam
+(Table IV, last row of column 3)."""
+
+import numpy as np
+
+from repro.models.base import Regressor, register_model, _as_xy
+
+
+@register_model("mlp")
+class MLPRegressor(Regressor):
+    def __init__(self, hidden=(32, 16), epochs=300, learning_rate=1e-3,
+                 batch_size=16, l2=1e-5, seed=0):
+        self.hidden = tuple(hidden)
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.seed = seed
+
+    def fit(self, X, y):
+        X, y = _as_xy(X, y)
+        self._x_mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self._x_scale = scale
+        self._y_mean = y.mean()
+        self._y_scale = max(y.std(), 1e-12)
+        Xs = (X - self._x_mean) / self._x_scale
+        ys = (y - self._y_mean) / self._y_scale
+
+        rng = np.random.default_rng(self.seed)
+        sizes = [Xs.shape[1]] + list(self.hidden) + [1]
+        self.weights_ = []
+        self.biases_ = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            limit = np.sqrt(6.0 / (fan_in + fan_out))
+            self.weights_.append(rng.uniform(-limit, limit,
+                                             size=(fan_in, fan_out)))
+            self.biases_.append(np.zeros(fan_out))
+
+        # Adam state.
+        m_w = [np.zeros_like(w) for w in self.weights_]
+        v_w = [np.zeros_like(w) for w in self.weights_]
+        m_b = [np.zeros_like(b) for b in self.biases_]
+        v_b = [np.zeros_like(b) for b in self.biases_]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        t = 0
+        n = Xs.shape[0]
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                batch = order[start:start + self.batch_size]
+                xb, yb = Xs[batch], ys[batch]
+                # Forward.
+                activations = [xb]
+                pre = []
+                h = xb
+                for layer, (W, b) in enumerate(zip(self.weights_,
+                                                   self.biases_)):
+                    z = h @ W + b
+                    pre.append(z)
+                    h = z if layer == len(self.weights_) - 1 \
+                        else np.tanh(z)
+                    activations.append(h)
+                # Backward (MSE).
+                delta = (activations[-1][:, 0] - yb)[:, None] \
+                    / len(batch)
+                t += 1
+                for layer in range(len(self.weights_) - 1, -1, -1):
+                    grad_w = activations[layer].T @ delta \
+                        + self.l2 * self.weights_[layer]
+                    grad_b = delta.sum(axis=0)
+                    if layer > 0:
+                        delta = (delta @ self.weights_[layer].T) \
+                            * (1.0 - np.tanh(pre[layer - 1]) ** 2)
+                    # Adam update.
+                    m_w[layer] = beta1 * m_w[layer] + (1 - beta1) * grad_w
+                    v_w[layer] = beta2 * v_w[layer] + (1 - beta2) * \
+                        grad_w ** 2
+                    m_b[layer] = beta1 * m_b[layer] + (1 - beta1) * grad_b
+                    v_b[layer] = beta2 * v_b[layer] + (1 - beta2) * \
+                        grad_b ** 2
+                    mw_hat = m_w[layer] / (1 - beta1 ** t)
+                    vw_hat = v_w[layer] / (1 - beta2 ** t)
+                    mb_hat = m_b[layer] / (1 - beta1 ** t)
+                    vb_hat = v_b[layer] / (1 - beta2 ** t)
+                    self.weights_[layer] -= self.learning_rate * mw_hat \
+                        / (np.sqrt(vw_hat) + eps)
+                    self.biases_[layer] -= self.learning_rate * mb_hat \
+                        / (np.sqrt(vb_hat) + eps)
+        return self
+
+    def predict(self, X):
+        X = np.asarray(X, dtype=float)
+        h = (X - self._x_mean) / self._x_scale
+        h = np.clip(h, -8.0, 8.0)  # clamp out-of-hull inputs
+        for layer, (W, b) in enumerate(zip(self.weights_, self.biases_)):
+            z = h @ W + b
+            h = z if layer == len(self.weights_) - 1 else np.tanh(z)
+        return h[:, 0] * self._y_scale + self._y_mean

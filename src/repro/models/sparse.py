@@ -1,0 +1,158 @@
+"""Sparse linear models (Table IV): LARS, Lasso, Lasso-LARS, ElasticNet,
+Orthogonal Matching Pursuit.
+"""
+
+import numpy as np
+
+from repro.models.base import register_model
+from repro.models.linear import _LinearBase
+
+
+def _coordinate_descent(Xs, ys, l1, l2, max_iterations=300, tol=1e-6):
+    """Elastic-net coordinate descent on standardized data."""
+    n, d = Xs.shape
+    coef = np.zeros(d)
+    col_norms = (Xs ** 2).sum(axis=0)
+    residual = ys.copy()
+    for _ in range(max_iterations):
+        max_delta = 0.0
+        for j in range(d):
+            if col_norms[j] <= 1e-12:
+                continue
+            rho = Xs[:, j] @ residual + coef[j] * col_norms[j]
+            new = _soft_threshold(rho, l1 * n) / (col_norms[j] + l2 * n)
+            delta = new - coef[j]
+            if delta != 0.0:
+                residual -= delta * Xs[:, j]
+                coef[j] = new
+                max_delta = max(max_delta, abs(delta))
+        if max_delta < tol:
+            break
+    return coef
+
+
+def _soft_threshold(value, threshold):
+    if value > threshold:
+        return value - threshold
+    if value < -threshold:
+        return value + threshold
+    return 0.0
+
+
+@register_model("lasso")
+class Lasso(_LinearBase):
+    def __init__(self, alpha=0.01):
+        self.alpha = alpha
+
+    def fit(self, X, y):
+        Xs, ys = self._prepare(X, y)
+        self.coef_ = _coordinate_descent(Xs, ys, self.alpha, 0.0)
+        return self
+
+
+@register_model("elasticnet")
+class ElasticNet(_LinearBase):
+    def __init__(self, alpha=0.01, l1_ratio=0.5):
+        self.alpha = alpha
+        self.l1_ratio = l1_ratio
+
+    def fit(self, X, y):
+        Xs, ys = self._prepare(X, y)
+        l1 = self.alpha * self.l1_ratio
+        l2 = self.alpha * (1.0 - self.l1_ratio)
+        self.coef_ = _coordinate_descent(Xs, ys, l1, l2)
+        return self
+
+
+def _lars_path(Xs, ys, max_active, lasso=False):
+    """Least-angle regression (Efron et al.), optionally in Lasso mode.
+
+    Returns the coefficient vector after ``max_active`` steps (or when the
+    correlation vanishes).
+    """
+    n, d = Xs.shape
+    coef = np.zeros(d)
+    active = []
+    signs = {}
+    residual = ys.copy()
+    for _ in range(min(max_active, d)):
+        correlations = Xs.T @ residual
+        correlations[active] = 0.0
+        j = int(np.argmax(np.abs(correlations)))
+        if abs(correlations[j]) < 1e-10:
+            break
+        active.append(j)
+        signs[j] = np.sign(correlations[j])
+        # Solve least squares on the active set and step fully toward it
+        # (the classic "LARS as repeated OLS extension" simplification,
+        # exact when steps run to the end of the path).
+        Xa = Xs[:, active]
+        sol, *_ = np.linalg.lstsq(Xa, ys, rcond=None)
+        if lasso:
+            # Lasso modification: drop variables whose coefficient sign
+            # flipped against their entry correlation.
+            drop = [k for k, col in enumerate(active)
+                    if sol[k] * signs[col] < 0]
+            if drop:
+                for k in sorted(drop, reverse=True):
+                    del active[k]
+                if not active:
+                    break
+                Xa = Xs[:, active]
+                sol, *_ = np.linalg.lstsq(Xa, ys, rcond=None)
+        coef = np.zeros(d)
+        coef[active] = sol
+        residual = ys - Xs @ coef
+    return coef
+
+
+@register_model("lars")
+class LARS(_LinearBase):
+    def __init__(self, n_nonzero_coefs=None):
+        self.n_nonzero_coefs = n_nonzero_coefs
+
+    def fit(self, X, y):
+        Xs, ys = self._prepare(X, y)
+        k = self.n_nonzero_coefs or min(Xs.shape[1], Xs.shape[0] // 2)
+        self.coef_ = _lars_path(Xs, ys, k, lasso=False)
+        return self
+
+
+@register_model("lasso-lars")
+class LassoLars(_LinearBase):
+    def __init__(self, n_nonzero_coefs=None):
+        self.n_nonzero_coefs = n_nonzero_coefs
+
+    def fit(self, X, y):
+        Xs, ys = self._prepare(X, y)
+        k = self.n_nonzero_coefs or min(Xs.shape[1], Xs.shape[0] // 2)
+        self.coef_ = _lars_path(Xs, ys, k, lasso=True)
+        return self
+
+
+@register_model("omp")
+class OrthogonalMatchingPursuit(_LinearBase):
+    def __init__(self, n_nonzero_coefs=None):
+        self.n_nonzero_coefs = n_nonzero_coefs
+
+    def fit(self, X, y):
+        Xs, ys = self._prepare(X, y)
+        n, d = Xs.shape
+        k = self.n_nonzero_coefs or max(1, min(d, n // 4))
+        active = []
+        residual = ys.copy()
+        coef = np.zeros(d)
+        for _ in range(k):
+            correlations = Xs.T @ residual
+            correlations[active] = 0.0
+            j = int(np.argmax(np.abs(correlations)))
+            if abs(correlations[j]) < 1e-10:
+                break
+            active.append(j)
+            Xa = Xs[:, active]
+            sol, *_ = np.linalg.lstsq(Xa, ys, rcond=None)
+            coef = np.zeros(d)
+            coef[active] = sol
+            residual = ys - Xa @ sol
+        self.coef_ = coef
+        return self

@@ -1,0 +1,158 @@
+"""Tree models (Table IV): Decision Tree, Extra Tree, Random Forest."""
+
+import numpy as np
+
+from repro.models.base import Regressor, register_model, _as_xy
+
+
+class _Node:
+    __slots__ = ("feature", "threshold", "left", "right", "value")
+
+    def __init__(self, value=None):
+        self.feature = None
+        self.threshold = None
+        self.left = None
+        self.right = None
+        self.value = value
+
+
+class _TreeBase(Regressor):
+    def __init__(self, max_depth=8, min_samples_split=4,
+                 max_features=None, seed=0):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.seed = seed
+
+    def fit(self, X, y):
+        X, y = _as_xy(X, y)
+        self._rng = np.random.default_rng(self.seed)
+        self.root_ = self._build(X, y, depth=0)
+        return self
+
+    def _build(self, X, y, depth):
+        node = _Node(value=float(y.mean()))
+        if depth >= self.max_depth or len(y) < self.min_samples_split \
+                or np.ptp(y) < 1e-12:
+            return node
+        split = self._best_split(X, y)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        if mask.all() or not mask.any():
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _candidate_features(self, n_features):
+        if self.max_features is None:
+            return np.arange(n_features)
+        k = max(1, int(self.max_features * n_features))
+        return self._rng.choice(n_features, size=k, replace=False)
+
+    def _best_split(self, X, y):
+        raise NotImplementedError
+
+    def predict(self, X):
+        X = np.asarray(X, dtype=float)
+        out = np.empty(X.shape[0])
+        for i, row in enumerate(X):
+            node = self.root_
+            while node.feature is not None:
+                node = node.left if row[node.feature] <= node.threshold \
+                    else node.right
+            out[i] = node.value
+        return out
+
+
+@register_model("decision-tree")
+class DecisionTreeRegressor(_TreeBase):
+    """CART with exact variance-reduction splits."""
+
+    def _best_split(self, X, y):
+        n, _ = X.shape
+        best = None
+        best_score = np.inf
+        for feature in self._candidate_features(X.shape[1]):
+            order = np.argsort(X[:, feature], kind="stable")
+            xs = X[order, feature]
+            ys = y[order]
+            # Prefix sums enable O(n) scan of all split points.
+            csum = np.cumsum(ys)
+            csum_sq = np.cumsum(ys ** 2)
+            total = csum[-1]
+            total_sq = csum_sq[-1]
+            for i in range(1, n):
+                if xs[i] == xs[i - 1]:
+                    continue
+                left_n, right_n = i, n - i
+                left_sum = csum[i - 1]
+                left_sq = csum_sq[i - 1]
+                right_sum = total - left_sum
+                right_sq = total_sq - left_sq
+                score = (left_sq - left_sum ** 2 / left_n) + \
+                        (right_sq - right_sum ** 2 / right_n)
+                if score < best_score:
+                    best_score = score
+                    best = (feature, (xs[i] + xs[i - 1]) / 2.0)
+        return best
+
+
+@register_model("extra-tree")
+class ExtraTreeRegressor(_TreeBase):
+    """Extremely randomized tree: one random threshold per feature."""
+
+    def _best_split(self, X, y):
+        best = None
+        best_score = np.inf
+        for feature in self._candidate_features(X.shape[1]):
+            lo = X[:, feature].min()
+            hi = X[:, feature].max()
+            if hi <= lo:
+                continue
+            threshold = self._rng.uniform(lo, hi)
+            mask = X[:, feature] <= threshold
+            if mask.all() or not mask.any():
+                continue
+            left, right = y[mask], y[~mask]
+            score = ((left - left.mean()) ** 2).sum() + \
+                    ((right - right.mean()) ** 2).sum()
+            if score < best_score:
+                best_score = score
+                best = (feature, threshold)
+        return best
+
+
+@register_model("random-forest")
+class RandomForestRegressor(Regressor):
+    """Bagged CART ensemble with feature subsampling."""
+
+    def __init__(self, n_estimators=30, max_depth=8, max_features=0.6,
+                 seed=0):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.max_features = max_features
+        self.seed = seed
+
+    def fit(self, X, y):
+        X, y = _as_xy(X, y)
+        rng = np.random.default_rng(self.seed)
+        n = X.shape[0]
+        self.trees_ = []
+        for t in range(self.n_estimators):
+            idx = rng.choice(n, size=n, replace=True)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                max_features=self.max_features,
+                seed=self.seed + 7919 * t + 1)
+            tree.fit(X[idx], y[idx])
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, X):
+        predictions = np.stack([t.predict(X) for t in self.trees_])
+        return predictions.mean(axis=0)

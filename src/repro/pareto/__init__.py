@@ -1,0 +1,12 @@
+"""Pareto-dominance tooling (paper §III-D references probabilistic
+dominance [34] for quantifying PSS quasi-optimality)."""
+
+from repro.pareto.dominance import (
+    dominates,
+    hypervolume_2d,
+    pareto_front,
+    probabilistic_dominance,
+)
+
+__all__ = ["dominates", "pareto_front", "hypervolume_2d",
+           "probabilistic_dominance"]

@@ -1,0 +1,67 @@
+"""Pareto dominance over objective vectors (all objectives minimized)."""
+
+import numpy as np
+
+
+def dominates(a, b, epsilon=0.0):
+    """True if ``a`` Pareto-dominates ``b``: no worse everywhere,
+    strictly better somewhere (with an optional epsilon slack)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    return bool(np.all(a <= b + epsilon) and np.any(a < b - epsilon))
+
+
+def pareto_front(points):
+    """Indices of the non-dominated points."""
+    points = np.asarray(points, dtype=float)
+    n = points.shape[0]
+    front = []
+    for i in range(n):
+        dominated = False
+        for j in range(n):
+            if i != j and dominates(points[j], points[i]):
+                dominated = True
+                break
+        if not dominated:
+            front.append(i)
+    return front
+
+
+def hypervolume_2d(points, reference):
+    """Hypervolume (area) dominated by a 2-D front w.r.t. ``reference``
+    (both objectives minimized)."""
+    points = np.asarray(points, dtype=float)
+    front = sorted((tuple(points[i]) for i in pareto_front(points)))
+    area = 0.0
+    previous_x = None
+    previous_y = reference[1]
+    for x, y in front:
+        if x >= reference[0] or y >= reference[1]:
+            continue
+        if previous_x is None:
+            area += (reference[0] - x) * (reference[1] - y)
+        else:
+            # Only the strip between the previous point's y and this one.
+            area += (reference[0] - x) * max(previous_y - y, 0.0)
+        previous_x = x
+        previous_y = min(previous_y, y)
+    return area
+
+
+def probabilistic_dominance(samples_a, samples_b, seed=0,
+                            n_pairs=10_000):
+    """P(a dominates b) under sampling noise (Khosravi et al. [34]).
+
+    ``samples_a``/``samples_b``: arrays of repeated objective
+    measurements, shape (n_samples, n_objectives).  Estimates the
+    probability that a random draw of A dominates a random draw of B.
+    """
+    samples_a = np.asarray(samples_a, dtype=float)
+    samples_b = np.asarray(samples_b, dtype=float)
+    rng = np.random.default_rng(seed)
+    ia = rng.integers(samples_a.shape[0], size=n_pairs)
+    ib = rng.integers(samples_b.shape[0], size=n_pairs)
+    a = samples_a[ia]
+    b = samples_b[ib]
+    wins = np.all(a <= b, axis=1) & np.any(a < b, axis=1)
+    return float(wins.mean())

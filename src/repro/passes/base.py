@@ -1,0 +1,100 @@
+"""Pass infrastructure: Pass base classes, the registry of optimization
+phases (paper Table VI), and the PassManager that applies sequences.
+"""
+
+from repro.ir import verify_module
+from repro.ir.printer import module_fingerprint
+
+# name -> factory; populated by @register_pass.
+PASS_REGISTRY = {}
+
+
+def register_pass(name):
+    def decorate(cls):
+        if name in PASS_REGISTRY:
+            raise ValueError(f"duplicate pass name {name!r}")
+        PASS_REGISTRY[name] = cls
+        cls.pass_name = name
+        return cls
+    return decorate
+
+
+def available_phases():
+    """Sorted names of all registered optimization phases."""
+    return sorted(PASS_REGISTRY)
+
+
+def create_pass(name):
+    try:
+        factory = PASS_REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown optimization phase {name!r}") from None
+    return factory()
+
+
+class Pass:
+    """A module-level transformation.  ``run`` returns True when the module
+    was changed."""
+
+    pass_name = "<abstract>"
+
+    def run(self, module):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"<Pass {self.pass_name}>"
+
+
+class FunctionPass(Pass):
+    """A pass applied independently to each defined function."""
+
+    def run(self, module):
+        changed = False
+        for function in module.defined_functions():
+            if self.run_on_function(function):
+                changed = True
+        return changed
+
+    def run_on_function(self, function):
+        raise NotImplementedError
+
+
+class PassManager:
+    """Applies a named sequence of phases to a module.
+
+    With ``verify=True`` (the default in tests) the module is verified after
+    every phase so a miscompiling pass is caught at its own doorstep.
+    """
+
+    def __init__(self, verify=False):
+        self.verify = verify
+
+    def run(self, module, phase_names):
+        """Run ``phase_names`` in order; returns the list of per-phase
+        "changed" booleans (the PSS uses this as its activity signal)."""
+        activity = []
+        for name in phase_names:
+            phase = create_pass(name)
+            changed = bool(phase.run(module))
+            if self.verify:
+                verify_module(module)
+            activity.append(changed)
+        return activity
+
+    def run_with_fingerprints(self, module, phase_names):
+        """Like :meth:`run` but detects activity via module fingerprints.
+
+        Some phases report "changed" for cosmetic updates; fingerprinting
+        after canonical renaming is the ground truth the PSS deployment
+        loop uses (paper §III-D).
+        """
+        activity = []
+        fingerprint = module_fingerprint(module)
+        for name in phase_names:
+            create_pass(name).run(module)
+            if self.verify:
+                verify_module(module)
+            new_fingerprint = module_fingerprint(module)
+            activity.append(new_fingerprint != fingerprint)
+            fingerprint = new_fingerprint
+        return activity

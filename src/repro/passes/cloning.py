@@ -1,0 +1,114 @@
+"""Region/function cloning with value remapping.
+
+Used by loop-unroll (body copies), loop-unswitch (loop versioning), and
+inline (callee body into caller).
+"""
+
+from repro.ir import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CondBranchInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    LoadInst,
+    PhiInst,
+    RetInst,
+    SelectInst,
+    StoreInst,
+    UnreachableInst,
+)
+
+
+def clone_instruction(inst, value_map, block_map, function):
+    """Clone one instruction, remapping operands (and, for phis and
+    terminators, blocks).  Phi incoming values are remapped by the caller
+    after all blocks exist (two-phase cloning)."""
+
+    def remap(value):
+        return value_map.get(id(value), value)
+
+    def remap_block(block):
+        return block_map.get(id(block), block)
+
+    if isinstance(inst, BinaryInst):
+        clone = BinaryInst(inst.opcode, remap(inst.lhs), remap(inst.rhs))
+    elif isinstance(inst, ICmpInst):
+        clone = ICmpInst(inst.predicate, remap(inst.operands[0]),
+                         remap(inst.operands[1]))
+    elif isinstance(inst, FCmpInst):
+        clone = FCmpInst(inst.predicate, remap(inst.operands[0]),
+                         remap(inst.operands[1]))
+    elif isinstance(inst, CastInst):
+        clone = CastInst(inst.opcode, remap(inst.value), inst.type)
+    elif isinstance(inst, AllocaInst):
+        clone = AllocaInst(inst.allocated_type)
+    elif isinstance(inst, LoadInst):
+        clone = LoadInst(remap(inst.pointer))
+    elif isinstance(inst, StoreInst):
+        clone = StoreInst(remap(inst.value), remap(inst.pointer))
+    elif isinstance(inst, GEPInst):
+        clone = GEPInst(remap(inst.base), remap(inst.index))
+    elif isinstance(inst, SelectInst):
+        clone = SelectInst(remap(inst.condition), remap(inst.true_value),
+                           remap(inst.false_value))
+    elif isinstance(inst, CallInst):
+        clone = CallInst(inst.callee, [remap(a) for a in inst.args])
+    elif isinstance(inst, PhiInst):
+        clone = PhiInst(inst.type)
+        # Incoming entries are filled by remap_phis once blocks exist.
+    elif isinstance(inst, BranchInst):
+        clone = BranchInst(remap_block(inst.target))
+    elif isinstance(inst, CondBranchInst):
+        clone = CondBranchInst(remap(inst.condition),
+                               remap_block(inst.true_target),
+                               remap_block(inst.false_target))
+    elif isinstance(inst, RetInst):
+        clone = RetInst(None if inst.value is None else remap(inst.value))
+    elif isinstance(inst, UnreachableInst):
+        clone = UnreachableInst()
+    else:
+        raise TypeError(f"cannot clone {inst!r}")
+    if not clone.type.is_void():
+        clone.name = function.next_name("c")
+    return clone
+
+
+def clone_region(blocks, function, suffix="clone"):
+    """Clone a list of blocks into ``function``.
+
+    Returns (value_map, block_map) where maps key by id() of originals.
+    Branches to blocks outside the region keep their original targets.
+    Phi entries from predecessors outside the region are preserved as-is;
+    entries from inside the region are remapped.
+    """
+    value_map = {}
+    block_map = {}
+    clones = []
+    for block in blocks:
+        clone = function.append_block(f"{block.name}.{suffix}")
+        block_map[id(block)] = clone
+        clones.append(clone)
+    region = set(map(id, blocks))
+    # First pass: clone instructions (phis get no incoming yet).
+    for block in blocks:
+        clone_block = block_map[id(block)]
+        for inst in block.instructions:
+            clone = clone_instruction(inst, value_map, block_map, function)
+            clone_block.append(clone)
+            value_map[id(inst)] = clone
+    # Second pass: rebuild phi incoming lists.
+    for block in blocks:
+        clone_block = block_map[id(block)]
+        for inst, clone in zip(block.instructions,
+                               clone_block.instructions):
+            if not isinstance(inst, PhiInst):
+                continue
+            for value, pred in inst.incoming():
+                mapped_value = value_map.get(id(value), value)
+                mapped_pred = block_map.get(id(pred), pred)
+                clone.add_incoming(mapped_value, mapped_pred)
+    return value_map, block_map

@@ -1,0 +1,75 @@
+"""licm: loop-invariant code motion.
+
+Hoists pure loop-invariant instructions into the preheader.  Loads of
+loop-invariant addresses are hoisted when no instruction in the loop may
+write the loaded cell and the load executes on every iteration (its block
+dominates every latch) — hoisting a conditional load could introduce a trap
+or read an uninitialized cell, so those stay put.
+"""
+
+from repro.ir import DominatorTree, LoadInst, LoopInfo
+from repro.passes.base import FunctionPass, register_pass
+from repro.passes.loop_utils import (
+    ensure_preheader,
+    invariant_operands,
+    is_loop_invariant,
+)
+from repro.passes.utils import instruction_may_write, is_pure
+
+
+@register_pass("licm")
+class LICM(FunctionPass):
+    def run_on_function(self, function):
+        changed = False
+        info = LoopInfo(function)
+        # Process inner loops first so invariants bubble outward.
+        for loop in sorted(info.loops, key=lambda lp: -lp.depth):
+            changed |= self._run_on_loop(function, loop)
+        return changed
+
+    def _run_on_loop(self, function, loop):
+        preheader = ensure_preheader(function, loop)
+        if preheader is None:
+            return False
+        dom = DominatorTree(function)
+        latches = loop.latches()
+        changed = False
+        progress = True
+        while progress:
+            progress = False
+            for block in list(loop.blocks):
+                for inst in list(block.instructions):
+                    if inst.parent is None:
+                        continue
+                    if not invariant_operands(inst, loop):
+                        continue
+                    if is_pure(inst) and not isinstance(inst, LoadInst):
+                        # Speculatively hoistable: pure and cannot trap.
+                        self._hoist(inst, preheader)
+                        progress = changed = True
+                        continue
+                    if isinstance(inst, LoadInst) and \
+                            self._can_hoist_load(inst, loop, dom, latches):
+                        self._hoist(inst, preheader)
+                        progress = changed = True
+        return changed
+
+    @staticmethod
+    def _hoist(inst, preheader):
+        inst.parent.instructions.remove(inst)
+        preheader.insert_before_terminator(inst)
+
+    @staticmethod
+    def _can_hoist_load(load, loop, dom, latches):
+        if not is_loop_invariant(load.pointer, loop):
+            return False
+        # Must execute every iteration: its block dominates all latches.
+        if not all(dom.dominates(load.parent, latch) for latch in latches):
+            return False
+        # And dominate the header's exit edges... dominating latches is the
+        # standard guaranteed-to-execute criterion for this CFG family.
+        for block in loop.blocks:
+            for inst in block.instructions:
+                if instruction_may_write(inst, load.pointer):
+                    return False
+        return True

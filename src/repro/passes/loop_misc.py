@@ -1,0 +1,516 @@
+"""Smaller loop phases: loop-deletion, indvars, loop-idiom, loop-sink,
+loop-load-elim, loop-distribute, loop-unswitch.
+"""
+
+from repro.ir import (
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CondBranchInst,
+    ConstantInt,
+    GEPInst,
+    Instruction,
+    LoadInst,
+    LoopInfo,
+    PhiInst,
+    StoreInst,
+)
+from repro.ir.types import I64
+from repro.passes.base import FunctionPass, register_pass
+from repro.passes.cloning import clone_region
+from repro.passes.loop_utils import (
+    constant_trip_count,
+    ensure_preheader,
+    find_induction_variable,
+    is_loop_invariant,
+    loop_body_is_pure,
+)
+from repro.passes.utils import (
+    delete_dead_instructions,
+    instruction_may_write,
+    must_alias,
+    remove_block_from_phis,
+    replace_and_erase,
+)
+
+
+@register_pass("loop-deletion")
+class LoopDeletion(FunctionPass):
+    """Delete loops with no side effects whose results are unused.
+
+    Requires a provably-finite loop (constant trip count) so that deleting
+    it cannot turn a non-terminating program into a terminating one.
+    """
+
+    def run_on_function(self, function):
+        info = LoopInfo(function)
+        for loop in info.innermost_loops():
+            if self._delete(function, loop):
+                return True  # structures stale; one deletion per run
+        return False
+
+    def _delete(self, function, loop):
+        preheader = ensure_preheader(function, loop)
+        if preheader is None:
+            return False
+        trip_count, _ = constant_trip_count(loop, preheader)
+        if trip_count is None:
+            return False
+        if not loop_body_is_pure(loop):
+            return False
+        exit_blocks = loop.exit_blocks()
+        if len(exit_blocks) != 1:
+            return False
+        exit_block = exit_blocks[0]
+        # No value computed inside may be used outside.
+        for block in loop.blocks:
+            for inst in block.instructions:
+                for user in inst.users:
+                    if user.parent not in loop.blocks:
+                        return False
+        # Exit phis with entries from loop blocks would lose a predecessor;
+        # they must have exactly the loop edge (single pred) to collapse.
+        for phi in exit_block.phis():
+            if any(b in loop.blocks for b in phi.incoming_blocks):
+                return False
+        # Rewire the preheader straight to the exit, drop the loop blocks.
+        term = preheader.terminator()
+        term.erase_from_parent()
+        preheader.append(BranchInst(exit_block))
+        for block in list(loop.blocks):
+            for inst in list(block.instructions):
+                inst.drop_all_references()
+                inst.parent = None
+            block.instructions = []
+            block.parent = None
+            function.blocks.remove(block)
+        return True
+
+
+@register_pass("indvars")
+class IndVarSimplify(FunctionPass):
+    """Induction-variable strength reduction.
+
+    ``iv * C`` inside a canonical loop is rewritten into a second
+    induction variable updated by ``+ step*C`` — replacing a multiply in
+    the loop body with an add.
+    """
+
+    def run_on_function(self, function):
+        changed = False
+        info = LoopInfo(function)
+        for loop in sorted(info.loops, key=lambda lp: -lp.depth):
+            changed |= self._strength_reduce(function, loop)
+        return changed
+
+    def _strength_reduce(self, function, loop):
+        preheader = ensure_preheader(function, loop)
+        if preheader is None:
+            return False
+        iv = find_induction_variable(loop, preheader)
+        if iv is None:
+            return False
+        latches = loop.latches()
+        if len(latches) != 1:
+            return False
+        latch = latches[0]
+        changed = False
+        for user in list(iv.phi.users):
+            if not isinstance(user, BinaryInst) or user.opcode != "mul":
+                continue
+            if user.parent not in loop.blocks:
+                continue
+            factor = None
+            if user.lhs is iv.phi and isinstance(user.rhs, ConstantInt):
+                factor = user.rhs.value
+            elif user.rhs is iv.phi and isinstance(user.lhs, ConstantInt):
+                factor = user.lhs.value
+            if factor is None or factor == 0:
+                continue
+            # The scaled IV phi tracks iv*C in lockstep with the original
+            # phi, so it can replace the multiply anywhere in the loop.
+            new_phi = PhiInst(I64, function.next_name("iv"))
+            loop.header.insert(0, new_phi)
+            # start' = start * C (computed in the preheader).
+            start = iv.phi.incoming_value_for(preheader)
+            if isinstance(start, ConstantInt):
+                start_scaled = ConstantInt(I64, start.value * factor)
+            else:
+                start_scaled = BinaryInst("mul", start,
+                                          ConstantInt(I64, factor))
+                start_scaled.name = function.next_name("ivs")
+                preheader.insert_before_terminator(start_scaled)
+            update = BinaryInst("add", new_phi,
+                                ConstantInt(I64, iv.step * factor))
+            update.name = function.next_name("ivu")
+            latch.insert_before_terminator(update)
+            new_phi.add_incoming(start_scaled, preheader)
+            new_phi.add_incoming(update, latch)
+            # Preserve phi ordering invariant: ensure incoming matches
+            # preds; header preds are exactly {preheader, latch}.
+            replace_and_erase(user, new_phi)
+            changed = True
+        return changed
+
+
+@register_pass("loop-idiom")
+class LoopIdiom(FunctionPass):
+    """Recognize memset loops: ``for (i=a;i<b;i++) arr[i] = C`` becomes a
+    ``memset`` intrinsic executed in the preheader (the backend lowers it
+    to a fast block operation)."""
+
+    def run_on_function(self, function):
+        info = LoopInfo(function)
+        for loop in info.innermost_loops():
+            if self._match_memset(function, loop):
+                return True
+        return False
+
+    def _match_memset(self, function, loop):
+        # cond/body/step frontend shape or rotated 1–2 block shapes.
+        if len(loop.blocks) > 3:
+            return False
+        preheader = ensure_preheader(function, loop)
+        if preheader is None:
+            return False
+        trip_count, iv = constant_trip_count(loop, preheader)
+        if trip_count is None or trip_count <= 0 or iv is None:
+            return False
+        if iv.step != 1:
+            return False
+        # The body must be exactly: gep(base, iv) ; store C -> gep ; iv
+        # update ; compare ; branch.  Everything else disqualifies.
+        store = None
+        for block in loop.blocks:
+            for inst in block.instructions:
+                if isinstance(inst, StoreInst):
+                    if store is not None:
+                        return False
+                    store = inst
+                elif isinstance(inst, (CallInst, LoadInst)):
+                    return False
+        if store is None:
+            return False
+        pointer = store.pointer
+        if not isinstance(pointer, GEPInst):
+            return False
+        if pointer.index is not iv.phi:
+            return False
+        if not is_loop_invariant(pointer.base, loop):
+            return False
+        value = store.value
+        if not value.is_constant() and not is_loop_invariant(value, loop):
+            return False
+        if value.is_constant() is False and \
+                isinstance(value, Instruction) and \
+                value.parent in loop.blocks:
+            return False
+        # Loop results must not escape.
+        exit_blocks = loop.exit_blocks()
+        if len(exit_blocks) != 1:
+            return False
+        for block in loop.blocks:
+            for inst in block.instructions:
+                for user in inst.users:
+                    if user.parent not in loop.blocks:
+                        return False
+        for phi in exit_blocks[0].phis():
+            if any(b in loop.blocks for b in phi.incoming_blocks):
+                return False
+        # Element size must be one cell (scalars only).
+        if pointer.type.pointee.size_cells() != 1:
+            return False
+        if not isinstance(iv.start, ConstantInt):
+            return False
+        # Build: dest = gep(base, start); memset(dest, value, trip_count).
+        dest = GEPInst(pointer.base, iv.start)
+        dest.name = function.next_name("ms")
+        preheader.insert_before_terminator(dest)
+        memset = CallInst("memset", [dest, value,
+                                     ConstantInt(I64, trip_count)])
+        preheader.insert_before_terminator(memset)
+        # Delete the loop (same mechanics as loop-deletion).
+        exit_block = exit_blocks[0]
+        term = preheader.terminator()
+        term.erase_from_parent()
+        preheader.append(BranchInst(exit_block))
+        for block in list(loop.blocks):
+            for inst in list(block.instructions):
+                inst.drop_all_references()
+                inst.parent = None
+            block.instructions = []
+            block.parent = None
+            function.blocks.remove(block)
+        return True
+
+
+@register_pass("loop-sink")
+class LoopSink(FunctionPass):
+    """Sink pure loop computations used only outside the loop into the
+    (unique) exit block — they then execute once instead of per-iteration.
+    """
+
+    def run_on_function(self, function):
+        changed = False
+        info = LoopInfo(function)
+        for loop in info.loops:
+            exit_blocks = loop.exit_blocks()
+            if len(exit_blocks) != 1:
+                continue
+            exit_block = exit_blocks[0]
+            if len(exit_block.predecessors()) != 1:
+                continue
+            from repro.passes.utils import is_pure
+            for block in loop.blocks:
+                for inst in list(block.instructions):
+                    if isinstance(inst, PhiInst) or inst.is_terminator():
+                        continue
+                    if not is_pure(inst):
+                        continue
+                    users = inst.users
+                    if not users:
+                        continue
+                    if any(u.parent in loop.blocks for u in users):
+                        continue
+                    # All operands must dominate the exit: loop-invariant
+                    # operands do; in-loop operands do not in general
+                    # (values from the last iteration are only available
+                    # if defined in a block dominating the exit edge) —
+                    # restrict to invariant operands.
+                    if not all(is_loop_invariant(op, loop)
+                               for op in inst.operands):
+                        continue
+                    block.instructions.remove(inst)
+                    index = exit_block.first_non_phi_index()
+                    exit_block.insert(index, inst)
+                    changed = True
+        return changed
+
+
+@register_pass("loop-load-elim")
+class LoopLoadElim(FunctionPass):
+    """Store-to-load forwarding within a loop iteration: a load from the
+    same address as an earlier store in the same block takes the stored
+    value directly."""
+
+    def run_on_function(self, function):
+        changed = False
+        info = LoopInfo(function)
+        for loop in info.loops:
+            for block in loop.blocks:
+                available = None  # (pointer, value)
+                for inst in list(block.instructions):
+                    if isinstance(inst, StoreInst):
+                        available = (inst.pointer, inst.value)
+                    elif isinstance(inst, LoadInst) and available:
+                        if must_alias(available[0], inst.pointer):
+                            replace_and_erase(inst, available[1])
+                            changed = True
+                    elif isinstance(inst, CallInst) and \
+                            inst.callee_may_access_memory():
+                        available = None
+                    elif available and \
+                            instruction_may_write(inst, available[0]):
+                        available = None
+        return changed
+
+
+@register_pass("loop-distribute")
+class LoopDistribute(FunctionPass):
+    """Split a single-block counted loop whose body consists of two
+    independent store chains into two loops.
+
+    Very conservative: requires a canonical IV, a pure body except for
+    stores to two different base arrays with no loads, and no values
+    escaping the loop.
+    """
+
+    def run_on_function(self, function):
+        info = LoopInfo(function)
+        for loop in info.innermost_loops():
+            if len(loop.blocks) != 1:
+                continue
+            if self._distribute(function, loop):
+                return True
+        return False
+
+    def _distribute(self, function, loop):
+        from repro.passes.utils import underlying_object
+
+        preheader = ensure_preheader(function, loop)
+        if preheader is None:
+            return False
+        iv = find_induction_variable(loop, preheader)
+        if iv is None:
+            return False
+        block = loop.header
+        stores = [i for i in block.instructions if isinstance(i, StoreInst)]
+        if len(stores) < 2:
+            return False
+        if any(isinstance(i, (LoadInst, CallInst))
+               for i in block.instructions):
+            return False
+        bases = {id(underlying_object(s.pointer)) for s in stores}
+        if len(bases) < 2:
+            return False
+        for inst in block.instructions:
+            for user in inst.users:
+                if user.parent is not block:
+                    return False
+        # Partition stores by base; keep the first base's stores in the
+        # original loop and move the rest into a cloned loop that runs
+        # afterwards.
+        exit_blocks = loop.exit_blocks()
+        if len(exit_blocks) != 1:
+            return False
+        exit_block = exit_blocks[0]
+        if exit_block.phis():
+            return False
+        first_base = underlying_object(stores[0].pointer)
+        moved = [s for s in stores
+                 if underlying_object(s.pointer) is not first_base]
+        value_map, block_map = clone_region([block], function, "dist")
+        cloned = block_map[id(block)]
+        # Original loop: delete the moved stores.
+        for store in moved:
+            store.erase_from_parent()
+        # Cloned loop: delete the kept stores.
+        for store in stores:
+            if store not in moved:
+                value_map[id(store)].erase_from_parent()
+        # Chain: original loop exits into the cloned loop's preheader.
+        # Cloned header phis currently have incoming from preheader and
+        # cloned latch; redirect entry edge.
+        original_exit_term = None
+        for inst in block.instructions:
+            if isinstance(inst, CondBranchInst):
+                original_exit_term = inst
+        if original_exit_term is None:
+            # Roll back is impossible; this shape was validated above
+            # (canonical counted loops end in a condbr).
+            return False
+        # The original loop's exit edge now targets the cloned block's
+        # entry; the cloned loop's exit edge goes to the real exit.
+        # Cloned phi entries from the preheader stay (the clone is entered
+        # once, from the original's exit edge) — rewrite that incoming
+        # block to the original block.
+        original_exit_term.replace_successor(exit_block, cloned)
+        for phi in cloned.phis():
+            phi.replace_incoming_block(preheader, block)
+        delete_dead_instructions(function)
+        return True
+
+
+@register_pass("loop-unswitch")
+class LoopUnswitch(FunctionPass):
+    """Hoist a loop-invariant branch out of the loop by versioning it:
+    two copies of the loop, one per branch direction, selected once
+    outside."""
+
+    MAX_LOOP_SIZE = 60
+
+    def run_on_function(self, function):
+        info = LoopInfo(function)
+        for loop in info.innermost_loops():
+            if self._unswitch(function, loop):
+                return True
+        return False
+
+    def _unswitch(self, function, loop):
+        if sum(len(b.instructions) for b in loop.blocks) > \
+                self.MAX_LOOP_SIZE:
+            return False
+        preheader = ensure_preheader(function, loop)
+        if preheader is None:
+            return False
+        # Find an invariant conditional branch that is not the exit test.
+        candidate = None
+        for block in loop.blocks:
+            term = block.terminator()
+            if not isinstance(term, CondBranchInst):
+                continue
+            if not is_loop_invariant(term.condition, loop):
+                continue
+            if term.true_target not in loop.blocks or \
+                    term.false_target not in loop.blocks:
+                continue  # the exit test; unswitching it is loop-rotate's job
+            candidate = term
+            break
+        if candidate is None:
+            return False
+        # Exactly one exit block keeps the exit-phi fixup (LCSSA-style
+        # merge of the two loop versions) tractable.
+        exit_blocks = loop.exit_blocks()
+        if len(exit_blocks) != 1:
+            return False
+        exit_block = exit_blocks[0]
+        orig_exit_preds = [p for p in exit_block.predecessors()
+                           if p in loop.blocks]
+
+        blocks = [b for b in function.blocks if b in loop.blocks]
+        value_map, block_map = clone_region(blocks, function, "unsw")
+        clone_block_ids = {id(b) for b in block_map.values()}
+
+        # Existing exit phis gain entries for the cloned exiting edges.
+        for phi in exit_block.phis():
+            for value, pred in list(phi.incoming()):
+                if pred in loop.blocks:
+                    phi.add_incoming(value_map.get(id(value), value),
+                                     block_map[id(pred)])
+        # In-loop values used outside the loop merge through fresh exit
+        # phis (both versions produce a candidate value).
+        for block in blocks:
+            for inst in list(block.instructions):
+                if inst.type.is_void():
+                    continue
+                outside_users = [
+                    (user, index) for user, index in list(inst.uses)
+                    if user.parent is not None
+                    and user.parent not in loop.blocks
+                    and id(user.parent) not in clone_block_ids
+                    and not (isinstance(user, PhiInst)
+                             and user.parent is exit_block)]
+                if not outside_users:
+                    continue
+                merge = PhiInst(inst.type, function.next_name("unswx"))
+                exit_block.insert(0, merge)
+                for pred in orig_exit_preds:
+                    merge.add_incoming(inst, pred)
+                    merge.add_incoming(value_map.get(id(inst), inst),
+                                       block_map[id(pred)])
+                for user, index in outside_users:
+                    user.set_operand(index, merge)
+        # Preheader now branches on the invariant condition between the
+        # two versions.
+        term = preheader.terminator()
+        condition = candidate.condition
+        true_header = loop.header
+        false_header = block_map[id(loop.header)]
+        term.erase_from_parent()
+        preheader.append(CondBranchInst(condition, true_header,
+                                        false_header))
+        # Cloned header phis: entries from the preheader survive; entries
+        # from cloned latches already remapped by clone_region.
+        # In the "true" version the branch always goes to true_target; in
+        # the clone, always to false_target.
+        candidate_clone = value_map[id(candidate)]
+        for term_inst, taken in ((candidate, candidate.true_target),
+                                 (candidate_clone,
+                                  block_map[id(candidate.false_target)])):
+            block = term_inst.parent
+            dead = (term_inst.false_target
+                    if taken is term_inst.true_target or
+                    taken is block_map.get(id(candidate.true_target))
+                    else term_inst.true_target)
+            # Recompute for the clone: taken is the mapped false target.
+            if term_inst is candidate_clone:
+                dead = candidate_clone.true_target
+                taken = candidate_clone.false_target
+            else:
+                dead = candidate.false_target
+                taken = candidate.true_target
+            term_inst.erase_from_parent()
+            block.append(BranchInst(taken))
+            remove_block_from_phis(block, dead)
+        delete_dead_instructions(function)
+        return True

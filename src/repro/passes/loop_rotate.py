@@ -1,0 +1,245 @@
+"""loop-rotate: convert top-tested loops into bottom-tested (do-while) form.
+
+The header's exit test is duplicated into the preheader as a guard; the
+loop then tests at the latch.  This gives later passes (licm, indvars,
+unroll) a loop whose body is straight-line from header to latch.
+
+Implementation: for a while-shaped loop
+  preheader -> header{cond; condbr body, exit} ; body ... latch -> header
+the header test instructions are cloned into the preheader, the preheader
+branches on the cloned condition (guard), and the latch jumps to a copy of
+the test instead of the header.
+"""
+
+from repro.ir import (
+    BranchInst,
+    CondBranchInst,
+    Instruction,
+    LoopInfo,
+    PhiInst,
+)
+from repro.passes.base import FunctionPass, register_pass
+from repro.passes.loop_utils import ensure_preheader
+from repro.passes.utils import is_pure
+
+
+def _clone_instruction(inst, operand_map, function):
+    """Clone a pure instruction remapping operands through ``operand_map``."""
+    from repro.ir import (
+        BinaryInst, CastInst, FCmpInst, GEPInst, ICmpInst, LoadInst,
+        SelectInst, CallInst,
+    )
+
+    def remap(value):
+        return operand_map.get(id(value), value)
+
+    if isinstance(inst, BinaryInst):
+        clone = BinaryInst(inst.opcode, remap(inst.lhs), remap(inst.rhs))
+    elif isinstance(inst, ICmpInst):
+        clone = ICmpInst(inst.predicate, remap(inst.operands[0]),
+                         remap(inst.operands[1]))
+    elif isinstance(inst, FCmpInst):
+        clone = FCmpInst(inst.predicate, remap(inst.operands[0]),
+                         remap(inst.operands[1]))
+    elif isinstance(inst, CastInst):
+        clone = CastInst(inst.opcode, remap(inst.value), inst.type)
+    elif isinstance(inst, GEPInst):
+        clone = GEPInst(remap(inst.base), remap(inst.index))
+    elif isinstance(inst, SelectInst):
+        clone = SelectInst(remap(inst.condition), remap(inst.true_value),
+                           remap(inst.false_value))
+    elif isinstance(inst, LoadInst):
+        clone = LoadInst(remap(inst.pointer))
+    elif isinstance(inst, CallInst):
+        clone = CallInst(inst.callee, [remap(a) for a in inst.args])
+    else:
+        return None
+    clone.name = function.next_name("rot")
+    return clone
+
+
+@register_pass("loop-rotate")
+class LoopRotate(FunctionPass):
+    MAX_HEADER_SIZE = 8
+
+    def run_on_function(self, function):
+        changed = False
+        info = LoopInfo(function)
+        for loop in sorted(info.loops, key=lambda lp: -lp.depth):
+            changed |= self._rotate(function, loop)
+        return changed
+
+    def _rotate(self, function, loop):
+        header = loop.header
+        term = header.terminator()
+        if not isinstance(term, CondBranchInst):
+            return False  # already rotated or multi-exit shape
+        in_true = term.true_target in loop.blocks
+        in_false = term.false_target in loop.blocks
+        if in_true == in_false:
+            return False  # both or neither: not a top-tested exit
+        preheader = ensure_preheader(function, loop)
+        if preheader is None:
+            return False
+        latches = loop.latches()
+        if len(latches) != 1:
+            return False
+        latch = latches[0]
+        if latch is header:
+            return False  # single-block loop is already bottom-tested
+        # The latch must fall through to the header unconditionally; a
+        # conditionally-exiting latch means the loop is already
+        # bottom-tested (multi-exit shapes are left alone).
+        if not isinstance(latch.terminator(), BranchInst):
+            return False
+        body_entry = term.true_target if in_true else term.false_target
+        exit_block = term.false_target if in_true else term.true_target
+        if exit_block in loop.blocks or body_entry is header:
+            return False
+        # The header must contain only phis + a small pure test sequence.
+        phis = header.phis()
+        tail = header.instructions[len(phis):-1]
+        if len(tail) > self.MAX_HEADER_SIZE:
+            return False
+        for inst in tail:
+            if not is_pure(inst):
+                return False
+        # Exit-block and body-entry shape restrictions keep the phi
+        # fixups local.
+        if [p for p in exit_block.predecessors()] != [header]:
+            return False
+        if body_entry.phis() or len(body_entry.predecessors()) != 1:
+            return False
+
+        # 1. Clone the test chain into the preheader as the entry guard
+        #    (header phis resolve to their initial values).
+        guard_map = {}
+        for phi in phis:
+            guard_map[id(phi)] = phi.incoming_value_for(preheader)
+        pre_term = preheader.terminator()
+        for inst in tail:
+            clone = _clone_instruction(inst, guard_map, function)
+            if clone is None:
+                return False
+            preheader.insert_before_terminator(clone)
+            guard_map[id(inst)] = clone
+        guard_cond = guard_map[id(term.condition)]
+        pre_term.erase_from_parent()
+        preheader.append(CondBranchInst(guard_cond, body_entry, exit_block)
+                         if in_true else
+                         CondBranchInst(guard_cond, exit_block, body_entry))
+
+        # 2. body_entry becomes the new loop top: merge phis join the
+        #    guard path (initial values) with the back edge (header phi),
+        #    and the whole tail chain is re-materialized there for the
+        #    current iteration.
+        merge_of = {}
+        for phi in list(phis):
+            init = phi.incoming_value_for(preheader)
+            merge = PhiInst(phi.type, function.next_name("rphi"))
+            body_entry.insert(0, merge)
+            merge.add_incoming(init, preheader)
+            merge.add_incoming(phi, header)
+            merge_of[id(phi)] = merge
+        body_map = dict(merge_of)
+        insert_at = len(body_entry.phis())
+        for inst in tail:
+            clone = _clone_instruction(inst, body_map, function)
+            body_entry.insert(insert_at, clone)
+            insert_at += 1
+            body_map[id(inst)] = clone
+
+        def current_iteration_value(value):
+            """Value as seen during the current iteration inside the
+            rotated body (phis via their merge, tail via its clone)."""
+            return body_map.get(id(value), value)
+
+        # Rewire in-loop uses (outside the old header) of phis and tail
+        # values to the body_entry versions.
+        for original in list(phis) + list(tail):
+            replacement = body_map[id(original)]
+            for user, index in list(original.uses):
+                if user is replacement or user in body_map.values():
+                    continue
+                if id(user) in {id(c) for c in body_map.values()}:
+                    continue
+                if user.parent in loop.blocks and \
+                        user.parent is not header and \
+                        user.parent is not body_entry:
+                    user.set_operand(index, replacement)
+                elif user.parent is body_entry and \
+                        not isinstance(user, PhiInst) and \
+                        user not in body_map.values():
+                    user.set_operand(index, replacement)
+
+        # 3. Clone the test into the latch: it now decides back edge vs
+        #    exit using the *updated* values (phi incoming on the back
+        #    edge, remapped through the body versions).
+        latch_map = {}
+        for phi in phis:
+            incoming = phi.incoming_value_for(latch)
+            latch_map[id(phi)] = current_iteration_value(incoming)
+        for inst in tail:
+            clone = _clone_instruction(inst, latch_map, function)
+            latch.insert_before_terminator(clone)
+            latch_map[id(inst)] = clone
+        latch_cond = latch_map[id(term.condition)]
+        latch.terminator().erase_from_parent()
+        latch.append(CondBranchInst(latch_cond, header, exit_block)
+                     if in_true else
+                     CondBranchInst(latch_cond, exit_block, header))
+
+        # 4. The old header now unconditionally re-enters the body; its
+        #    phi incoming values on the back edge are remapped to the
+        #    body versions so they dominate the latch edge.
+        term.erase_from_parent()
+        header.append(BranchInst(body_entry))
+        for phi in phis:
+            for index, (value, pred) in enumerate(list(phi.incoming())):
+                if pred is latch:
+                    phi.set_operand(phi.incoming_blocks.index(pred),
+                                    current_iteration_value(value))
+            phi.remove_incoming(preheader)
+
+        # 5. The exit block's predecessors changed from {header} to
+        #    {preheader, latch}: rebuild its phis and give any other
+        #    out-of-loop use of loop values a merge phi.
+        for inst in list(exit_block.instructions):
+            if isinstance(inst, PhiInst):
+                entries = list(inst.incoming())
+                inst.drop_all_references()
+                inst.incoming_blocks = []
+                for value, pred in entries:
+                    if pred is header:
+                        inst.add_incoming(guard_map.get(id(value), value),
+                                          preheader)
+                        inst.add_incoming(latch_map.get(id(value), value),
+                                          latch)
+                    else:
+                        inst.add_incoming(value, pred)
+        exit_fix = {}
+        latch_side = dict(latch_map)
+        for phi in phis:
+            latch_side.setdefault(id(phi), latch_map[id(phi)])
+        for inst in list(phis) + list(tail):
+            for user, index in list(inst.uses):
+                if user.parent is None:
+                    continue
+                if user.parent in loop.blocks or \
+                        user.parent is preheader or \
+                        user.parent is body_entry:
+                    continue
+                if isinstance(user, PhiInst) and \
+                        user.parent is exit_block:
+                    continue
+                key = id(inst)
+                if key not in exit_fix:
+                    merge = PhiInst(inst.type, function.next_name("xphi"))
+                    exit_block.insert(0, merge)
+                    merge.add_incoming(guard_map.get(key, inst),
+                                       preheader)
+                    merge.add_incoming(latch_side.get(key, inst), latch)
+                    exit_fix[key] = merge
+                if user is not exit_fix[key]:
+                    user.set_operand(index, exit_fix[key])
+        return True

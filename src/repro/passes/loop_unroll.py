@@ -1,0 +1,195 @@
+"""loop-unroll: full unrolling of small constant-trip-count loops.
+
+Full unrolling replaces a counted loop with ``trip_count`` copies of its
+body laid out sequentially.  Partial unrolling is intentionally handled by
+``loop-vectorize`` (interleaved unroll); this phase performs the classic
+"small loop disappears" transformation, which interacts strongly with
+sccp/instcombine (everything becomes straight-line constant math).
+"""
+
+from repro.ir import (
+    BranchInst,
+    CondBranchInst,
+    Instruction,
+    LoopInfo,
+    PhiInst,
+)
+from repro.passes.base import FunctionPass, register_pass
+from repro.passes.cloning import clone_region
+from repro.passes.loop_utils import constant_trip_count, ensure_preheader
+from repro.passes.utils import remove_block_from_phis
+
+
+@register_pass("loop-unroll")
+class LoopUnroll(FunctionPass):
+    MAX_TRIP_COUNT = 16
+    MAX_BODY_INSTRUCTIONS = 40
+
+    def run_on_function(self, function):
+        changed = False
+        # One unroll per run: loop structures go stale after a transform.
+        # Innermost loops first; rerunning the phase peels outward.
+        info = LoopInfo(function)
+        for loop in info.innermost_loops():
+            if self._unroll(function, loop):
+                changed = True
+                break
+        return changed
+
+    def _unroll(self, function, loop):
+        preheader = ensure_preheader(function, loop)
+        if preheader is None:
+            return False
+        trip_count, iv = constant_trip_count(loop, preheader,
+                                             self.MAX_TRIP_COUNT)
+        if trip_count is None or trip_count == 0:
+            return False
+        body_size = sum(len(b.instructions) for b in loop.blocks)
+        if body_size > self.MAX_BODY_INSTRUCTIONS:
+            return False
+        latches = loop.latches()
+        if len(latches) != 1:
+            return False
+        latch = latches[0]
+        exiting = loop.exiting_blocks()
+        if len(exiting) != 1:
+            return False
+        if exiting[0] is not loop.header and exiting[0] is not latch:
+            return False
+        exit_blocks = loop.exit_blocks()
+        if len(exit_blocks) != 1:
+            return False
+        exit_block = exit_blocks[0]
+        header = loop.header
+        header_phis = header.phis()
+        # Genuine top-tested: the exit decision happens at a header whose
+        # body (IV update) has not yet run in that iteration.  Rotated
+        # single-block shapes with the update in the exiting header are
+        # bottom-tested and resolve like latch-exits (this mirrors
+        # constant_trip_count's classification).
+        exit_from_header = (exiting[0] is header
+                            and header is not latch
+                            and iv.update.parent is not header)
+
+        # For top-tested loops, a value defined in the header (other
+        # than a phi) observed after the loop would need one extra partial
+        # evaluation of the header; bail out in that rare case.
+        if exit_from_header:
+            for inst in header.instructions:
+                if isinstance(inst, PhiInst) or inst.is_terminator():
+                    continue
+                for user in inst.users:
+                    if user.parent not in loop.blocks:
+                        return False
+
+        blocks = [b for b in function.blocks if b in loop.blocks]
+        copies = []
+        for iteration in range(1, trip_count):
+            copies.append(clone_region(blocks, function, f"it{iteration}"))
+
+        def latch_value(phi, vmap):
+            original = phi.incoming_value_for(latch)
+            return vmap.get(id(original), original)
+
+        # Wire iterations together: iteration k's header phis become the
+        # (k-1)-th iteration's latch values; (k-1)-th latch jumps to k's
+        # header copy.
+        for iteration, (value_map, block_map) in enumerate(copies, start=1):
+            cloned_header = block_map[id(header)]
+            prev_map = {} if iteration == 1 else copies[iteration - 2][0]
+            for phi in header_phis:
+                cloned_phi = value_map[id(phi)]
+                incoming = latch_value(phi, prev_map)
+                cloned_phi.replace_all_uses_with(incoming)
+                cloned_phi.erase_from_parent()
+                value_map[id(phi)] = incoming
+            prev_latch = latch if iteration == 1 else \
+                copies[iteration - 2][1][id(latch)]
+            term = prev_latch.terminator()
+            term.erase_from_parent()
+            # Exit-phi entries for the original latch are remapped (not
+            # removed) after wiring, so they keep carrying the edge value.
+            prev_latch.append(BranchInst(cloned_header))
+
+        final_map = copies[-1][0] if trip_count > 1 else {}
+        final_latch = latch if trip_count == 1 else copies[-1][1][id(latch)]
+
+        def final_phi_value(phi):
+            if trip_count == 1:
+                return phi.incoming_value_for(preheader)
+            return final_map[id(phi)]
+
+        def resolve_exit_value(value):
+            """Value observed on the (unique) exit edge after unrolling."""
+            if isinstance(value, PhiInst) and value in header_phis:
+                if exit_from_header:
+                    return latch_value(value, final_map)
+                return final_phi_value(value)
+            if isinstance(value, Instruction) and \
+                    value.parent in loop.blocks:
+                return final_map.get(id(value), value)
+            return value
+
+        # Exit phis: entries from the loop now arrive via final_latch.
+        header_phi_set = set(map(id, header_phis))
+        for phi in exit_block.phis():
+            for pred in list(phi.incoming_blocks):
+                if pred in loop.blocks:
+                    index = phi.incoming_blocks.index(pred)
+                    value = phi.operands[index]
+                    phi.set_operand(index, resolve_exit_value(value))
+                    phi.replace_incoming_block(pred, final_latch)
+
+        # Direct out-of-loop uses (exit dominated by the loop).
+        for block in blocks:
+            for inst in block.instructions:
+                for user, index in list(inst.uses):
+                    if user.parent is None:
+                        continue
+                    if user.parent not in loop.blocks and \
+                            not self._is_clone_user(user, copies):
+                        if isinstance(user, PhiInst) and \
+                                user.parent is exit_block:
+                            continue  # handled above
+                        user.set_operand(index, resolve_exit_value(inst))
+
+        # Original header phis collapse to their initial values for
+        # iteration 0.
+        for phi in header_phis:
+            initial = phi.incoming_value_for(preheader)
+            phi.replace_all_uses_with(initial)
+            phi.erase_from_parent()
+
+        # Final latch leaves the loop unconditionally.
+        term = final_latch.terminator()
+        term.erase_from_parent()
+        final_latch.append(BranchInst(exit_block))
+
+        # Straighten every remaining per-iteration exit test (they are all
+        # known taken: the trip count is exact).
+        self._straighten_exits(loop, copies, exit_block, trip_count)
+        return True
+
+    @staticmethod
+    def _is_clone_user(user, copies):
+        for value_map, block_map in copies:
+            if id(user.parent) in {id(b) for b in block_map.values()}:
+                return True
+        return False
+
+    @staticmethod
+    def _straighten_exits(loop, copies, exit_block, trip_count):
+        exiting_origs = loop.exiting_blocks()
+        for iteration in range(trip_count):
+            block_map = None if iteration == 0 else copies[iteration - 1][1]
+            for orig in exiting_origs:
+                block = orig if block_map is None else block_map[id(orig)]
+                term = block.terminator()
+                if not isinstance(term, CondBranchInst):
+                    continue
+                internal = [s for s in term.successors()
+                            if s is not exit_block]
+                if len(internal) == 1:
+                    term.erase_from_parent()
+                    block.append(BranchInst(internal[0]))
+                    remove_block_from_phis(block, exit_block)

@@ -1,0 +1,209 @@
+"""Shared machinery for loop passes: loop-simplify (preheader insertion),
+invariance tests, canonical induction-variable and trip-count analysis.
+"""
+
+from repro.ir import (
+    BinaryInst,
+    BranchInst,
+    CondBranchInst,
+    ConstantInt,
+    ICmpInst,
+    Instruction,
+    LoopInfo,
+    PhiInst,
+)
+from repro.passes.utils import is_pure
+
+
+def ensure_preheader(function, loop):
+    """Create (or return) a dedicated preheader block for ``loop``.
+
+    All out-of-loop predecessors of the header are redirected through a
+    fresh block ending in an unconditional branch to the header.
+    """
+    existing = loop.preheader()
+    if existing is not None:
+        return existing
+    header = loop.header
+    outside = [p for p in header.predecessors() if p not in loop.blocks]
+    if not outside:
+        return None
+    preheader = function.append_block(function.next_name("preheader"))
+    # Keep block order roughly topological: place before the header.
+    function.blocks.remove(preheader)
+    function.blocks.insert(function.blocks.index(header), preheader)
+    for pred in outside:
+        pred.terminator().replace_successor(header, preheader)
+    # Split phi incoming values: out-of-loop entries move to new phis in
+    # the preheader (or single value when only one outside pred).
+    for phi in header.phis():
+        outside_pairs = [(v, b) for v, b in phi.incoming() if b in outside]
+        if not outside_pairs:
+            continue
+        if len(outside_pairs) == 1:
+            merged = outside_pairs[0][0]
+        else:
+            merged = PhiInst(phi.type, function.next_name("ph"))
+            preheader.insert(0, merged)
+            for value, block in outside_pairs:
+                merged.add_incoming(value, block)
+        inside_pairs = [(v, b) for v, b in phi.incoming()
+                        if b not in outside]
+        phi.drop_all_references()
+        phi.incoming_blocks = []
+        phi.add_incoming(merged, preheader)
+        for value, block in inside_pairs:
+            phi.add_incoming(value, block)
+    preheader.append(BranchInst(header))
+    return preheader
+
+
+def is_loop_invariant(value, loop):
+    """True when ``value`` does not change within the loop."""
+    if not isinstance(value, Instruction):
+        return True
+    return value.parent not in loop.blocks
+
+
+def invariant_operands(inst, loop):
+    return all(is_loop_invariant(op, loop) for op in inst.operands)
+
+
+class InductionVariable:
+    """A canonical affine IV: ``phi = [start, preheader], [phi + step,
+    latch]`` with a constant step."""
+
+    def __init__(self, phi, start, step, update):
+        self.phi = phi
+        self.start = start      # Value (loop-invariant)
+        self.step = step        # int (constant step)
+        self.update = update    # the add instruction in the latch chain
+
+
+def _look_through_copies(value, depth=4):
+    """Follow single-incoming (pass-through) phis to the real value."""
+    while depth > 0 and isinstance(value, PhiInst) \
+            and len(value.operands) == 1:
+        value = value.operands[0]
+        depth -= 1
+    return value
+
+
+def find_induction_variable(loop, preheader):
+    """Find a canonical IV of the loop, or None."""
+    latches = loop.latches()
+    if len(latches) != 1:
+        return None
+    latch = latches[0]
+    for phi in loop.header.phis():
+        try:
+            start = phi.incoming_value_for(preheader)
+            update = _look_through_copies(
+                phi.incoming_value_for(latch))
+        except KeyError:
+            continue
+        if not isinstance(update, BinaryInst) or update.opcode != "add":
+            continue
+        if update.parent not in loop.blocks:
+            continue
+        step = None
+        if update.lhs is phi and isinstance(update.rhs, ConstantInt):
+            step = update.rhs.value
+        elif update.rhs is phi and isinstance(update.lhs, ConstantInt):
+            step = update.lhs.value
+        if step is None or step == 0:
+            continue
+        if not is_loop_invariant(start, loop):
+            continue
+        return InductionVariable(phi, start, step, update)
+    return None
+
+
+def constant_trip_count(loop, preheader, max_count=4096):
+    """Compute the exact trip count when the loop is a canonical counted
+    loop ``for (i = C0; i < C1; i += C2)`` with a single exit through the
+    header (rotated forms with the compare in the latch are also handled).
+
+    Returns (trip_count, iv) or (None, None).
+    """
+    iv = find_induction_variable(loop, preheader)
+    if iv is None or not isinstance(iv.start, ConstantInt):
+        return None, None
+    exiting = loop.exiting_blocks()
+    if len(exiting) != 1:
+        return None, None
+    exit_block = exiting[0]
+    term = exit_block.terminator()
+    if not isinstance(term, CondBranchInst):
+        return None, None
+    condition = term.condition
+    if not isinstance(condition, ICmpInst):
+        return None, None
+    lhs, rhs = condition.operands
+    # Identify "iv-expression" vs bound.  Accept the phi itself or its
+    # update instruction (rotated loops compare i+step).
+    candidates = {id(iv.phi): 0, id(iv.update): iv.step}
+    if id(lhs) in candidates and isinstance(rhs, ConstantInt):
+        offset = candidates[id(lhs)]
+        predicate = condition.predicate
+        bound = rhs.value
+    elif id(rhs) in candidates and isinstance(lhs, ConstantInt):
+        offset = candidates[id(rhs)]
+        from repro.ir.instructions import ICMP_SWAP
+        predicate = ICMP_SWAP[condition.predicate]
+        bound = lhs.value
+    else:
+        return None, None
+    stays_in_loop = term.true_target in loop.blocks
+    if not stays_in_loop and term.false_target in loop.blocks:
+        from repro.ir.instructions import ICMP_NEGATE
+        predicate = ICMP_NEGATE[predicate]
+    elif not stays_in_loop:
+        return None, None
+    latches = loop.latches()
+    single_latch = latches[0] if len(latches) == 1 else None
+    # Bottom-tested iff the iteration's body (specifically the IV update)
+    # has executed when the exit test runs: exit at the latch, or exit at
+    # a header that itself contains the update (rotated single-block
+    # shapes).  A genuine top-tested loop exits at the header before the
+    # update runs.
+    if single_latch is not None and exit_block is single_latch:
+        bottom_tested = True
+    elif exit_block is loop.header:
+        bottom_tested = iv.update.parent is exit_block
+    else:
+        return None, None
+    # Simulate the counter (bounded): robust against off-by-one pitfalls
+    # and non-divisible ranges, and exact by construction.  ``value``
+    # tracks the phi at the top of each iteration; the compare sees
+    # ``value + offset`` (offset == step when the test compares the
+    # already-updated IV).
+    value = iv.start.value
+    compare = {"slt": lambda a, b: a < b, "sle": lambda a, b: a <= b,
+               "sgt": lambda a, b: a > b, "sge": lambda a, b: a >= b,
+               "ne": lambda a, b: a != b, "eq": lambda a, b: a == b}
+    test = compare[predicate]
+    count = 1 if bottom_tested else 0
+    while test(value + offset, bound):
+        count += 1
+        value += iv.step
+        if count > max_count:
+            return None, None
+    return count, iv
+
+
+def loops_of(function):
+    return LoopInfo(function)
+
+
+def loop_body_is_pure(loop):
+    """No stores/calls and no instructions that may trap."""
+    for block in loop.blocks:
+        for inst in block.instructions:
+            if inst.is_terminator():
+                continue
+            if isinstance(inst, PhiInst):
+                continue
+            if not is_pure(inst):
+                return False
+    return True

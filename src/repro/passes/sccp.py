@@ -1,0 +1,329 @@
+"""sccp / ipsccp: sparse conditional constant propagation.
+
+Standard three-level lattice (top/constant/bottom) propagated over SSA
+edges and CFG edges simultaneously; branches on constants mark only the
+taken edge executable.  ``ipsccp`` extends the lattice across call edges:
+argument lattices meet over all call sites and constant return values
+propagate back to callers.
+"""
+
+from repro.ir import (
+    Argument,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CondBranchInst,
+    ConstantInt,
+    FCmpInst,
+    ICmpInst,
+    Instruction,
+    PhiInst,
+    RetInst,
+    SelectInst,
+)
+from repro.passes.base import Pass, FunctionPass, register_pass
+from repro.passes.utils import (
+    constant_fold_terminator,
+    delete_dead_instructions,
+    fold_binary,
+    fold_cast,
+    fold_fcmp,
+    fold_icmp,
+    replace_and_erase,
+)
+
+_TOP = "top"        # undefined / not yet known
+_BOTTOM = "bottom"  # overdefined
+
+
+class _Lattice:
+    """Per-value lattice map with meet over (top < constant < bottom)."""
+
+    def __init__(self):
+        self.values = {}
+
+    def get(self, value):
+        from repro.ir.values import Constant
+        if isinstance(value, Constant):
+            from repro.ir import UndefValue
+            if isinstance(value, UndefValue):
+                return _TOP
+            return value
+        return self.values.get(id(value), _TOP)
+
+    def meet_into(self, value, state):
+        """Merge ``state`` into value's cell; returns True on change."""
+        old = self.values.get(id(value), _TOP)
+        new = self._meet(old, state)
+        if new != old or (new is not old and not self._same(new, old)):
+            self.values[id(value)] = new
+            return not self._same(new, old)
+        return False
+
+    @staticmethod
+    def _same(a, b):
+        if isinstance(a, str) or isinstance(b, str):
+            return a == b
+        from repro.passes.sccp import _const_equal
+        return _const_equal(a, b)
+
+    @staticmethod
+    def _meet(a, b):
+        if a == _BOTTOM or b == _BOTTOM:
+            return _BOTTOM
+        if a == _TOP:
+            return b
+        if b == _TOP:
+            return a
+        return a if _const_equal(a, b) else _BOTTOM
+
+
+def _const_equal(a, b):
+    from repro.ir import ConstantFloat
+    if isinstance(a, str) or isinstance(b, str):
+        return a == b
+    if isinstance(a, ConstantInt) and isinstance(b, ConstantInt):
+        return a.value == b.value and a.type == b.type
+    if isinstance(a, ConstantFloat) and isinstance(b, ConstantFloat):
+        return a.value == b.value
+    return a is b
+
+
+class _SCCPSolver:
+    """Solves the SCCP data-flow problem for one function.
+
+    ``arg_states`` optionally seeds argument lattice cells (used by ipsccp);
+    unseeded arguments start at bottom.
+    """
+
+    def __init__(self, function, arg_states=None, call_oracle=None):
+        self.function = function
+        self.lattice = _Lattice()
+        self.executable_edges = set()
+        self.executable_blocks = set()
+        self.ssa_worklist = []
+        self.cfg_worklist = []
+        self.call_oracle = call_oracle
+        for arg in function.args:
+            state = _BOTTOM
+            if arg_states is not None:
+                state = arg_states.get(arg.index, _BOTTOM)
+            self.lattice.values[id(arg)] = state
+
+    def solve(self):
+        entry = self.function.entry
+        self.cfg_worklist.append((None, entry))
+        while self.cfg_worklist or self.ssa_worklist:
+            while self.cfg_worklist:
+                pred, block = self.cfg_worklist.pop()
+                edge = (id(pred), id(block))
+                first_visit = block not in self.executable_blocks
+                if edge in self.executable_edges:
+                    continue
+                self.executable_edges.add(edge)
+                self.executable_blocks.add(block)
+                for phi in block.phis():
+                    self._visit(phi)
+                if first_visit:
+                    for inst in block.instructions:
+                        if not isinstance(inst, PhiInst):
+                            self._visit(inst)
+            while self.ssa_worklist:
+                inst = self.ssa_worklist.pop()
+                if inst.parent in self.executable_blocks:
+                    self._visit(inst)
+        return self.lattice
+
+    def _mark_users(self, value):
+        for user in value.users:
+            if isinstance(user, Instruction):
+                self.ssa_worklist.append(user)
+
+    def _update(self, inst, state):
+        if self.lattice.meet_into(inst, state):
+            self._mark_users(inst)
+
+    def _visit(self, inst):
+        if isinstance(inst, PhiInst):
+            state = _TOP
+            for value, pred in inst.incoming():
+                if (id(pred), id(inst.parent)) in self.executable_edges:
+                    state = self.lattice._meet(state,
+                                               self.lattice.get(value))
+            self._update(inst, state)
+            return
+        if isinstance(inst, CondBranchInst):
+            cond = self.lattice.get(inst.condition)
+            if cond == _BOTTOM:
+                self.cfg_worklist.append((inst.parent, inst.true_target))
+                self.cfg_worklist.append((inst.parent, inst.false_target))
+            elif isinstance(cond, ConstantInt):
+                target = inst.true_target if cond.value else inst.false_target
+                self.cfg_worklist.append((inst.parent, target))
+            return
+        if isinstance(inst, BranchInst):
+            self.cfg_worklist.append((inst.parent, inst.target))
+            return
+        if isinstance(inst, (BinaryInst, ICmpInst, FCmpInst, CastInst,
+                             SelectInst)):
+            self._update(inst, self._evaluate(inst))
+            return
+        if isinstance(inst, CallInst):
+            state = _BOTTOM
+            if self.call_oracle is not None and not inst.is_intrinsic():
+                state = self.call_oracle(inst, self.lattice)
+            if not inst.type.is_void():
+                self._update(inst, state)
+            return
+        # Any other value-producing instruction (loads, allocas, geps)
+        # reads state SCCP does not model: it must be overdefined, NOT
+        # top — a top cell would make derived values fold as if undef.
+        if not inst.type.is_void():
+            self._update(inst, _BOTTOM)
+
+    def _evaluate(self, inst):
+        states = [self.lattice.get(op) for op in inst.operands]
+        if any(s == _BOTTOM for s in states):
+            # Select with known condition can still be constant.
+            if isinstance(inst, SelectInst):
+                cond = states[0]
+                if isinstance(cond, ConstantInt):
+                    return states[1] if cond.value else states[2]
+            return _BOTTOM
+        if any(s == _TOP for s in states):
+            return _TOP
+        if isinstance(inst, BinaryInst):
+            result = fold_binary(inst.opcode, states[0], states[1],
+                                 inst.type)
+            return result if result is not None else _BOTTOM
+        if isinstance(inst, ICmpInst):
+            result = fold_icmp(inst.predicate, states[0], states[1])
+            return result if result is not None else _BOTTOM
+        if isinstance(inst, FCmpInst):
+            result = fold_fcmp(inst.predicate, states[0], states[1])
+            return result if result is not None else _BOTTOM
+        if isinstance(inst, CastInst):
+            result = fold_cast(inst.opcode, states[0], inst.value.type,
+                               inst.type)
+            return result if result is not None else _BOTTOM
+        if isinstance(inst, SelectInst):
+            cond = states[0]
+            if isinstance(cond, ConstantInt):
+                return states[1] if cond.value else states[2]
+            return _BOTTOM
+        return _BOTTOM
+
+
+def _apply_lattice(function, lattice, executable_blocks):
+    """Rewrite the function according to solved lattice values."""
+    from repro.ir.values import Constant
+
+    changed = False
+    for block in function.blocks:
+        if block not in executable_blocks:
+            continue
+        for inst in list(block.instructions):
+            if inst.type.is_void() or isinstance(inst, Constant):
+                continue
+            state = lattice.values.get(id(inst))
+            if state is not None and not isinstance(state, str):
+                if inst.has_side_effects():
+                    # Keep the instruction (it may trap or print) but let
+                    # its users see the constant.
+                    if inst.is_used():
+                        inst.replace_all_uses_with(state)
+                        changed = True
+                else:
+                    replace_and_erase(inst, state)
+                    changed = True
+    # Fold branches whose condition became constant.
+    for block in function.blocks:
+        changed |= constant_fold_terminator(block)
+    changed |= delete_dead_instructions(function)
+    return changed
+
+
+@register_pass("sccp")
+class SCCP(FunctionPass):
+    def run_on_function(self, function):
+        solver = _SCCPSolver(function)
+        lattice = solver.solve()
+        return _apply_lattice(function, lattice, solver.executable_blocks)
+
+
+@register_pass("ipsccp")
+class IPSCCP(Pass):
+    """Interprocedural SCCP.
+
+    Iterates function-local SCCP with argument lattices seeded from all
+    call sites and return lattices fed back to callers, until a fixed
+    point (bounded by a small round count).
+    """
+
+    def run(self, module):
+        functions = module.defined_functions()
+        arg_states = {f.name: {} for f in functions}
+        return_states = {}
+        # Seed: externally callable functions (main) get bottom arguments.
+        for function in functions:
+            for arg in function.args:
+                default = _BOTTOM if function.name == "main" else _TOP
+                arg_states[function.name][arg.index] = default
+
+        for _ in range(4):
+            progressed = False
+            return_states_new = {}
+
+            def oracle(call, lattice):
+                # Feed argument states into callee and read back its
+                # return state from the previous round.
+                callee = call.callee
+                if callee.name not in arg_states:
+                    return _BOTTOM
+                for index, arg in enumerate(call.args):
+                    state = lattice.get(arg)
+                    cell = arg_states[callee.name]
+                    old = cell.get(index, _TOP)
+                    cell[index] = _Lattice._meet(old, state)
+                return return_states.get(callee.name, _TOP)
+
+            for function in functions:
+                solver = _SCCPSolver(function,
+                                     arg_states[function.name],
+                                     call_oracle=oracle)
+                lattice = solver.solve()
+                # Compute the function's return state.
+                ret_state = _TOP
+                for block in function.blocks:
+                    if block not in solver.executable_blocks:
+                        continue
+                    term = block.terminator()
+                    if isinstance(term, RetInst) and term.value is not None:
+                        ret_state = _Lattice._meet(
+                            ret_state, lattice.get(term.value))
+                return_states_new[function.name] = ret_state
+            if return_states_new != return_states:
+                unequal = False
+                for name, state in return_states_new.items():
+                    old = return_states.get(name, _TOP)
+                    if not _const_equal(state, old):
+                        unequal = True
+                if not unequal:
+                    break
+                progressed = True
+            return_states = return_states_new
+            if not progressed:
+                break
+
+        changed = False
+        for function in functions:
+            def final_oracle(call, lattice, _rs=return_states):
+                return _rs.get(call.callee.name, _BOTTOM)
+
+            solver = _SCCPSolver(function, arg_states[function.name],
+                                 call_oracle=final_oracle)
+            lattice = solver.solve()
+            changed |= _apply_lattice(function, lattice,
+                                      solver.executable_blocks)
+        return changed

@@ -1,0 +1,238 @@
+"""simplifycfg: CFG cleanup.
+
+Folds constant branches, removes unreachable blocks, merges straight-line
+block chains, skips empty forwarding blocks, collapses trivial phis, and
+if-converts small diamonds into selects.
+"""
+
+from repro.ir import (
+    BranchInst,
+    CondBranchInst,
+    PhiInst,
+    SelectInst,
+)
+from repro.ir.cfg import reachable_blocks
+from repro.passes.base import FunctionPass, register_pass
+from repro.passes.utils import (
+    constant_fold_terminator,
+    is_pure,
+    remove_block_from_phis,
+)
+
+
+@register_pass("simplifycfg")
+class SimplifyCFG(FunctionPass):
+    def run_on_function(self, function):
+        changed = False
+        progress = True
+        while progress:
+            progress = False
+            progress |= self._fold_constant_branches(function)
+            progress |= self._remove_unreachable(function)
+            progress |= self._collapse_trivial_phis(function)
+            progress |= self._merge_chains(function)
+            progress |= self._skip_forwarding_blocks(function)
+            progress |= self._diamond_to_select(function)
+            changed |= progress
+        return changed
+
+    @staticmethod
+    def _fold_constant_branches(function):
+        changed = False
+        for block in function.blocks:
+            changed |= constant_fold_terminator(block)
+        return changed
+
+    @staticmethod
+    def _remove_unreachable(function):
+        reachable = reachable_blocks(function)
+        dead = [b for b in function.blocks if b not in reachable]
+        if not dead:
+            return False
+        dead_set = set(dead)
+        for block in dead:
+            for succ in block.successors():
+                if succ not in dead_set:
+                    remove_block_from_phis(block, succ)
+        for block in dead:
+            # Break def-use links into the live region first.
+            for inst in list(block.instructions):
+                from repro.ir import UndefValue
+                if not inst.type.is_void() and inst.is_used():
+                    inst.replace_all_uses_with(UndefValue(inst.type))
+            block.remove_from_parent()
+        return True
+
+    @staticmethod
+    def _collapse_trivial_phis(function):
+        changed = False
+        progress = True
+        while progress:
+            progress = False
+            for block in function.blocks:
+                preds = block.predecessors()
+                for phi in list(block.phis()):
+                    if len(preds) == 1 and len(phi.operands) == 1:
+                        phi.replace_all_uses_with(phi.operands[0])
+                        phi.erase_from_parent()
+                        progress = True
+                        continue
+                    values = [v for v in phi.operands if v is not phi]
+                    if values and all(v is values[0] for v in values):
+                        phi.replace_all_uses_with(values[0])
+                        phi.erase_from_parent()
+                        progress = True
+            changed |= progress
+        return changed
+
+    @staticmethod
+    def _merge_chains(function):
+        """Merge ``a -> b`` when a's only successor is b and b's only
+        predecessor is a."""
+        changed = False
+        progress = True
+        while progress:
+            progress = False
+            for block in list(function.blocks):
+                term = block.terminator()
+                if not isinstance(term, BranchInst):
+                    continue
+                succ = term.target
+                if succ is block or succ is function.entry:
+                    continue
+                if len(succ.predecessors()) != 1:
+                    continue
+                # Fold phis in succ (single predecessor).
+                for phi in list(succ.phis()):
+                    phi.replace_all_uses_with(phi.incoming_value_for(block))
+                    phi.erase_from_parent()
+                term.erase_from_parent()
+                after_blocks = succ.successors()
+                for inst in list(succ.instructions):
+                    succ.instructions.remove(inst)
+                    block.append(inst)
+                for after in after_blocks:
+                    for phi in after.phis():
+                        phi.replace_incoming_block(succ, block)
+                succ.parent = None
+                function.blocks.remove(succ)
+                progress = True
+                changed = True
+                break
+        return changed
+
+    @staticmethod
+    def _skip_forwarding_blocks(function):
+        """Rewire predecessors around empty blocks that just ``br`` on."""
+        changed = False
+        for block in list(function.blocks):
+            if block is function.entry:
+                continue
+            if len(block.instructions) != 1:
+                continue
+            term = block.terminator()
+            if not isinstance(term, BranchInst):
+                continue
+            target = term.target
+            if target is block:
+                continue
+            # Safe only if target's phis can absorb the rewire: for each
+            # predecessor P of block, target must not already have P as a
+            # predecessor (else phi would need two entries with possibly
+            # different values), unless target has no phis.
+            preds = block.predecessors()
+            if not preds:
+                continue
+            target_preds = target.predecessors()
+            if target.phis():
+                if any(p in target_preds for p in preds):
+                    continue
+            for pred in preds:
+                pred.terminator().replace_successor(block, target)
+                for phi in target.phis():
+                    phi.add_incoming(phi.incoming_value_for(block), pred)
+            for phi in target.phis():
+                phi.remove_incoming(block)
+            block.remove_from_parent()
+            changed = True
+        return changed
+
+    @staticmethod
+    def _diamond_to_select(function):
+        """If-convert diamonds/triangles whose arms are empty.
+
+        ``if (c) x = a; else x = b;`` after mem2reg becomes a diamond whose
+        arms hold no instructions and a phi at the join — convert the phi
+        into a select and fold the branch.
+        """
+        changed = False
+        for block in list(function.blocks):
+            term = block.terminator()
+            if not isinstance(term, CondBranchInst):
+                continue
+            true_block, false_block = term.true_target, term.false_target
+            if true_block is false_block:
+                continue
+
+            def is_empty_forward(candidate, join):
+                return (len(candidate.instructions) == 1
+                        and isinstance(candidate.terminator(), BranchInst)
+                        and candidate.terminator().target is join
+                        and candidate.predecessors() == [block])
+
+            join = None
+            arm_true = arm_false = None
+            # Diamond: block -> t -> join, block -> f -> join.
+            if (isinstance(true_block.terminator(), BranchInst)
+                    and isinstance(false_block.terminator(), BranchInst)
+                    and true_block.terminator().target
+                    is false_block.terminator().target):
+                join = true_block.terminator().target
+                if not (is_empty_forward(true_block, join)
+                        and is_empty_forward(false_block, join)):
+                    continue
+                arm_true, arm_false = true_block, false_block
+            # Triangle: block -> t -> join, block -> join.
+            elif (isinstance(true_block.terminator(), BranchInst)
+                    and true_block.terminator().target is false_block):
+                join = false_block
+                if not is_empty_forward(true_block, join):
+                    continue
+                arm_true, arm_false = true_block, block
+            elif (isinstance(false_block.terminator(), BranchInst)
+                    and false_block.terminator().target is true_block):
+                join = true_block
+                if not is_empty_forward(false_block, join):
+                    continue
+                arm_true, arm_false = block, false_block
+            else:
+                continue
+            if join is block or not join.phis():
+                continue
+            join_preds = join.predecessors()
+            if sorted(map(id, join_preds)) != sorted(
+                    map(id, {id(arm_true): arm_true,
+                             id(arm_false): arm_false}.values())):
+                continue
+            condition = term.condition
+            insert_at = block.instructions.index(term)
+            for phi in list(join.phis()):
+                tv = phi.incoming_value_for(arm_true)
+                fv = phi.incoming_value_for(arm_false)
+                if tv is fv:
+                    phi.replace_all_uses_with(tv)
+                    phi.erase_from_parent()
+                    continue
+                select = SelectInst(condition, tv, fv,
+                                    function.next_name("sel"))
+                block.insert(insert_at, select)
+                insert_at += 1
+                phi.replace_all_uses_with(select)
+                phi.erase_from_parent()
+            term.erase_from_parent()
+            block.append(BranchInst(join))
+            for arm in (arm_true, arm_false):
+                if arm is not block:
+                    arm.remove_from_parent()
+            changed = True
+        return changed

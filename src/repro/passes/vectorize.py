@@ -1,0 +1,49 @@
+"""loop-vectorize / slp-vectorizer.
+
+The IR stays scalar (see DESIGN.md): these phases enable the backend's
+SLP fuser, which packs groups of four independent, consecutive,
+same-opcode float operations into one SIMD machine instruction on targets
+that have vector units (the x86-like target; the RISC-V-like target
+ignores the attribute).
+
+``loop-vectorize`` additionally performs an interleaving unroll of small
+counted loops (the scalar part of vectorization) so that the straight-line
+body exposes the independent operation groups the fuser needs.
+``slp-vectorizer`` only marks straight-line code as fusable.
+"""
+
+from repro.passes.base import FunctionPass, register_pass
+from repro.passes.loop_misc import LoopDeletion  # noqa: F401 (registry)
+from repro.passes.loop_unroll import LoopUnroll
+
+SLP_ATTRIBUTE = "slp-enabled"
+
+
+@register_pass("slp-vectorizer")
+class SLPVectorizer(FunctionPass):
+    def run_on_function(self, function):
+        if SLP_ATTRIBUTE in function.attributes:
+            return False
+        # Only meaningful when there is straight-line float math to pack.
+        float_ops = sum(
+            1 for inst in function.instructions()
+            if getattr(inst, "opcode", "") in ("fadd", "fsub", "fmul",
+                                               "fdiv"))
+        if float_ops < 4:
+            return False
+        function.attributes.add(SLP_ATTRIBUTE)
+        return True
+
+
+@register_pass("loop-vectorize")
+class LoopVectorize(FunctionPass):
+    """Interleaving unroll + SLP enablement."""
+
+    def run_on_function(self, function):
+        unroller = LoopUnroll()
+        unroller.MAX_TRIP_COUNT = 32
+        unroller.MAX_BODY_INSTRUCTIONS = 24
+        changed = unroller.run_on_function(function)
+        if changed and SLP_ATTRIBUTE not in function.attributes:
+            function.attributes.add(SLP_ATTRIBUTE)
+        return changed

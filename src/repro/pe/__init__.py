@@ -1,0 +1,13 @@
+"""Performance Estimator: Alg. 1 model search + multi-output estimator."""
+
+from repro.pe.estimator import FAST_MODELS, PerformanceEstimator
+from repro.pe.model_search import (
+    FittedPipeline,
+    heuristic_model_search,
+    model_search,
+)
+
+__all__ = [
+    "PerformanceEstimator", "FAST_MODELS",
+    "model_search", "heuristic_model_search", "FittedPipeline",
+]

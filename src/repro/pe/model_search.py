@@ -1,0 +1,157 @@
+"""Model search for fitting the Performance Estimator (paper Alg. 1).
+
+``model_search`` is the literal Alg. 1: iterate a candidate list, train,
+test, keep the best, stop early when the accuracy threshold is reached.
+``heuristic_model_search`` wraps it in the Optuna-like Study (paper
+Fig. 3) to also tune the preprocessing choice and model hyperparameters.
+"""
+
+import numpy as np
+
+from repro.models import create_model, r2_score
+from repro.preprocess import create_preprocessor
+from repro.search import create_study
+
+
+class FittedPipeline:
+    """(preprocessor, model) pair with a sklearn-like surface.
+
+    ``target_transform="log"`` fits the model on log1p(y) and predicts
+    back through expm1 — the standard treatment for dynamic features
+    whose range spans orders of magnitude across programs (execution
+    time, energy, instruction counts), and what keeps *relative* error
+    small, which is the paper's accuracy currency.
+    """
+
+    def __init__(self, preprocessor, model, target_transform=None):
+        self.preprocessor = preprocessor
+        self.model = model
+        self.target_transform = target_transform
+
+    def _encode_y(self, y):
+        if self.target_transform == "log":
+            return np.log1p(np.maximum(y, 0.0))
+        return y
+
+    def _decode_y(self, y):
+        if self.target_transform == "log":
+            return np.expm1(np.clip(y, 0.0, 700.0))
+        return y
+
+    def fit(self, X, y):
+        y = np.asarray(y, dtype=float)
+        Z = self.preprocessor.fit_transform(X, y)
+        self.model.fit(Z, self._encode_y(y))
+        return self
+
+    def predict(self, X):
+        raw = self.model.predict(self.preprocessor.transform(X))
+        return self._decode_y(raw)
+
+    def score(self, X, y):
+        return r2_score(y, self.predict(X))
+
+    def relative_accuracy(self, X, y):
+        """1 - MAPE (clipped at 0): the search currency matching the
+        paper's percentage-error reporting."""
+        from repro.models import mean_absolute_percentage_error
+        return max(0.0, 1.0 - mean_absolute_percentage_error(
+            y, self.predict(X)))
+
+
+def model_search(X_train, y_train, X_test, y_test, model_names,
+                 accuracy_threshold=0.97, preprocessor_name="mean-std",
+                 model_kwargs=None, target_transform=None):
+    """Paper Alg. 1: MODELSEARCH(input, accuracy_thr, list_models).
+
+    Returns (best_pipeline, best_accuracy, n_models_tried).  Accuracy is
+    the R² test score ("higher accuracy is better").
+    """
+    model_kwargs = model_kwargs or {}
+    best_accuracy = -np.inf
+    best_pipeline = None
+    tried = 0
+    for name in model_names:
+        pipeline = FittedPipeline(
+            create_preprocessor(preprocessor_name),
+            create_model(name, **model_kwargs.get(name, {})),
+            target_transform=target_transform)
+        try:
+            pipeline.fit(X_train, y_train)
+            accuracy = pipeline.score(X_test, y_test)
+        except Exception:
+            tried += 1
+            continue
+        tried += 1
+        if accuracy > best_accuracy:
+            best_accuracy = accuracy
+            best_pipeline = pipeline
+        if best_accuracy > accuracy_threshold:
+            break
+    return best_pipeline, best_accuracy, tried
+
+
+# Hyperparameter spaces for the heuristic search.
+def _suggest_model(trial, name):
+    if name in ("ridge", "kernel-ridge"):
+        return {"alpha": trial.suggest_float(f"{name}:alpha", 1e-3, 10.0,
+                                             log=True)}
+    if name in ("lasso", "elasticnet"):
+        params = {"alpha": trial.suggest_float(f"{name}:alpha", 1e-4, 1.0,
+                                               log=True)}
+        if name == "elasticnet":
+            params["l1_ratio"] = trial.suggest_float(
+                f"{name}:l1_ratio", 0.1, 0.9)
+        return params
+    if name in ("svr", "nu-svr"):
+        return {"C": trial.suggest_float(f"{name}:C", 0.1, 100.0,
+                                         log=True)}
+    if name in ("decision-tree", "extra-tree"):
+        return {"max_depth": trial.suggest_int(f"{name}:max_depth", 3, 12)}
+    if name == "random-forest":
+        return {"n_estimators": trial.suggest_int(f"{name}:trees", 10, 40),
+                "max_depth": trial.suggest_int(f"{name}:max_depth", 4, 12)}
+    if name == "mlp":
+        width = trial.suggest_int(f"{name}:width", 8, 64)
+        return {"hidden": (width, max(4, width // 2)),
+                "epochs": trial.suggest_int(f"{name}:epochs", 100, 400)}
+    if name == "sgd":
+        return {"learning_rate": trial.suggest_float(
+            f"{name}:lr", 1e-3, 0.1, log=True)}
+    return {}
+
+
+def heuristic_model_search(X_train, y_train, X_test, y_test,
+                           model_names, preprocessor_names,
+                           n_trials=30, accuracy_threshold=0.995,
+                           seed=0, target_transform=None):
+    """Optuna-style joint search over (preprocessing, model, hparams).
+
+    The objective is relative accuracy (1 - MAPE): the paper reports
+    percentage errors, and R² rewards getting the big programs right
+    while ignoring order-of-magnitude misses on the small ones.
+    """
+    study = create_study("maximize", seed=seed)
+    best = {"pipeline": None, "accuracy": -np.inf}
+
+    def objective(trial):
+        model_name = trial.suggest_categorical("model", list(model_names))
+        pre_name = trial.suggest_categorical("preprocessor",
+                                             list(preprocessor_names))
+        params = _suggest_model(trial, model_name)
+        pipeline = FittedPipeline(create_preprocessor(pre_name),
+                                  create_model(model_name, **params),
+                                  target_transform=target_transform)
+        pipeline.fit(X_train, y_train)
+        accuracy = pipeline.relative_accuracy(X_test, y_test)
+        if accuracy > best["accuracy"]:
+            best["accuracy"] = accuracy
+            best["pipeline"] = pipeline
+        return accuracy
+
+    def early_stop(study_, trial_):
+        return best["accuracy"] > accuracy_threshold
+
+    study.optimize(objective, n_trials, callbacks=(early_stop,),
+                   catch_errors=True)
+    return best["pipeline"], best["accuracy"], study

@@ -1,0 +1,83 @@
+"""MLComp: the four-step methodology orchestration (paper Fig. 2).
+
+1. Data Extraction         -> :class:`repro.profiling.DataExtractor`
+2. PE model training       -> :class:`repro.pe.PerformanceEstimator`
+3. Policy training (RL)    -> :class:`repro.rl.ReinforceTrainer`
+4. Deployment (PSS)        -> :class:`repro.pss.PhaseSequenceSelector`
+"""
+
+from repro.passes import available_phases
+from repro.pe import PerformanceEstimator
+from repro.profiling import DataExtractor
+from repro.pss import PhaseSequenceSelector
+from repro.rl import ReinforceTrainer, RewardConfig, TrainingConfig
+from repro.sim import Platform
+from repro.workloads import default_suite_for, load_suite
+
+
+class MLComp:
+    """End-to-end MLComp for one (platform, application domain) pair."""
+
+    def __init__(self, target="x86", suite=None, phases=None,
+                 measurement_seed=0):
+        self.platform = Platform(target, measurement_seed)
+        suite = suite or default_suite_for(target)
+        self.workloads = load_suite(suite)
+        self.suite = suite
+        self.phases = list(phases or available_phases())
+        self.dataset = None
+        self.estimator = None
+        self.trainer = None
+        self.selector = None
+
+    # -- step 1 ----------------------------------------------------------
+    def extract_data(self, n_sequences=15, seed=0, verbose=False):
+        extractor = DataExtractor(self.platform, self.workloads,
+                                  verbose=verbose)
+        self.dataset = extractor.extract(n_sequences=n_sequences,
+                                         seed=seed)
+        self._extractor = extractor
+        return self.dataset
+
+    # -- step 2 -----------------------------------------------------------
+    def train_estimator(self, mode="fast", **kwargs):
+        if self.dataset is None:
+            self.extract_data()
+        self.estimator = PerformanceEstimator().train(self.dataset,
+                                                      mode=mode, **kwargs)
+        return self.estimator
+
+    # -- step 3 ------------------------------------------------------------
+    def train_policy(self, config=None, reward_config=None,
+                     progress=None):
+        if self.estimator is None:
+            self.train_estimator()
+        self.trainer = ReinforceTrainer(
+            self.workloads, self.platform, self.estimator, self.phases,
+            config=config or TrainingConfig(),
+            reward_config=reward_config or RewardConfig())
+        policy = self.trainer.train(progress=progress)
+        self.selector = PhaseSequenceSelector(
+            policy, self.trainer.encoder, self.phases,
+            max_sequence_length=(config or TrainingConfig())
+            .max_sequence_length * 2,
+            max_inactive_length=8)
+        return self.selector
+
+    # -- step 4 -------------------------------------------------------------
+    def optimize(self, module):
+        """Apply the trained PSS to an IR module (in place)."""
+        if self.selector is None:
+            raise RuntimeError("train_policy() first")
+        return self.selector.optimize(module)
+
+    def evaluate_workload(self, workload, sequence=None):
+        """Measurement of a workload under the PSS (or a fixed
+        sequence)."""
+        module = workload.compile()
+        if sequence is None:
+            self.optimize(module)
+        else:
+            from repro.passes import PassManager
+            PassManager().run(module, sequence)
+        return self.platform.profile(module)

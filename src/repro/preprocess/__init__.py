@@ -1,0 +1,53 @@
+"""Preprocessing algorithms of the paper's Table III.
+
+======================  =================================
+Paper name              Registry name
+======================  =================================
+PCA                     ``pca``
+Kernel PCA              ``kernel-pca``
+NCA                     ``nca``
+Mean-Std Scaling        ``mean-std``
+Min-Max Scaling         ``min-max``
+Max-Abs Scaling         ``max-abs``
+Robust Scaling          ``robust``
+Power Transformer       ``power``
+Quantile Transformer    ``quantile``
+(no preprocessing)      ``none``
+======================  =================================
+"""
+
+from repro.preprocess.base import (
+    PREPROCESSOR_REGISTRY,
+    Identity,
+    Preprocessor,
+    available_preprocessors,
+    create_preprocessor,
+    register_preprocessor,
+)
+from repro.preprocess.scalers import (
+    MaxAbsScaler,
+    MinMaxScaler,
+    RobustScaler,
+    StandardScaler,
+)
+from repro.preprocess.pca import NCA, KernelPCA, PCA, minka_mle_dimension
+from repro.preprocess.transformers import (
+    PowerTransformer,
+    QuantileTransformer,
+)
+
+TABLE_III_PREPROCESSORS = (
+    "pca", "kernel-pca", "nca",
+    "mean-std", "min-max", "max-abs",
+    "robust", "power", "quantile",
+)
+
+__all__ = [
+    "Preprocessor", "Identity", "PREPROCESSOR_REGISTRY",
+    "available_preprocessors", "create_preprocessor",
+    "register_preprocessor",
+    "StandardScaler", "MinMaxScaler", "MaxAbsScaler", "RobustScaler",
+    "PCA", "KernelPCA", "NCA", "minka_mle_dimension",
+    "PowerTransformer", "QuantileTransformer",
+    "TABLE_III_PREPROCESSORS",
+]

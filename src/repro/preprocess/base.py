@@ -1,0 +1,53 @@
+"""Preprocessor protocol + registry (paper Table III)."""
+
+import numpy as np
+
+# name -> factory; populated by @register_preprocessor.
+PREPROCESSOR_REGISTRY = {}
+
+
+def register_preprocessor(name):
+    def decorate(cls):
+        PREPROCESSOR_REGISTRY[name] = cls
+        cls.preprocessor_name = name
+        return cls
+    return decorate
+
+
+def available_preprocessors():
+    return sorted(PREPROCESSOR_REGISTRY)
+
+
+def create_preprocessor(name, **kwargs):
+    try:
+        factory = PREPROCESSOR_REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown preprocessor {name!r}") from None
+    return factory(**kwargs)
+
+
+class Preprocessor:
+    """fit/transform protocol.  ``y`` is optional (NCA uses it)."""
+
+    preprocessor_name = "<abstract>"
+
+    def fit(self, X, y=None):
+        raise NotImplementedError
+
+    def transform(self, X):
+        raise NotImplementedError
+
+    def fit_transform(self, X, y=None):
+        self.fit(X, y)
+        return self.transform(X)
+
+
+@register_preprocessor("none")
+class Identity(Preprocessor):
+    """No preprocessing (the search baseline)."""
+
+    def fit(self, X, y=None):
+        return self
+
+    def transform(self, X):
+        return np.asarray(X, dtype=float)

@@ -1,0 +1,186 @@
+"""PCA with Minka-MLE dimensionality selection, and RBF kernel PCA
+(paper Table III, first row; the PSS input uses PCA with MLE, §IV)."""
+
+import numpy as np
+
+from repro.preprocess.base import Preprocessor, register_preprocessor
+
+
+def minka_mle_dimension(eigenvalues, n_samples):
+    """Minka's MLE for the intrinsic PCA dimensionality (NIPS 2000).
+
+    Evaluates the (log-)evidence of each candidate dimension ``k`` and
+    returns the argmax.
+    """
+    eigenvalues = np.asarray(
+        [e for e in eigenvalues if e > 1e-12], dtype=float)
+    n_features = len(eigenvalues)
+    if n_features <= 1:
+        return max(1, n_features)
+    best_k = 1
+    best_ll = -np.inf
+    for k in range(1, n_features):
+        # Log-likelihood of a probabilistic PCA model with dimension k.
+        sigma2 = eigenvalues[k:].mean()
+        if sigma2 <= 0:
+            continue
+        ll = -0.5 * n_samples * (
+            np.log(eigenvalues[:k]).sum()
+            + (n_features - k) * np.log(sigma2))
+        # Penalty term ~ number of free parameters (BIC-flavoured
+        # simplification of Minka's Laplace evidence).
+        params = n_features * k - k * (k - 1) / 2.0 + k + 1
+        ll -= 0.5 * params * np.log(n_samples)
+        if ll > best_ll:
+            best_ll = ll
+            best_k = k
+    return best_k
+
+
+@register_preprocessor("pca")
+class PCA(Preprocessor):
+    """Principal component analysis via SVD.
+
+    ``n_components`` may be an int, a float in (0,1) (explained-variance
+    target), or ``"mle"`` (Minka's automatic choice).
+    """
+
+    def __init__(self, n_components="mle", whiten=False):
+        self.n_components = n_components
+        self.whiten = whiten
+
+    def fit(self, X, y=None):
+        X = np.asarray(X, dtype=float)
+        self.mean_ = X.mean(axis=0)
+        centered = X - self.mean_
+        _, singular_values, vt = np.linalg.svd(centered,
+                                               full_matrices=False)
+        n_samples = max(X.shape[0] - 1, 1)
+        explained = (singular_values ** 2) / n_samples
+        if self.n_components == "mle":
+            k = minka_mle_dimension(explained, X.shape[0])
+        elif isinstance(self.n_components, float) and \
+                0 < self.n_components < 1:
+            total = explained.sum()
+            ratio = np.cumsum(explained) / total if total > 0 else \
+                np.ones_like(explained)
+            k = int(np.searchsorted(ratio, self.n_components) + 1)
+        else:
+            k = int(self.n_components)
+        k = max(1, min(k, len(singular_values)))
+        self.n_components_ = k
+        self.components_ = vt[:k]
+        self.explained_variance_ = explained[:k]
+        return self
+
+    def transform(self, X):
+        centered = np.asarray(X, dtype=float) - self.mean_
+        projected = centered @ self.components_.T
+        if self.whiten:
+            projected = projected / np.sqrt(
+                np.maximum(self.explained_variance_, 1e-12))
+        return projected
+
+
+@register_preprocessor("kernel-pca")
+class KernelPCA(Preprocessor):
+    """Kernel PCA with an RBF kernel."""
+
+    def __init__(self, n_components=8, gamma=None):
+        self.n_components = n_components
+        self.gamma = gamma
+
+    def _kernel(self, A, B):
+        sq = (np.sum(A ** 2, axis=1)[:, None]
+              + np.sum(B ** 2, axis=1)[None, :]
+              - 2.0 * A @ B.T)
+        return np.exp(-self.gamma_ * np.maximum(sq, 0.0))
+
+    def fit(self, X, y=None):
+        X = np.asarray(X, dtype=float)
+        self.X_fit_ = X
+        self.gamma_ = self.gamma if self.gamma is not None \
+            else 1.0 / max(X.shape[1], 1)
+        K = self._kernel(X, X)
+        n = K.shape[0]
+        ones = np.full((n, n), 1.0 / n)
+        K_centered = K - ones @ K - K @ ones + ones @ K @ ones
+        eigenvalues, eigenvectors = np.linalg.eigh(K_centered)
+        order = np.argsort(eigenvalues)[::-1]
+        k = min(self.n_components, n)
+        self.eigenvalues_ = np.maximum(eigenvalues[order][:k], 1e-12)
+        self.alphas_ = eigenvectors[:, order][:, :k]
+        self._K_fit_rows = K.mean(axis=1)
+        self._K_fit_all = K.mean()
+        return self
+
+    def transform(self, X):
+        K = self._kernel(np.asarray(X, dtype=float), self.X_fit_)
+        K_centered = (K - K.mean(axis=1)[:, None]
+                      - self._K_fit_rows[None, :] + self._K_fit_all)
+        return K_centered @ (self.alphas_ / np.sqrt(self.eigenvalues_))
+
+
+@register_preprocessor("nca")
+class NCA(Preprocessor):
+    """Neighbourhood components analysis, adapted for regression.
+
+    Targets are discretized into quantile bins (NCA is a metric learner
+    for classification); a linear map A is optimized by gradient ascent on
+    the expected leave-one-out soft-neighbour accuracy.
+    """
+
+    def __init__(self, n_components=8, n_bins=5, iterations=40,
+                 learning_rate=0.05, seed=0):
+        self.n_components = n_components
+        self.n_bins = n_bins
+        self.iterations = iterations
+        self.learning_rate = learning_rate
+        self.seed = seed
+
+    def fit(self, X, y=None):
+        X = np.asarray(X, dtype=float)
+        n, d = X.shape
+        k = min(self.n_components, d)
+        # Standardize internally for stable gradients.
+        self._mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0] = 1.0
+        self._scale = scale
+        Xs = (X - self._mean) / self._scale
+        rng = np.random.default_rng(self.seed)
+        if y is None:
+            # Unsupervised fallback: random projection refined to PCA.
+            pca = PCA(n_components=k).fit(Xs)
+            self.A_ = pca.components_
+            return self
+        y = np.asarray(y, dtype=float)
+        edges = np.quantile(y, np.linspace(0, 1, self.n_bins + 1)[1:-1])
+        labels = np.digitize(y, edges)
+        A = rng.normal(0.0, 0.1, size=(k, d))
+        same = labels[:, None] == labels[None, :]
+        for _ in range(self.iterations):
+            Z = Xs @ A.T                       # n x k
+            diff = Z[:, None, :] - Z[None, :, :]
+            sq = np.sum(diff ** 2, axis=2)
+            np.fill_diagonal(sq, np.inf)
+            logits = -sq
+            logits -= logits.max(axis=1, keepdims=True)
+            P = np.exp(logits)
+            P /= np.maximum(P.sum(axis=1, keepdims=True), 1e-12)
+            p_i = (P * same).sum(axis=1)        # soft accuracy per point
+            # Gradient of sum(p_i) w.r.t. A (Goldberger et al. 2005).
+            Xdiff = Xs[:, None, :] - Xs[None, :, :]   # n x n x d
+            W = P * p_i[:, None] - P * same
+            # grad = 2A * sum_ij W_ij (x_i - x_j)(x_i - x_j)^T
+            WX = np.einsum("ij,ijd->id", W, Xdiff)
+            grad = 2.0 * (A @ (Xs.T @ WX + WX.T @ Xs)) / n
+            A += self.learning_rate * grad
+            if not np.all(np.isfinite(A)):
+                A = rng.normal(0.0, 0.1, size=(k, d))
+        self.A_ = A
+        return self
+
+    def transform(self, X):
+        Xs = (np.asarray(X, dtype=float) - self._mean) / self._scale
+        return Xs @ self.A_.T

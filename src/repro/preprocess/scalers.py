@@ -1,0 +1,70 @@
+"""Feature scaling preprocessors (paper Table III, bottom two rows)."""
+
+import numpy as np
+
+from repro.preprocess.base import Preprocessor, register_preprocessor
+
+
+@register_preprocessor("mean-std")
+class StandardScaler(Preprocessor):
+    """Zero mean, unit variance per feature."""
+
+    def fit(self, X, y=None):
+        X = np.asarray(X, dtype=float)
+        self.mean_ = X.mean(axis=0)
+        self.scale_ = X.std(axis=0)
+        self.scale_[self.scale_ <= 1e-12 * np.maximum(
+            np.abs(self.mean_), 1.0)] = 1.0
+        return self
+
+    def transform(self, X):
+        return (np.asarray(X, dtype=float) - self.mean_) / self.scale_
+
+
+@register_preprocessor("min-max")
+class MinMaxScaler(Preprocessor):
+    """Rescale each feature into [0, 1]."""
+
+    def fit(self, X, y=None):
+        X = np.asarray(X, dtype=float)
+        self.min_ = X.min(axis=0)
+        span = X.max(axis=0) - self.min_
+        span[span <= 1e-12 * np.maximum(np.abs(self.min_), 1.0)] = 1.0
+        self.span_ = span
+        return self
+
+    def transform(self, X):
+        return (np.asarray(X, dtype=float) - self.min_) / self.span_
+
+
+@register_preprocessor("max-abs")
+class MaxAbsScaler(Preprocessor):
+    """Divide each feature by its maximum absolute value."""
+
+    def fit(self, X, y=None):
+        X = np.asarray(X, dtype=float)
+        scale = np.abs(X).max(axis=0)
+        scale[scale <= 1e-300] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X):
+        return np.asarray(X, dtype=float) / self.scale_
+
+
+@register_preprocessor("robust")
+class RobustScaler(Preprocessor):
+    """Center on the median, scale by the interquartile range."""
+
+    def fit(self, X, y=None):
+        X = np.asarray(X, dtype=float)
+        self.median_ = np.median(X, axis=0)
+        q75 = np.percentile(X, 75, axis=0)
+        q25 = np.percentile(X, 25, axis=0)
+        iqr = q75 - q25
+        iqr[iqr <= 1e-12 * np.maximum(np.abs(self.median_), 1.0)] = 1.0
+        self.iqr_ = iqr
+        return self
+
+    def transform(self, X):
+        return (np.asarray(X, dtype=float) - self.median_) / self.iqr_

@@ -1,0 +1,15 @@
+"""Profiling and Data Extraction (paper Fig. 2, box 1)."""
+
+from repro.profiling.dataset import Dataset
+from repro.profiling.extractor import DataExtractor
+from repro.profiling.permutations import (
+    extraction_sequences,
+    random_phase_sequences,
+    standard_sequences,
+)
+
+__all__ = [
+    "Dataset", "DataExtractor",
+    "random_phase_sequences", "standard_sequences",
+    "extraction_sequences",
+]

@@ -1,0 +1,97 @@
+"""Dataset container for PE training (paper Fig. 2, box 1 output)."""
+
+import csv
+import numpy as np
+
+from repro.features import FEATURE_NAMES
+
+
+class Dataset:
+    """Feature matrix + per-metric target vectors + provenance rows."""
+
+    METRICS = ("exec_time_us", "energy_uj", "instructions", "avg_power_w")
+
+    def __init__(self, feature_names=FEATURE_NAMES):
+        self.feature_names = tuple(feature_names)
+        self.rows = []       # dict per data point
+        self._X = []
+        self._targets = {metric: [] for metric in self.METRICS}
+
+    def add(self, features, metrics, workload_name, sequence,
+            code_size=None):
+        features = np.asarray(features, dtype=float)
+        if len(features) != len(self.feature_names):
+            raise ValueError(
+                f"feature vector length {len(features)} != "
+                f"{len(self.feature_names)}")
+        self._X.append(features)
+        for metric in self.METRICS:
+            self._targets[metric].append(float(metrics[metric]))
+        self.rows.append({
+            "workload": workload_name,
+            "sequence": tuple(sequence),
+            "code_size": code_size,
+        })
+
+    def __len__(self):
+        return len(self._X)
+
+    @property
+    def X(self):
+        return np.asarray(self._X, dtype=float)
+
+    def y(self, metric):
+        return np.asarray(self._targets[metric], dtype=float)
+
+    def targets(self):
+        return {metric: self.y(metric) for metric in self.METRICS}
+
+    def split(self, test_fraction=0.25, seed=0):
+        """Random train/test index split."""
+        n = len(self)
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(n)
+        n_test = max(1, int(n * test_fraction))
+        return order[n_test:], order[:n_test]
+
+    # -- persistence --------------------------------------------------------
+    def save_npz(self, path):
+        np.savez_compressed(
+            path,
+            X=self.X,
+            feature_names=np.array(self.feature_names),
+            workloads=np.array([r["workload"] for r in self.rows]),
+            sequences=np.array(["|".join(r["sequence"])
+                                for r in self.rows]),
+            **{f"y_{m}": self.y(m) for m in self.METRICS},
+        )
+
+    @classmethod
+    def load_npz(cls, path):
+        data = np.load(path, allow_pickle=False)
+        dataset = cls(tuple(str(n) for n in data["feature_names"]))
+        X = data["X"]
+        ys = {m: data[f"y_{m}"] for m in cls.METRICS}
+        workloads = [str(w) for w in data["workloads"]]
+        sequences = [tuple(s.split("|")) if s else ()
+                     for s in (str(x) for x in data["sequences"])]
+        for i in range(X.shape[0]):
+            dataset.add(X[i], {m: ys[m][i] for m in cls.METRICS},
+                        workloads[i], sequences[i])
+        return dataset
+
+    def save_csv(self, path):
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["workload", "sequence",
+                             *self.feature_names, *self.METRICS])
+            X = self.X
+            for i, row in enumerate(self.rows):
+                writer.writerow(
+                    [row["workload"], "|".join(row["sequence"]),
+                     *X[i].tolist(),
+                     *[self.y(m)[i] for m in self.METRICS]])
+
+    def __repr__(self):
+        return (f"<Dataset {len(self)} points x "
+                f"{len(self.feature_names)} features>")

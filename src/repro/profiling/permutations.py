@@ -1,0 +1,52 @@
+"""Phase-sequence generators for Data Extraction (paper §III-A:
+"exploring different permutations of optimization phases")."""
+
+import numpy as np
+
+from repro.passes import available_phases
+
+# Phases whose effects open up the rest (seeded into random sequences so
+# the dataset covers the interesting region of the phase space).
+_ENABLERS = ("mem2reg", "simplifycfg", "instcombine")
+
+
+def random_phase_sequences(count, seed=0, min_length=2, max_length=12,
+                           phases=None):
+    """Random phase sequences, biased to include enabling phases early."""
+    rng = np.random.default_rng(seed)
+    pool = list(phases if phases is not None else available_phases())
+    sequences = []
+    for _ in range(count):
+        length = int(rng.integers(min_length, max_length + 1))
+        sequence = []
+        if rng.random() < 0.7:
+            sequence.append("mem2reg")
+        while len(sequence) < length:
+            if rng.random() < 0.15:
+                sequence.append(str(rng.choice(_ENABLERS)))
+            else:
+                sequence.append(str(rng.choice(pool)))
+        sequences.append(tuple(sequence[:length]))
+    return sequences
+
+
+def standard_sequences():
+    """The fixed -O pipelines plus the empty sequence."""
+    from repro.baselines import STANDARD_LEVELS
+    result = [()]
+    result.extend(tuple(seq) for seq in STANDARD_LEVELS.values())
+    return result
+
+
+def extraction_sequences(count, seed=0, phases=None):
+    """Standard pipelines + random permutations, deduplicated."""
+    sequences = standard_sequences()
+    sequences.extend(random_phase_sequences(count, seed=seed,
+                                            phases=phases))
+    seen = set()
+    unique = []
+    for sequence in sequences:
+        if sequence not in seen:
+            seen.add(sequence)
+            unique.append(sequence)
+    return unique

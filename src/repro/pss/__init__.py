@@ -1,0 +1,5 @@
+"""Phase Sequence Selection deployment."""
+
+from repro.pss.selector import PhaseSequenceSelector
+
+__all__ = ["PhaseSequenceSelector"]

@@ -1,0 +1,11 @@
+"""RL training of the Phase Selection Policy (paper Alg. 2)."""
+
+from repro.rl.environment import PhaseSequenceEnv, RewardConfig
+from repro.rl.policy import FeatureEncoder, PolicyNetwork
+from repro.rl.reinforce import ReinforceTrainer, TrainingConfig
+
+__all__ = [
+    "PolicyNetwork", "FeatureEncoder",
+    "PhaseSequenceEnv", "RewardConfig",
+    "ReinforceTrainer", "TrainingConfig",
+]

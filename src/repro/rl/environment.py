@@ -1,0 +1,114 @@
+"""Phase-selection RL environment.
+
+State: the program's static IR features (encoded by the policy's
+FeatureEncoder).  Action: one optimization phase.  Reward: multi-objective
+improvement of PE-*predicted* dynamic features plus directly measured code
+size, with a penalty for degrading any objective (paper §III-C: the reward
+"penalizes any degradation of the dynamic features", guiding the policy
+toward Pareto-optimal sequences) — no profiling in the loop, which is the
+paper's training-time win.
+"""
+
+import numpy as np
+
+from repro.features import extract_features, extract_static_features
+from repro.ir.printer import module_fingerprint
+from repro.passes import create_pass
+
+
+class RewardConfig:
+    """Weights of the multi-objective reward (paper objectives:
+    execution time, energy consumption, code size)."""
+
+    def __init__(self, time_weight=1.0, energy_weight=0.7,
+                 size_weight=0.3, degradation_penalty=1.5):
+        self.time_weight = time_weight
+        self.energy_weight = energy_weight
+        self.size_weight = size_weight
+        self.degradation_penalty = degradation_penalty
+
+    def reward(self, previous, current):
+        """Relative-improvement reward between objective dicts with keys
+        time/energy/size (lower is better for all)."""
+        total = 0.0
+        for key, weight in (("time", self.time_weight),
+                            ("energy", self.energy_weight),
+                            ("size", self.size_weight)):
+            prev = max(previous[key], 1e-9)
+            improvement = (prev - current[key]) / prev
+            total += weight * improvement
+            if improvement < 0.0:
+                total += self.degradation_penalty * improvement
+        return total
+
+
+class PhaseSequenceEnv:
+    """One episode optimizes one program with the current policy."""
+
+    def __init__(self, workload, platform, estimator, phases,
+                 reward_config=None, max_steps=24):
+        self.workload = workload
+        self.platform = platform
+        self.estimator = estimator
+        self.phases = list(phases)
+        self.reward_config = reward_config or RewardConfig()
+        self.max_steps = max_steps
+        self.module = None
+        self.steps = 0
+        self.applied = []
+        self._objectives = None
+        self._fingerprint = None
+
+    # -- core ----------------------------------------------------------------
+    def _measure_objectives(self):
+        """PE-predicted time and energy + measured code size (the paper's
+        PSS trains against estimated dynamic features)."""
+        features = extract_features(self.module, self.platform)
+        predicted = self.estimator.predict(features)
+        program = None
+        # Code size sits in the platform feature block (no re-compile).
+        from repro.features import FEATURE_NAMES
+        size_index = FEATURE_NAMES.index("code_size_bytes")
+        return {
+            "time": max(predicted["exec_time_us"], 1e-9),
+            "energy": max(predicted["energy_uj"], 1e-9),
+            "size": float(features[size_index]),
+        }, features
+
+    def reset(self):
+        self.module = self.workload.compile()
+        self.steps = 0
+        self.applied = []
+        self._objectives, features = self._measure_objectives()
+        self._fingerprint = module_fingerprint(self.module)
+        self.initial_objectives = dict(self._objectives)
+        return extract_static_features(self.module)
+
+    def step(self, action_index):
+        """Apply a phase.  Returns (state, reward, done, info)."""
+        phase_name = self.phases[action_index]
+        create_pass(phase_name).run(self.module)
+        self.steps += 1
+        self.applied.append(phase_name)
+        fingerprint = module_fingerprint(self.module)
+        changed = fingerprint != self._fingerprint
+        self._fingerprint = fingerprint
+        if changed:
+            objectives, _ = self._measure_objectives()
+            reward = self.reward_config.reward(self._objectives,
+                                               objectives)
+            self._objectives = objectives
+        else:
+            reward = 0.0  # inactive phase: no change, no reward
+        done = self.steps >= self.max_steps
+        state = extract_static_features(self.module)
+        return state, reward, done, {"changed": changed,
+                                     "phase": phase_name}
+
+    def cumulative_improvement(self):
+        """Relative improvement of each objective vs. the initial code."""
+        out = {}
+        for key in ("time", "energy", "size"):
+            initial = max(self.initial_objectives[key], 1e-9)
+            out[key] = (initial - self._objectives[key]) / initial
+        return out

@@ -1,0 +1,156 @@
+"""The Phase Selection Policy network.
+
+A small MLP (paper Table V: 3 layers, inner size 16) over PCA-MLE-reduced
+static features (paper §IV), with a softmax head over the optimization
+phases.  Gradients are computed manually (REINFORCE needs only
+d log pi / d theta).
+"""
+
+import numpy as np
+
+from repro.preprocess import PCA, StandardScaler
+
+
+class PolicyNetwork:
+    def __init__(self, input_dim, n_actions, hidden=16, n_layers=3,
+                 seed=0):
+        self.input_dim = input_dim
+        self.n_actions = n_actions
+        self.hidden = hidden
+        self.n_layers = n_layers
+        rng = np.random.default_rng(seed)
+        sizes = ([input_dim] + [hidden] * (n_layers - 1) + [n_actions])
+        self.weights = []
+        self.biases = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            limit = np.sqrt(6.0 / (fan_in + fan_out))
+            self.weights.append(rng.uniform(-limit, limit,
+                                            size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+
+    # -- forward --------------------------------------------------------
+    def forward(self, x):
+        """Returns (probabilities, cache-for-backprop)."""
+        activations = [np.asarray(x, dtype=float)]
+        pre = []
+        h = activations[0]
+        last = len(self.weights) - 1
+        for layer, (W, b) in enumerate(zip(self.weights, self.biases)):
+            z = h @ W + b
+            pre.append(z)
+            h = z if layer == last else np.tanh(z)
+            activations.append(h)
+        logits = activations[-1]
+        logits = logits - logits.max()
+        exp = np.exp(logits)
+        probabilities = exp / exp.sum()
+        return probabilities, (activations, pre)
+
+    def probabilities(self, x):
+        return self.forward(x)[0]
+
+    def sample(self, x, rng):
+        probabilities = self.probabilities(x)
+        action = int(rng.choice(self.n_actions, p=probabilities))
+        return action, probabilities
+
+    # -- backward -----------------------------------------------------------
+    def gradients(self, cache, action, scale):
+        """Gradient of ``-scale * log pi(action | x)`` w.r.t. params."""
+        activations, pre = cache
+        probabilities, _ = self.forward(activations[0])
+        delta = probabilities.copy()
+        delta[action] -= 1.0
+        delta *= scale
+        grad_w = [None] * len(self.weights)
+        grad_b = [None] * len(self.biases)
+        for layer in range(len(self.weights) - 1, -1, -1):
+            grad_w[layer] = np.outer(activations[layer], delta)
+            grad_b[layer] = delta.copy()
+            if layer > 0:
+                delta = (self.weights[layer] @ delta) \
+                    * (1.0 - np.tanh(pre[layer - 1]) ** 2)
+        return grad_w, grad_b
+
+    def apply_gradients(self, grad_w, grad_b, learning_rate):
+        for layer in range(len(self.weights)):
+            self.weights[layer] -= learning_rate * grad_w[layer]
+            self.biases[layer] -= learning_rate * grad_b[layer]
+
+    # -- persistence -----------------------------------------------------------
+    def state_dict(self):
+        state = {"meta": np.array([self.input_dim, self.n_actions,
+                                   self.hidden, self.n_layers])}
+        for i, (W, b) in enumerate(zip(self.weights, self.biases)):
+            state[f"w{i}"] = W
+            state[f"b{i}"] = b
+        return state
+
+    @classmethod
+    def from_state_dict(cls, state):
+        input_dim, n_actions, hidden, n_layers = \
+            (int(v) for v in state["meta"])
+        policy = cls(input_dim, n_actions, hidden, n_layers)
+        policy.weights = [state[f"w{i}"]
+                          for i in range(len(policy.weights))]
+        policy.biases = [state[f"b{i}"]
+                         for i in range(len(policy.biases))]
+        return policy
+
+
+class FeatureEncoder:
+    """Standardize + PCA-MLE reduction of the 63 static features
+    (the paper's PSS input preprocessing).
+
+    Minka's MLE degenerates to one component on the small fitting sets
+    used here (tens of programs, vs the paper's hundreds of profiled
+    variants), starving the policy of state information — so the chosen
+    dimension is floored at ``min_components`` (documented deviation).
+    """
+
+    def __init__(self, min_components=8):
+        self.scaler = StandardScaler()
+        self.pca = PCA(n_components="mle")
+        self.min_components = min_components
+
+    def fit(self, feature_matrix):
+        Z = self.scaler.fit_transform(feature_matrix)
+        self.pca.fit(Z)
+        floor = max(1, min(self.min_components, Z.shape[0] - 1,
+                           Z.shape[1]))
+        if self.pca.n_components_ < floor:
+            # Re-fit with the floored dimension.
+            self.pca = PCA(n_components=floor).fit(Z)
+        return self
+
+    def encode(self, features):
+        features = np.asarray(features, dtype=float)
+        single = features.ndim == 1
+        if single:
+            features = features[None, :]
+        Z = self.pca.transform(self.scaler.transform(features))
+        return Z[0] if single else Z
+
+    @property
+    def output_dim(self):
+        return self.pca.n_components_
+
+    def state_dict(self):
+        return {
+            "scaler_mean": self.scaler.mean_,
+            "scaler_scale": self.scaler.scale_,
+            "pca_mean": self.pca.mean_,
+            "pca_components": self.pca.components_,
+            "pca_variance": self.pca.explained_variance_,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state):
+        encoder = cls()
+        encoder.scaler.mean_ = state["scaler_mean"]
+        encoder.scaler.scale_ = state["scaler_scale"]
+        encoder.pca.mean_ = state["pca_mean"]
+        encoder.pca.components_ = state["pca_components"]
+        encoder.pca.explained_variance_ = state["pca_variance"]
+        encoder.pca.n_components_ = state["pca_components"].shape[0]
+        return encoder

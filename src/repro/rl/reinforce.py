@@ -1,0 +1,158 @@
+"""REINFORCE training of the Phase Selection Policy (paper Alg. 2).
+
+Episodes run in batches; after each batch the policy is updated with the
+policy-gradient estimator over discounted returns with a moving-average
+baseline (Williams 1992, the method the paper cites).
+
+Table V hyperparameters: 3 layers, inner size 16, 512 episodes, batch
+size 6, learning rate 0.1, max phase sequence length 128, max inactive
+subsequence length 8 (the last one is a deployment parameter; see
+:mod:`repro.pss`).
+"""
+
+import time
+
+import numpy as np
+
+from repro.features import extract_static_features
+from repro.rl.environment import PhaseSequenceEnv, RewardConfig
+from repro.rl.policy import FeatureEncoder, PolicyNetwork
+
+
+class TrainingConfig:
+    """Defaults follow the paper's Table V (episode counts and sequence
+    lengths are scaled down by default so tests stay fast; pass
+    ``TrainingConfig.paper()`` for the full configuration)."""
+
+    def __init__(self, num_episodes=96, batch_size=6, learning_rate=0.1,
+                 hidden=16, n_layers=3, max_sequence_length=16,
+                 discount=0.95, entropy_bonus=0.01, seed=0):
+        self.num_episodes = num_episodes
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.hidden = hidden
+        self.n_layers = n_layers
+        self.max_sequence_length = max_sequence_length
+        self.discount = discount
+        self.entropy_bonus = entropy_bonus
+        self.seed = seed
+
+    @classmethod
+    def paper(cls):
+        """The literal Table V parameters."""
+        return cls(num_episodes=512, batch_size=6, learning_rate=0.1,
+                   hidden=16, n_layers=3, max_sequence_length=128)
+
+
+class ReinforceTrainer:
+    """TRAINPOLICY(programs, num_episodes, batch_size, learning_rate)."""
+
+    def __init__(self, workloads, platform, estimator, phases,
+                 config=None, reward_config=None):
+        self.workloads = list(workloads)
+        self.platform = platform
+        self.estimator = estimator
+        self.phases = list(phases)
+        self.config = config or TrainingConfig()
+        self.reward_config = reward_config or RewardConfig()
+        self.encoder = None
+        self.policy = None
+        self.history = []
+        self.training_seconds = 0.0
+
+    def _fit_encoder(self):
+        """PCA-MLE over the initial feature vectors of the programs
+        (paper §IV: features preprocessed by PCA with MLE)."""
+        rows = []
+        for workload in self.workloads:
+            module = workload.compile()
+            rows.append(extract_static_features(module))
+            # A partially optimized variant widens the encoder's view.
+            from repro.passes import PassManager
+            PassManager().run(module, ["mem2reg", "simplifycfg"])
+            rows.append(extract_static_features(module))
+        self.encoder = FeatureEncoder().fit(np.asarray(rows))
+
+    def train(self, progress=None):
+        started = time.perf_counter()
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        self._fit_encoder()
+        self.policy = PolicyNetwork(self.encoder.output_dim,
+                                    len(self.phases),
+                                    hidden=config.hidden,
+                                    n_layers=config.n_layers,
+                                    seed=config.seed)
+        baseline = 0.0
+        episode_count = 0
+        while episode_count < config.num_episodes:
+            batch = []
+            for _ in range(config.batch_size):
+                workload = self.workloads[rng.integers(
+                    len(self.workloads))]
+                episode = self._run_episode(workload, rng)
+                batch.append(episode)
+            baseline = self._update_policy(batch, baseline)
+            episode_count += config.batch_size
+            mean_return = float(np.mean(
+                [sum(e["rewards"]) for e in batch]))
+            self.history.append(mean_return)
+            if progress is not None:
+                progress(episode_count, mean_return)
+        self.training_seconds = time.perf_counter() - started
+        return self.policy
+
+    def _run_episode(self, workload, rng):
+        environment = PhaseSequenceEnv(
+            workload, self.platform, self.estimator, self.phases,
+            reward_config=self.reward_config,
+            max_steps=self.config.max_sequence_length)
+        raw_state = environment.reset()
+        states, actions, rewards, caches = [], [], [], []
+        done = False
+        while not done:
+            encoded = self.encoder.encode(raw_state)
+            probabilities, cache = self.policy.forward(encoded)
+            action = int(rng.choice(len(self.phases), p=probabilities))
+            raw_state, reward, done, _ = environment.step(action)
+            states.append(encoded)
+            actions.append(action)
+            rewards.append(reward)
+            caches.append(cache)
+        return {"states": states, "actions": actions,
+                "rewards": rewards, "caches": caches,
+                "improvement": environment.cumulative_improvement()}
+
+    def _update_policy(self, batch, baseline):
+        config = self.config
+        # Discounted returns per step.
+        all_grad_w = [np.zeros_like(w) for w in self.policy.weights]
+        all_grad_b = [np.zeros_like(b) for b in self.policy.biases]
+        batch_returns = []
+        for episode in batch:
+            returns = []
+            running = 0.0
+            for reward in reversed(episode["rewards"]):
+                running = reward + config.discount * running
+                returns.append(running)
+            returns.reverse()
+            batch_returns.extend(returns)
+        scale_norm = max(np.std(batch_returns), 1e-6)
+        new_baseline = 0.9 * baseline + 0.1 * float(
+            np.mean(batch_returns))
+        total_steps = max(len(batch_returns), 1)
+        index = 0
+        for episode in batch:
+            returns = batch_returns[index:index + len(episode["rewards"])]
+            index += len(episode["rewards"])
+            for cache, action, g in zip(episode["caches"],
+                                        episode["actions"], returns):
+                advantage = (g - new_baseline) / scale_norm
+                grad_w, grad_b = self.policy.gradients(cache, action,
+                                                       advantage)
+                for layer in range(len(all_grad_w)):
+                    all_grad_w[layer] += grad_w[layer] / total_steps
+                    all_grad_b[layer] += grad_b[layer] / total_steps
+        self.policy.apply_gradients(all_grad_w, all_grad_b,
+                                    config.learning_rate)
+        return new_baseline

@@ -1,0 +1,8 @@
+"""Optuna-like heuristic hyperparameter search (paper Fig. 3 uses Optuna
+to drive the PE model search)."""
+
+from repro.search.study import Study, Trial, create_study
+from repro.search.samplers import RandomSampler, TPESampler
+
+__all__ = ["Study", "Trial", "create_study", "RandomSampler",
+           "TPESampler"]

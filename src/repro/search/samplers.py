@@ -1,0 +1,91 @@
+"""Samplers for the heuristic search: random and a TPE-like density
+sampler (the Tree-structured Parzen Estimator that Optuna defaults to)."""
+
+import numpy as np
+
+
+class RandomSampler:
+    def __init__(self, seed=0):
+        self.rng = np.random.default_rng(seed)
+
+    def suggest_categorical(self, name, choices, history):
+        return choices[self.rng.integers(len(choices))]
+
+    def suggest_float(self, name, low, high, log, history):
+        if log:
+            return float(np.exp(self.rng.uniform(np.log(low),
+                                                 np.log(high))))
+        return float(self.rng.uniform(low, high))
+
+    def suggest_int(self, name, low, high, history):
+        return int(self.rng.integers(low, high + 1))
+
+
+class TPESampler(RandomSampler):
+    """Tree-structured Parzen Estimator (simplified).
+
+    After ``n_startup`` random trials, parameter values are drawn from a
+    kernel-density model of the best ``gamma`` fraction of trials and
+    scored by the likelihood ratio l(x)/g(x) over a candidate set.
+    """
+
+    def __init__(self, seed=0, n_startup=8, gamma=0.3, n_candidates=16):
+        super().__init__(seed)
+        self.n_startup = n_startup
+        self.gamma = gamma
+        self.n_candidates = n_candidates
+
+    # history: list of (params_dict, value, direction) provided by Study.
+    def _split(self, name, history):
+        observed = [(params[name], value)
+                    for params, value in history if name in params]
+        if len(observed) < self.n_startup:
+            return None, None
+        observed.sort(key=lambda pv: pv[1], reverse=True)  # maximize
+        n_good = max(1, int(len(observed) * self.gamma))
+        good = [v for v, _ in observed[:n_good]]
+        bad = [v for v, _ in observed[n_good:]] or good
+        return good, bad
+
+    def suggest_categorical(self, name, choices, history):
+        good, bad = self._split(name, history)
+        if good is None:
+            return super().suggest_categorical(name, choices, history)
+        # Weight by smoothed counts in the good set over the bad set.
+        scores = []
+        for choice in choices:
+            l = (sum(1 for v in good if v == choice) + 0.5) / \
+                (len(good) + 0.5 * len(choices))
+            g = (sum(1 for v in bad if v == choice) + 0.5) / \
+                (len(bad) + 0.5 * len(choices))
+            scores.append(l / g)
+        probabilities = np.asarray(scores) / np.sum(scores)
+        return choices[self.rng.choice(len(choices), p=probabilities)]
+
+    def _kde_ratio_pick(self, good, bad, candidates, bandwidth):
+        def density(x, samples):
+            samples = np.asarray(samples, dtype=float)
+            return np.mean(np.exp(
+                -0.5 * ((x - samples) / bandwidth) ** 2)) + 1e-12
+
+        scores = [density(c, good) / density(c, bad) for c in candidates]
+        return candidates[int(np.argmax(scores))]
+
+    def suggest_float(self, name, low, high, log, history):
+        good, bad = self._split(name, history)
+        if good is None:
+            return super().suggest_float(name, low, high, log, history)
+        if log:
+            good = list(np.log(good))
+            bad = list(np.log(bad))
+            lo, hi = np.log(low), np.log(high)
+        else:
+            lo, hi = low, high
+        candidates = list(self.rng.uniform(lo, hi, self.n_candidates))
+        bandwidth = max((hi - lo) / 10.0, 1e-9)
+        best = self._kde_ratio_pick(good, bad, candidates, bandwidth)
+        return float(np.exp(best)) if log else float(best)
+
+    def suggest_int(self, name, low, high, history):
+        value = self.suggest_float(name, low, high + 0.999, False, history)
+        return int(min(max(int(value), low), high))

@@ -1,0 +1,13 @@
+"""Platform simulation: machine-code execution, timing, energy, RAPL."""
+
+from repro.sim.energy import EnergyModel, RaplCounter
+from repro.sim.machine import MachineResult, Simulator
+from repro.sim.pipeline import BranchPredictor, Cache, PipelineModel
+from repro.sim.platform import Measurement, Platform, default_platforms
+
+__all__ = [
+    "Simulator", "MachineResult",
+    "PipelineModel", "BranchPredictor", "Cache",
+    "EnergyModel", "RaplCounter",
+    "Platform", "Measurement", "default_platforms",
+]

@@ -1,0 +1,12 @@
+"""Benchmark workloads: PARSEC-like and BEEBS-like mini-C suites."""
+
+from repro.workloads.registry import (
+    Workload,
+    default_suite_for,
+    load_suite,
+    load_workload,
+    suite_names,
+)
+
+__all__ = ["Workload", "load_suite", "load_workload", "suite_names",
+           "default_suite_for"]

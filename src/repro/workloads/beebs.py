@@ -1,0 +1,522 @@
+"""BEEBS-like workloads (the paper's RISC-V / embedded application domain).
+
+Twenty small kernels named after BEEBS benchmarks, covering integer
+compute, bit manipulation, sorting, DSP, table lookup, and light float
+math — the embedded mix the Bristol Energy Efficiency Benchmark Suite
+targets.  Deterministic, checksum-printing.
+"""
+
+CRC32 = r"""
+int crc_table[16] = {0, 79764919, 159529838, 222504665,
+                     319059676, 398814059, 445009330, 507990021,
+                     638119352, 583659535, 797628118, 726387553,
+                     890018660, 835552979, 1015980042, 944750013};
+int message[32];
+
+int main() {
+  int seed = 4321;
+  for (int i = 0; i < 32; i++) {
+    seed = iabs((seed * 1103515245 + 12345) % 2147483648);
+    message[i] = seed % 256;
+  }
+  int crc = 0;
+  for (int i = 0; i < 32; i++) {
+    int byte = message[i];
+    crc = crc ^ (byte << 8);
+    for (int k = 0; k < 2; k++) {
+      int index = (crc >> 12) & 15;
+      crc = ((crc << 4) & 65535) ^ crc_table[index] % 65536;
+    }
+  }
+  print_int(crc);
+  return crc % 251;
+}
+"""
+
+BUBBLESORT = r"""
+int data[24];
+
+int main() {
+  int seed = 9001;
+  for (int i = 0; i < 24; i++) {
+    seed = iabs((seed * 1103515245 + 12345) % 2147483648);
+    data[i] = seed % 1000;
+  }
+  for (int i = 0; i < 23; i++) {
+    for (int j = 0; j < 23 - i; j++) {
+      if (data[j] > data[j + 1]) {
+        int tmp = data[j];
+        data[j] = data[j + 1];
+        data[j + 1] = tmp;
+      }
+    }
+  }
+  int checksum = 0;
+  for (int i = 0; i < 24; i++) { checksum += data[i] * (i + 1); }
+  print_int(data[0]);
+  print_int(data[23]);
+  print_int(checksum);
+  return checksum % 251;
+}
+"""
+
+INSERTSORT = r"""
+int data[20];
+
+int main() {
+  int seed = 17;
+  for (int i = 0; i < 20; i++) {
+    seed = iabs((seed * 1103515245 + 12345) % 2147483648);
+    data[i] = seed % 500;
+  }
+  for (int i = 1; i < 20; i++) {
+    int key = data[i];
+    int j = i - 1;
+    while (j >= 0 && data[j] > key) {
+      data[j + 1] = data[j];
+      j--;
+    }
+    data[j + 1] = key;
+  }
+  int checksum = 0;
+  for (int i = 0; i < 20; i++) { checksum += data[i] * i; }
+  print_int(checksum);
+  return checksum % 251;
+}
+"""
+
+QURT = r"""
+// Integer square root via Newton iteration (BEEBS qurt flavour).
+int isqrt(int x) {
+  if (x < 2) return x;
+  int guess = x / 2;
+  for (int i = 0; i < 12; i++) {
+    int next = (guess + x / guess) / 2;
+    if (next >= guess) return guess;
+    guess = next;
+  }
+  return guess;
+}
+
+int main() {
+  int total = 0;
+  for (int v = 1; v < 30; v++) {
+    total += isqrt(v * v * 3 + v);
+  }
+  print_int(total);
+  return total % 251;
+}
+"""
+
+MATMULT_INT = r"""
+int A[36];
+int B[36];
+int C[36];
+
+int main() {
+  for (int i = 0; i < 36; i++) {
+    A[i] = (i * 7 + 3) % 19;
+    B[i] = (i * 5 + 1) % 17;
+    C[i] = 0;
+  }
+  for (int i = 0; i < 6; i++) {
+    for (int j = 0; j < 6; j++) {
+      int acc = 0;
+      for (int k = 0; k < 6; k++) {
+        acc += A[i * 6 + k] * B[k * 6 + j];
+      }
+      C[i * 6 + j] = acc;
+    }
+  }
+  int checksum = 0;
+  for (int i = 0; i < 36; i++) { checksum += C[i] * (i % 7); }
+  print_int(checksum);
+  return checksum % 251;
+}
+"""
+
+MATMULT_FLOAT = r"""
+float A[25];
+float B[25];
+float C[25];
+
+int main() {
+  for (int i = 0; i < 25; i++) {
+    A[i] = (i % 5) * 0.5 + 1.0;
+    B[i] = (i % 7) * 0.25 + 0.5;
+    C[i] = 0.0;
+  }
+  for (int i = 0; i < 5; i++) {
+    for (int j = 0; j < 5; j++) {
+      float acc = 0.0;
+      for (int k = 0; k < 5; k++) {
+        acc = acc + A[i * 5 + k] * B[k * 5 + j];
+      }
+      C[i * 5 + j] = acc;
+    }
+  }
+  float checksum = 0.0;
+  for (int i = 0; i < 25; i++) { checksum = checksum + C[i]; }
+  print_float(checksum);
+  int code = checksum * 100.0;
+  return code % 251;
+}
+"""
+
+FIBCALL = r"""
+int fib(int n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+
+int main() {
+  int total = 0;
+  for (int i = 1; i <= 12; i++) { total += fib(i); }
+  print_int(total);
+  return total % 251;
+}
+"""
+
+FDCT = r"""
+// 8-point forward DCT butterfly (integer approximation).
+int block[64];
+
+int main() {
+  for (int i = 0; i < 64; i++) { block[i] = (i * 13 + 7) % 256 - 128; }
+  for (int row = 0; row < 8; row++) {
+    int base = row * 8;
+    for (int pass = 0; pass < 2; pass++) {
+      int s0 = block[base + 0] + block[base + 7];
+      int s1 = block[base + 1] + block[base + 6];
+      int s2 = block[base + 2] + block[base + 5];
+      int s3 = block[base + 3] + block[base + 4];
+      int d0 = block[base + 0] - block[base + 7];
+      int d1 = block[base + 1] - block[base + 6];
+      block[base + 0] = (s0 + s3) / 2;
+      block[base + 1] = (s1 + s2) / 2;
+      block[base + 2] = (s1 - s2) / 2;
+      block[base + 3] = (s0 - s3) / 2;
+      block[base + 4] = (d0 * 3 + d1) / 4;
+      block[base + 5] = (d0 - d1 * 3) / 4;
+    }
+  }
+  int checksum = 0;
+  for (int i = 0; i < 64; i++) { checksum += block[i] * (i % 5); }
+  print_int(checksum);
+  return iabs(checksum) % 251;
+}
+"""
+
+EDN = r"""
+// Vector MAC / dot products (EDN kernel flavour).
+int a[32];
+int b[32];
+
+int main() {
+  for (int i = 0; i < 32; i++) {
+    a[i] = (i * 3 + 1) % 64;
+    b[i] = (i * 11 + 5) % 64;
+  }
+  int dot = 0;
+  for (int i = 0; i < 32; i++) { dot += a[i] * b[i]; }
+  int fir = 0;
+  for (int i = 4; i < 32; i++) {
+    fir += a[i] * 4 + a[i - 1] * 3 + a[i - 2] * 2 + a[i - 3];
+  }
+  int saturated = 0;
+  for (int i = 0; i < 32; i++) {
+    int v = a[i] * b[i] / 8;
+    if (v > 100) v = 100;
+    saturated += v;
+  }
+  print_int(dot);
+  print_int(fir);
+  print_int(saturated);
+  return (dot + fir + saturated) % 251;
+}
+"""
+
+PRIME = r"""
+int main() {
+  int count = 0;
+  int last = 0;
+  for (int n = 2; n < 200; n++) {
+    int is_prime = 1;
+    for (int d = 2; d * d <= n; d++) {
+      if (n % d == 0) { is_prime = 0; break; }
+    }
+    if (is_prime) { count++; last = n; }
+  }
+  print_int(count);
+  print_int(last);
+  return (count * 3 + last) % 251;
+}
+"""
+
+LEVENSHTEIN = r"""
+int s1[8] = {1, 2, 3, 4, 5, 3, 2, 1};
+int s2[8] = {1, 3, 3, 4, 6, 3, 1, 1};
+int dp[81];
+
+int main() {
+  for (int i = 0; i <= 8; i++) { dp[i * 9] = i; }
+  for (int j = 0; j <= 8; j++) { dp[j] = j; }
+  for (int i = 1; i <= 8; i++) {
+    for (int j = 1; j <= 8; j++) {
+      int cost = s1[i - 1] == s2[j - 1] ? 0 : 1;
+      int best = dp[(i - 1) * 9 + j] + 1;
+      int alt = dp[i * 9 + (j - 1)] + 1;
+      if (alt < best) best = alt;
+      alt = dp[(i - 1) * 9 + (j - 1)] + cost;
+      if (alt < best) best = alt;
+      dp[i * 9 + j] = best;
+    }
+  }
+  print_int(dp[80]);
+  return dp[80] % 251;
+}
+"""
+
+LCDNUM = r"""
+// 7-segment display encoding (table lookup + bit ops).
+int segments[16] = {63, 6, 91, 79, 102, 109, 125, 7,
+                    127, 111, 119, 124, 57, 94, 121, 113};
+
+int main() {
+  int lit = 0;
+  int checksum = 0;
+  for (int value = 0; value < 100; value++) {
+    int tens = value / 10;
+    int ones = value % 10;
+    int pattern = (segments[tens] << 8) | segments[ones];
+    checksum = (checksum * 31 + pattern) % 1000003;
+    int p = pattern;
+    while (p != 0) {
+      lit += p & 1;
+      p = p >> 1;
+    }
+  }
+  print_int(lit);
+  print_int(checksum);
+  return (lit + checksum) % 251;
+}
+"""
+
+JANNE_COMPLEX = r"""
+// Nested loop with data-dependent bounds (WCET classic).
+int main() {
+  int a = 30;
+  int b = 0;
+  while (a > 0) {
+    if (a > 15) {
+      b = a - 10;
+      while (b > 10) { b = b - 2; }
+    } else {
+      b = a + 3;
+      while (b < 30) { b = b + 4; }
+    }
+    a = a - 3;
+  }
+  print_int(a);
+  print_int(b);
+  return (a * 7 + b) % 251;
+}
+"""
+
+EXPINT = r"""
+// Exponential integral series (float heavy).
+float expint(int n, float x) {
+  float result = 0.0;
+  float term = 1.0;
+  for (int k = 1; k <= n; k++) {
+    term = term * x / k;
+    result = result + term / (k + 1);
+  }
+  return result + log(x + 1.0);
+}
+
+int main() {
+  float total = 0.0;
+  for (int i = 1; i <= 10; i++) {
+    total = total + expint(8, 0.1 * i);
+  }
+  print_float(total);
+  int code = total * 10000.0;
+  return code % 251;
+}
+"""
+
+COVER = r"""
+// Dense switch-like dispatch via chains of comparisons.
+int dispatch(int x) {
+  if (x == 0) return 3;
+  if (x == 1) return 7;
+  if (x == 2) return 1;
+  if (x == 3) return 9;
+  if (x == 4) return 4;
+  if (x == 5) return 8;
+  if (x == 6) return 2;
+  if (x == 7) return 6;
+  if (x == 8) return 5;
+  return 0;
+}
+
+int main() {
+  int total = 0;
+  for (int i = 0; i < 120; i++) {
+    total += dispatch(i % 10) * (i % 3 + 1);
+  }
+  print_int(total);
+  return total % 251;
+}
+"""
+
+NDES = r"""
+// Feistel-style block scrambling (NDES flavour).
+int main() {
+  int left = 123456;
+  int right = 654321;
+  for (int round = 0; round < 24; round++) {
+    int f = ((right * 31 + round) ^ (right >> 3)) & 1048575;
+    int new_right = left ^ f;
+    left = right;
+    right = new_right & 1048575;
+  }
+  print_int(left);
+  print_int(right);
+  return (left + right) % 251;
+}
+"""
+
+NBODY = r"""
+// 1D gravitational n-body with 4 bodies (float).
+float pos[4];
+float vel[4];
+float mass[4];
+
+int main() {
+  pos[0] = 0.0; pos[1] = 1.0; pos[2] = 2.5; pos[3] = 4.0;
+  vel[0] = 0.0; vel[1] = 0.1; vel[2] = 0.0 - 0.05; vel[3] = 0.02;
+  mass[0] = 2.0; mass[1] = 1.0; mass[2] = 1.5; mass[3] = 0.5;
+  for (int step = 0; step < 30; step++) {
+    for (int i = 0; i < 4; i++) {
+      float force = 0.0;
+      for (int j = 0; j < 4; j++) {
+        if (i != j) {
+          float d = pos[j] - pos[i];
+          float r2 = d * d + 0.01;
+          float sign = d > 0.0 ? 1.0 : 0.0 - 1.0;
+          force = force + sign * mass[j] / r2;
+        }
+      }
+      vel[i] = vel[i] + force * 0.01;
+    }
+    for (int i = 0; i < 4; i++) { pos[i] = pos[i] + vel[i] * 0.01; }
+  }
+  float checksum = 0.0;
+  for (int i = 0; i < 4; i++) {
+    checksum = checksum + pos[i] * (i + 1) + vel[i];
+  }
+  print_float(checksum);
+  int code = checksum * 100000.0;
+  return iabs(code) % 251;
+}
+"""
+
+SELECT_KTH = r"""
+// k-th smallest via partial selection sort.
+int data[24];
+
+int main() {
+  int seed = 31337;
+  for (int i = 0; i < 24; i++) {
+    seed = iabs((seed * 1103515245 + 12345) % 2147483648);
+    data[i] = seed % 777;
+  }
+  int total = 0;
+  for (int k = 0; k < 5; k++) {
+    for (int i = k; i < 24; i++) {
+      if (data[i] < data[k]) {
+        int tmp = data[k];
+        data[k] = data[i];
+        data[i] = tmp;
+      }
+    }
+    total += data[k];
+  }
+  print_int(total);
+  return total % 251;
+}
+"""
+
+BINARYSEARCH = r"""
+int haystack[64];
+
+int main() {
+  for (int i = 0; i < 64; i++) { haystack[i] = i * 3 + 1; }
+  int found = 0;
+  int probes = 0;
+  for (int needle = 0; needle < 200; needle += 7) {
+    int lo = 0;
+    int hi = 63;
+    while (lo <= hi) {
+      int mid = (lo + hi) / 2;
+      probes++;
+      if (haystack[mid] == needle) { found++; break; }
+      if (haystack[mid] < needle) lo = mid + 1;
+      else hi = mid - 1;
+    }
+  }
+  print_int(found);
+  print_int(probes);
+  return (found * 13 + probes) % 251;
+}
+"""
+
+DUFF = r"""
+// Unrollable copy loop with a remainder tail (Duff's device flavour).
+int src[48];
+int dst[48];
+
+int main() {
+  for (int i = 0; i < 48; i++) { src[i] = (i * 5 + 2) % 97; dst[i] = 0; }
+  int n = 43;
+  int chunks = n / 4;
+  int rest = n % 4;
+  int p = 0;
+  for (int c = 0; c < chunks; c++) {
+    dst[p] = src[p]; p++;
+    dst[p] = src[p]; p++;
+    dst[p] = src[p]; p++;
+    dst[p] = src[p]; p++;
+  }
+  for (int r = 0; r < rest; r++) { dst[p] = src[p]; p++; }
+  int checksum = 0;
+  for (int i = 0; i < 48; i++) { checksum += dst[i] * (i % 11); }
+  print_int(checksum);
+  return checksum % 251;
+}
+"""
+
+BEEBS_SOURCES = {
+    "crc32": CRC32,
+    "bubblesort": BUBBLESORT,
+    "insertsort": INSERTSORT,
+    "qurt": QURT,
+    "matmult_int": MATMULT_INT,
+    "matmult_float": MATMULT_FLOAT,
+    "fibcall": FIBCALL,
+    "fdct": FDCT,
+    "edn": EDN,
+    "prime": PRIME,
+    "levenshtein": LEVENSHTEIN,
+    "lcdnum": LCDNUM,
+    "janne_complex": JANNE_COMPLEX,
+    "expint": EXPINT,
+    "cover": COVER,
+    "ndes": NDES,
+    "nbody": NBODY,
+    "select_kth": SELECT_KTH,
+    "binarysearch": BINARYSEARCH,
+    "duff": DUFF,
+}

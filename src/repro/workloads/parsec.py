@@ -1,0 +1,395 @@
+"""PARSEC-like workloads (the paper's x86 application domain).
+
+Ten kernels named and shaped after the PARSEC suite: each mini-C program
+mirrors the computational character of its namesake (option pricing math,
+particle filtering, annealing swaps, chunk dedup, linear solves, feature
+similarity, grid relaxation, frequent-itemset counting, k-median
+clustering, Monte-Carlo swaption pricing).  All are deterministic and
+print checksums so differential tests can compare compiled behaviour.
+"""
+
+BLACKSCHOLES = r"""
+// Black-Scholes style option pricing over a batch of synthetic options.
+float cnd(float x) {
+  float L = fabs(x);
+  float K = 1.0 / (1.0 + 0.2316419 * L);
+  float w = 1.0 - 0.39894228 * exp(0.0 - L * L / 2.0) *
+            (0.319381530 * K - 0.356563782 * K * K +
+             1.781477937 * K * K * K);
+  if (x < 0.0) return 1.0 - w;
+  return w;
+}
+
+float price_one(float S, float X, float T, float r, float v) {
+  float d1 = (log(S / X) + (r + v * v / 2.0) * T) / (v * sqrt(T));
+  float d2 = d1 - v * sqrt(T);
+  return S * cnd(d1) - X * exp(0.0 - r * T) * cnd(d2);
+}
+
+int main() {
+  float total = 0.0;
+  for (int i = 0; i < 24; i++) {
+    float S = 80.0 + i * 2.0;
+    float X = 100.0;
+    float T = 0.25 + 0.05 * (i % 6);
+    float v = 0.2 + 0.01 * (i % 8);
+    total = total + price_one(S, X, T, 0.02, v);
+  }
+  print_float(total);
+  int checksum = total * 1000.0;
+  print_int(checksum);
+  return checksum % 251;
+}
+"""
+
+BODYTRACK = r"""
+// Particle-filter flavoured tracking: weight, resample, estimate.
+int weights[32];
+int particles[32];
+
+int main() {
+  int seed = 12345;
+  for (int i = 0; i < 32; i++) {
+    seed = iabs((seed * 1103515245 + 12345) % 2147483648);
+    particles[i] = seed % 200 - 100;
+  }
+  int target = 17;
+  int estimate = 0;
+  for (int step = 0; step < 12; step++) {
+    int total = 0;
+    for (int i = 0; i < 32; i++) {
+      int d = iabs(particles[i] - target);
+      weights[i] = 1000 / (1 + d);
+      total += weights[i];
+    }
+    int acc = 0;
+    int pick = total / 2;
+    int chosen = 0;
+    for (int i = 0; i < 32; i++) {
+      acc += weights[i];
+      if (acc >= pick) { chosen = particles[i]; break; }
+    }
+    estimate = (estimate * 3 + chosen) / 4;
+    for (int i = 0; i < 32; i++) {
+      seed = iabs((seed * 1103515245 + 12345) % 2147483648);
+      particles[i] = chosen + seed % 21 - 10;
+    }
+    target = target + (step % 3) - 1;
+  }
+  print_int(estimate);
+  return iabs(estimate) % 251;
+}
+"""
+
+CANNEAL = r"""
+// Simulated-annealing element swaps minimizing routing cost.
+int netlist[64];
+int positions[64];
+
+int cost_of(int i) {
+  int left = i > 0 ? positions[i - 1] : 0;
+  int right = i < 63 ? positions[i + 1] : 0;
+  return iabs(netlist[i] - left) + iabs(netlist[i] - right);
+}
+
+int main() {
+  int seed = 98765;
+  for (int i = 0; i < 64; i++) {
+    seed = iabs((seed * 1103515245 + 12345) % 2147483648);
+    netlist[i] = seed % 100;
+    positions[i] = i;
+  }
+  int temperature = 100;
+  int accepted = 0;
+  while (temperature > 5) {
+    for (int trial = 0; trial < 24; trial++) {
+      seed = iabs((seed * 1103515245 + 12345) % 2147483648);
+      int a = seed % 64;
+      seed = iabs((seed * 1103515245 + 12345) % 2147483648);
+      int b = seed % 64;
+      int before = cost_of(a) + cost_of(b);
+      int tmp = positions[a];
+      positions[a] = positions[b];
+      positions[b] = tmp;
+      int after = cost_of(a) + cost_of(b);
+      int delta = after - before;
+      if (delta < temperature) { accepted++; }
+      else {
+        tmp = positions[a];
+        positions[a] = positions[b];
+        positions[b] = tmp;
+      }
+    }
+    temperature = temperature * 4 / 5;
+  }
+  int checksum = accepted;
+  for (int i = 0; i < 64; i++) { checksum += positions[i] * i; }
+  print_int(checksum);
+  return checksum % 251;
+}
+"""
+
+DEDUP = r"""
+// Chunking + rolling hash dedup pipeline.
+int stream[96];
+int chunk_hashes[24];
+
+int main() {
+  int seed = 555;
+  for (int i = 0; i < 96; i++) {
+    seed = iabs((seed * 1103515245 + 12345) % 2147483648);
+    stream[i] = seed % 7;          // low-entropy stream: duplicates likely
+  }
+  int n_chunks = 0;
+  int start = 0;
+  for (int i = 0; i < 96; i++) {
+    int boundary = 0;
+    if (i - start >= 4) {
+      if (stream[i] == 0 || i - start >= 8) boundary = 1;
+    }
+    if (boundary && n_chunks < 24) {
+      int h = 5381;
+      for (int j = start; j < i; j++) {
+        h = (h * 33 + stream[j]) % 1000003;
+      }
+      chunk_hashes[n_chunks] = h;
+      n_chunks++;
+      start = i;
+    }
+  }
+  int unique = 0;
+  int dupes = 0;
+  for (int i = 0; i < n_chunks; i++) {
+    int seen = 0;
+    for (int j = 0; j < i; j++) {
+      if (chunk_hashes[j] == chunk_hashes[i]) { seen = 1; break; }
+    }
+    if (seen) dupes++; else unique++;
+  }
+  print_int(unique);
+  print_int(dupes);
+  return (unique * 16 + dupes) % 251;
+}
+"""
+
+FACESIM = r"""
+// Small dense linear algebra: Jacobi iterations on a 6x6 system.
+float A[36];
+float b[6];
+float x[6];
+float x_new[6];
+
+int main() {
+  for (int i = 0; i < 6; i++) {
+    for (int j = 0; j < 6; j++) {
+      if (i == j) A[i * 6 + j] = 10.0 + i;
+      else A[i * 6 + j] = 1.0 / (1.0 + i + j);
+    }
+    b[i] = 3.0 * i + 1.0;
+    x[i] = 0.0;
+  }
+  for (int iter = 0; iter < 18; iter++) {
+    for (int i = 0; i < 6; i++) {
+      float sigma = 0.0;
+      for (int j = 0; j < 6; j++) {
+        if (j != i) sigma = sigma + A[i * 6 + j] * x[j];
+      }
+      x_new[i] = (b[i] - sigma) / A[i * 6 + i];
+    }
+    for (int i = 0; i < 6; i++) { x[i] = x_new[i]; }
+  }
+  float checksum = 0.0;
+  for (int i = 0; i < 6; i++) { checksum = checksum + x[i] * (i + 1); }
+  print_float(checksum);
+  int code = checksum * 10000.0;
+  return iabs(code) % 251;
+}
+"""
+
+FERRET = r"""
+// Content-based similarity search: L1 distances over feature vectors.
+int database[80];
+int query[8];
+
+int main() {
+  int seed = 2024;
+  for (int i = 0; i < 80; i++) {
+    seed = iabs((seed * 1103515245 + 12345) % 2147483648);
+    database[i] = seed % 64;
+  }
+  for (int i = 0; i < 8; i++) { query[i] = (i * 13 + 5) % 64; }
+  int best_index = -1;
+  int best_distance = 1000000;
+  int second = 1000000;
+  for (int item = 0; item < 10; item++) {
+    int distance = 0;
+    for (int k = 0; k < 8; k++) {
+      distance += iabs(database[item * 8 + k] - query[k]);
+    }
+    if (distance < best_distance) {
+      second = best_distance;
+      best_distance = distance;
+      best_index = item;
+    } else if (distance < second) {
+      second = distance;
+    }
+  }
+  print_int(best_index);
+  print_int(best_distance);
+  print_int(second);
+  return (best_index * 37 + best_distance) % 251;
+}
+"""
+
+FLUIDANIMATE = r"""
+// Grid relaxation (heat/pressure diffusion) with fixed boundaries.
+float grid[64];
+float next[64];
+
+int main() {
+  for (int i = 0; i < 64; i++) { grid[i] = 0.0; }
+  grid[0] = 100.0;
+  grid[7] = 50.0;
+  grid[56] = 25.0;
+  for (int step = 0; step < 20; step++) {
+    for (int r = 1; r < 7; r++) {
+      for (int c = 1; c < 7; c++) {
+        int i = r * 8 + c;
+        next[i] = (grid[i - 1] + grid[i + 1] +
+                   grid[i - 8] + grid[i + 8]) * 0.25;
+      }
+    }
+    for (int r = 1; r < 7; r++) {
+      for (int c = 1; c < 7; c++) {
+        int i = r * 8 + c;
+        grid[i] = next[i];
+      }
+    }
+  }
+  float total = 0.0;
+  for (int i = 0; i < 64; i++) { total = total + grid[i]; }
+  print_float(total);
+  int code = total * 100.0;
+  return code % 251;
+}
+"""
+
+FREQMINE = r"""
+// Frequent itemset counting over synthetic transactions.
+int transactions[120];
+int counts[16];
+int pair_counts[64];
+
+int main() {
+  int seed = 777;
+  for (int i = 0; i < 120; i++) {
+    seed = iabs((seed * 1103515245 + 12345) % 2147483648);
+    transactions[i] = seed % 16;
+  }
+  for (int i = 0; i < 16; i++) { counts[i] = 0; }
+  for (int i = 0; i < 64; i++) { pair_counts[i] = 0; }
+  for (int t = 0; t < 20; t++) {
+    for (int k = 0; k < 6; k++) {
+      int item = transactions[t * 6 + k];
+      counts[item]++;
+    }
+    for (int a = 0; a < 6; a++) {
+      for (int b = a + 1; b < 6; b++) {
+        int x = transactions[t * 6 + a] % 8;
+        int y = transactions[t * 6 + b] % 8;
+        pair_counts[x * 8 + y]++;
+      }
+    }
+  }
+  int frequent = 0;
+  for (int i = 0; i < 16; i++) { if (counts[i] >= 8) frequent++; }
+  int frequent_pairs = 0;
+  for (int i = 0; i < 64; i++) { if (pair_counts[i] >= 4) frequent_pairs++; }
+  print_int(frequent);
+  print_int(frequent_pairs);
+  return (frequent * 31 + frequent_pairs) % 251;
+}
+"""
+
+STREAMCLUSTER = r"""
+// Online k-median-flavoured clustering of streaming points.
+int points[64];
+int centers[4];
+int assignments[32];
+
+int main() {
+  int seed = 31415;
+  for (int i = 0; i < 64; i++) {
+    seed = iabs((seed * 1103515245 + 12345) % 2147483648);
+    points[i] = seed % 128;
+  }
+  centers[0] = 16; centers[1] = 48; centers[2] = 80; centers[3] = 112;
+  int total_cost = 0;
+  for (int round = 0; round < 6; round++) {
+    total_cost = 0;
+    for (int p = 0; p < 32; p++) {
+      int px = points[p * 2];
+      int py = points[p * 2 + 1];
+      int best = 0;
+      int best_cost = 1000000;
+      for (int c = 0; c < 4; c++) {
+        int dx = iabs(px - centers[c]);
+        int dy = iabs(py - centers[c] / 2);
+        int cost = dx + dy;
+        if (cost < best_cost) { best_cost = cost; best = c; }
+      }
+      assignments[p] = best;
+      total_cost += best_cost;
+    }
+    for (int c = 0; c < 4; c++) {
+      int total = 0;
+      int n = 0;
+      for (int p = 0; p < 32; p++) {
+        if (assignments[p] == c) { total += points[p * 2]; n++; }
+      }
+      if (n > 0) centers[c] = total / n;
+    }
+  }
+  print_int(total_cost);
+  return total_cost % 251;
+}
+"""
+
+SWAPTIONS = r"""
+// Monte-Carlo swaption pricing with an LCG path generator.
+int main() {
+  int seed = 4242;
+  float value = 0.0;
+  for (int path = 0; path < 16; path++) {
+    float rate = 0.03;
+    float discount = 1.0;
+    for (int step = 0; step < 16; step++) {
+      seed = iabs((seed * 1103515245 + 12345) % 2147483648);
+      float shock = (seed % 1000) / 1000.0 - 0.5;
+      rate = rate + 0.001 * shock;
+      if (rate < 0.001) rate = 0.001;
+      discount = discount / (1.0 + rate);
+    }
+    float payoff = rate - 0.03;
+    if (payoff < 0.0) payoff = 0.0;
+    value = value + payoff * discount;
+  }
+  value = value / 16.0;
+  print_float(value * 10000.0);
+  int code = value * 1000000.0;
+  return code % 251;
+}
+"""
+
+PARSEC_SOURCES = {
+    "blackscholes": BLACKSCHOLES,
+    "bodytrack": BODYTRACK,
+    "canneal": CANNEAL,
+    "dedup": DEDUP,
+    "facesim": FACESIM,
+    "ferret": FERRET,
+    "fluidanimate": FLUIDANIMATE,
+    "freqmine": FREQMINE,
+    "streamcluster": STREAMCLUSTER,
+    "swaptions": SWAPTIONS,
+}

@@ -1,0 +1,51 @@
+"""Workload registry: named suites of mini-C programs."""
+
+from repro.lang import compile_source
+from repro.workloads.beebs import BEEBS_SOURCES
+from repro.workloads.parsec import PARSEC_SOURCES
+
+
+class Workload:
+    """A named benchmark program."""
+
+    def __init__(self, name, suite, source):
+        self.name = name
+        self.suite = suite
+        self.source = source
+
+    def compile(self):
+        """Fresh IR module (workloads are reusable; modules are not)."""
+        return compile_source(self.source, module_name=self.name)
+
+    def __repr__(self):
+        return f"<Workload {self.suite}/{self.name}>"
+
+
+_SUITES = {
+    "parsec": PARSEC_SOURCES,
+    "beebs": BEEBS_SOURCES,
+}
+
+
+def suite_names():
+    return sorted(_SUITES)
+
+
+def load_suite(suite):
+    """All workloads of a suite, name-sorted."""
+    try:
+        sources = _SUITES[suite]
+    except KeyError:
+        raise KeyError(f"unknown suite {suite!r}; "
+                       f"available: {suite_names()}") from None
+    return [Workload(name, suite, source)
+            for name, source in sorted(sources.items())]
+
+
+def load_workload(suite, name):
+    return Workload(name, suite, _SUITES[suite][name])
+
+
+def default_suite_for(target):
+    """The paper's pairing: PARSEC on x86, BEEBS on RISC-V."""
+    return "parsec" if target == "x86" else "beebs"

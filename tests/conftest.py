@@ -1,0 +1,83 @@
+"""Shared fixtures: platforms, workloads, a small profiled dataset."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.sim import Platform
+from repro.workloads import load_suite
+
+SMOKE_SOURCE = """
+int table[8] = {3, 1, 4, 1, 5, 9, 2, 6};
+int g = 7;
+int helper(int x, int y) { return x * 2 + y; }
+int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+int sum_to(int n, int acc) {
+  if (n <= 0) return acc;
+  return sum_to(n - 1, acc + n);
+}
+int main() {
+  int a[10];
+  for (int i = 0; i < 10; i++) { a[i] = 0; }
+  for (int i = 0; i < 10; i++) { a[i] = i * 3 + table[i % 8]; }
+  int acc = 0;
+  for (int i = 0; i < 10; i++) {
+    if (a[i] % 2 == 0) acc += a[i];
+    else acc -= helper(a[i], g);
+  }
+  float f = 0.0;
+  for (int i = 1; i <= 6; i++) { f = f + sqrt(1.0 * i) * 0.5; }
+  int j = 0;
+  while (j < 20) { if (j == 13) break; j += 2; }
+  print_int(acc); print_int(j); print_int(fib(9)); print_int(sum_to(50, 0));
+  print_float(f);
+  return acc % 251;
+}
+"""
+
+LOOP_SOURCE = """
+int main() {
+  int total = 0;
+  for (int i = 0; i < 12; i++) { total += i * 5; }
+  print_int(total);
+  return total % 251;
+}
+"""
+
+
+@pytest.fixture
+def smoke_source():
+    return SMOKE_SOURCE
+
+
+@pytest.fixture
+def smoke_module():
+    return compile_source(SMOKE_SOURCE)
+
+
+@pytest.fixture
+def loop_module():
+    return compile_source(LOOP_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def x86():
+    return Platform("x86")
+
+
+@pytest.fixture(scope="session")
+def riscv():
+    return Platform("riscv")
+
+
+@pytest.fixture(scope="session")
+def beebs_small():
+    return load_suite("beebs")[:5]
+
+
+@pytest.fixture(scope="session")
+def small_dataset(riscv, beebs_small):
+    from repro.profiling import DataExtractor
+    extractor = DataExtractor(riscv, beebs_small)
+    dataset = extractor.extract(n_sequences=6, seed=3)
+    assert not extractor.failures, extractor.failures
+    return dataset

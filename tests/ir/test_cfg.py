@@ -1,0 +1,127 @@
+from repro.ir import (
+    BranchInst,
+    CondBranchInst,
+    ConstantInt,
+    DominatorTree,
+    Function,
+    FunctionType,
+    I1,
+    I64,
+    IRBuilder,
+    LoopInfo,
+    RetInst,
+    reverse_postorder,
+)
+
+
+def _diamond():
+    """entry -> {left, right} -> join -> ret"""
+    fn = Function("f", FunctionType(I64, []))
+    entry = fn.append_block("entry")
+    left = fn.append_block("left")
+    right = fn.append_block("right")
+    join = fn.append_block("join")
+    entry.append(CondBranchInst(ConstantInt(I1, 1), left, right))
+    left.append(BranchInst(join))
+    right.append(BranchInst(join))
+    join.append(RetInst(ConstantInt(I64, 0)))
+    return fn, entry, left, right, join
+
+
+def _loop():
+    """entry -> header <-> body, header -> exit"""
+    fn = Function("f", FunctionType(I64, []))
+    entry = fn.append_block("entry")
+    header = fn.append_block("header")
+    body = fn.append_block("body")
+    exit_block = fn.append_block("exit")
+    entry.append(BranchInst(header))
+    header.append(CondBranchInst(ConstantInt(I1, 1), body, exit_block))
+    body.append(BranchInst(header))
+    exit_block.append(RetInst(ConstantInt(I64, 0)))
+    return fn, entry, header, body, exit_block
+
+
+def test_reverse_postorder_diamond():
+    fn, entry, left, right, join = _diamond()
+    rpo = reverse_postorder(fn)
+    assert rpo[0] is entry
+    assert rpo[-1] is join
+    assert set(rpo) == {entry, left, right, join}
+
+
+def test_rpo_excludes_unreachable():
+    fn, entry, left, right, join = _diamond()
+    dead = fn.append_block("dead")
+    dead.append(BranchInst(join))
+    rpo = reverse_postorder(fn)
+    assert dead not in rpo
+
+
+def test_dominators_diamond():
+    fn, entry, left, right, join = _diamond()
+    dom = DominatorTree(fn)
+    assert dom.idom[join] is entry
+    assert dom.idom[left] is entry
+    assert dom.dominates(entry, join)
+    assert not dom.dominates(left, join)
+    assert dom.dominates(join, join)
+    assert not dom.strictly_dominates(join, join)
+
+
+def test_dominance_frontiers_diamond():
+    fn, entry, left, right, join = _diamond()
+    dom = DominatorTree(fn)
+    frontiers = dom.dominance_frontiers()
+    assert frontiers[left] == {join}
+    assert frontiers[right] == {join}
+    assert frontiers[entry] == set()
+
+
+def test_loop_detection():
+    fn, entry, header, body, exit_block = _loop()
+    info = LoopInfo(fn)
+    assert len(info.loops) == 1
+    loop = info.loops[0]
+    assert loop.header is header
+    assert loop.blocks == {header, body}
+    assert loop.latches() == [body]
+    assert loop.exit_blocks() == [exit_block]
+    assert loop.preheader() is entry
+    assert info.loop_of(body) is loop
+    assert info.loop_of(exit_block) is None
+    assert info.depth_of(body) == 1
+
+
+def test_nested_loops(smoke_module=None):
+    from repro.lang import compile_source
+    src = """
+    int main() {
+      int t = 0;
+      for (int i = 0; i < 3; i++) {
+        for (int j = 0; j < 3; j++) { t += i * j; }
+      }
+      print_int(t);
+      return 0;
+    }
+    """
+    module = compile_source(src)
+    info = LoopInfo(module.get_function("main"))
+    assert len(info.loops) == 2
+    assert info.max_depth() == 2
+    inner = [lp for lp in info.loops if lp.depth == 2]
+    assert len(inner) == 1
+    assert inner[0].parent is not None
+    assert inner[0] in inner[0].parent.children
+
+
+def test_instruction_dominates_same_block():
+    fn = Function("f", FunctionType(I64, []))
+    entry = fn.append_block("entry")
+    builder = IRBuilder(entry)
+    a = builder.add(builder.const_int(1), builder.const_int(2))
+    b = builder.add(a, a)
+    builder.ret(b)
+    dom = DominatorTree(fn)
+    assert dom.instruction_dominates(a, b)
+    assert not dom.instruction_dominates(b, a)

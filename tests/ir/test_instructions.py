@@ -1,0 +1,145 @@
+import pytest
+
+from repro.ir import (
+    AllocaInst,
+    BasicBlock,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CondBranchInst,
+    ConstantInt,
+    F64,
+    Function,
+    FunctionType,
+    I1,
+    I64,
+    ICmpInst,
+    LoadInst,
+    PhiInst,
+    RetInst,
+    SelectInst,
+    StoreInst,
+)
+
+
+def _block():
+    fn = Function("f", FunctionType(I64, []))
+    return fn.append_block("entry")
+
+
+def test_binary_type_mismatch_rejected():
+    from repro.ir import ConstantFloat
+    with pytest.raises(TypeError):
+        BinaryInst("add", ConstantInt(I64, 1), ConstantFloat(F64, 1.0))
+    with pytest.raises(ValueError):
+        BinaryInst("nope", ConstantInt(I64, 1), ConstantInt(I64, 1))
+
+
+def test_icmp_produces_i1():
+    cmp = ICmpInst("slt", ConstantInt(I64, 1), ConstantInt(I64, 2))
+    assert cmp.type == I1
+    with pytest.raises(ValueError):
+        ICmpInst("ult", ConstantInt(I64, 1), ConstantInt(I64, 2))
+
+
+def test_load_store_type_checks():
+    alloca = AllocaInst(I64)
+    load = LoadInst(alloca)
+    assert load.type == I64
+    StoreInst(ConstantInt(I64, 3), alloca)
+    with pytest.raises(TypeError):
+        StoreInst(ConstantInt(I64, 3), ConstantInt(I64, 3))
+    from repro.ir import ConstantFloat
+    with pytest.raises(TypeError):
+        StoreInst(ConstantFloat(F64, 1.0), alloca)
+
+
+def test_phi_incoming_management():
+    block_a = _block()
+    block_b = _block()
+    phi = PhiInst(I64)
+    phi.add_incoming(ConstantInt(I64, 1), block_a)
+    phi.add_incoming(ConstantInt(I64, 2), block_b)
+    assert phi.incoming_value_for(block_a).value == 1
+    phi.remove_incoming(block_a)
+    assert len(phi.operands) == 1
+    assert phi.incoming_blocks == [block_b]
+    with pytest.raises(KeyError):
+        phi.incoming_value_for(block_a)
+
+
+def test_phi_replace_incoming_block():
+    block_a = _block()
+    block_b = _block()
+    phi = PhiInst(I64)
+    phi.add_incoming(ConstantInt(I64, 1), block_a)
+    phi.replace_incoming_block(block_a, block_b)
+    assert phi.incoming_blocks == [block_b]
+
+
+def test_branch_successors_and_replace():
+    a, b, c = _block(), _block(), _block()
+    br = BranchInst(a)
+    assert br.successors() == [a]
+    br.replace_successor(a, b)
+    assert br.successors() == [b]
+    cond = CondBranchInst(ConstantInt(I1, 1), b, c)
+    assert cond.successors() == [b, c]
+    cond.replace_successor(b, a)
+    assert cond.successors() == [a, c]
+
+
+def test_condbr_requires_i1():
+    a, b = _block(), _block()
+    with pytest.raises(TypeError):
+        CondBranchInst(ConstantInt(I64, 1), a, b)
+
+
+def test_select_type_checks():
+    sel = SelectInst(ConstantInt(I1, 1), ConstantInt(I64, 1),
+                     ConstantInt(I64, 2))
+    assert sel.type == I64
+    from repro.ir import ConstantFloat
+    with pytest.raises(TypeError):
+        SelectInst(ConstantInt(I1, 1), ConstantInt(I64, 1),
+                   ConstantFloat(F64, 2.0))
+
+
+def test_side_effects_classification():
+    alloca = AllocaInst(I64)
+    store = StoreInst(ConstantInt(I64, 1), alloca)
+    assert store.has_side_effects()
+    add = BinaryInst("add", ConstantInt(I64, 1), ConstantInt(I64, 2))
+    assert not add.has_side_effects()
+    div_const = BinaryInst("sdiv", ConstantInt(I64, 4),
+                           ConstantInt(I64, 2))
+    assert not div_const.has_side_effects()
+    div_zero = BinaryInst("sdiv", ConstantInt(I64, 4),
+                          ConstantInt(I64, 0))
+    assert div_zero.has_side_effects()
+    div_unknown = BinaryInst("sdiv", ConstantInt(I64, 4), add)
+    assert div_unknown.has_side_effects()
+
+
+def test_intrinsic_calls():
+    call = CallInst("print_int", [ConstantInt(I64, 1)])
+    assert call.is_intrinsic()
+    assert not call.is_pure_call()
+    assert call.has_side_effects()
+    from repro.ir import ConstantFloat
+    pure = CallInst("sqrt", [ConstantFloat(F64, 2.0)])
+    assert pure.is_pure_call()
+    assert not pure.has_side_effects()
+    with pytest.raises(ValueError):
+        CallInst("bogus_intrinsic", [])
+
+
+def test_erase_from_parent():
+    block = _block()
+    inst = block.append(BinaryInst("add", ConstantInt(I64, 1),
+                                   ConstantInt(I64, 2)))
+    term = block.append(RetInst(inst))
+    assert term.operands[0] is inst
+    term.erase_from_parent()
+    assert not inst.uses
+    assert block.instructions == [inst]

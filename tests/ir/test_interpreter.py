@@ -1,0 +1,145 @@
+import pytest
+
+from repro.errors import SimulationError
+from repro.ir import run_module
+from repro.lang import compile_source
+
+
+def run(src, fuel=1_000_000):
+    return run_module(compile_source(src), fuel=fuel)
+
+
+def test_arithmetic_and_return():
+    result = run("int main() { return 2 + 3 * 4; }")
+    assert result.return_value == 14
+
+
+def test_division_truncates_toward_zero():
+    assert run("int main() { return -7 / 2; }").return_value == -3
+    assert run("int main() { return -7 % 2; }").return_value == -1
+    assert run("int main() { return 7 % -2; }").return_value == 1
+
+
+def test_division_by_zero_traps():
+    with pytest.raises(SimulationError):
+        run("int main() { int z = 0; return 1 / z; }")
+
+
+def test_int64_wraparound():
+    result = run("""
+    int main() {
+      int big = 9223372036854775807;
+      return big + 1 < 0;
+    }
+    """)
+    assert result.return_value == 1
+
+
+def test_float_math():
+    result = run("""
+    int main() {
+      float x = sqrt(16.0) + pow(2.0, 3.0);
+      print_float(x);
+      return x;
+    }
+    """)
+    assert result.output == (("f", 12.0),)
+    assert result.return_value == 12
+
+
+def test_global_arrays_and_scalars():
+    result = run("""
+    int data[3] = {10, 20, 30};
+    int g = 5;
+    int main() {
+      g = g + data[1];
+      return g;
+    }
+    """)
+    assert result.return_value == 25
+
+
+def test_local_array_defaults_to_zero():
+    result = run("""
+    int main() {
+      int a[4];
+      return a[2];
+    }
+    """)
+    assert result.return_value == 0
+
+
+def test_recursion():
+    result = run("""
+    int f(int n) { if (n == 0) return 1; return n * f(n - 1); }
+    int main() { return f(6); }
+    """)
+    assert result.return_value == 720
+
+
+def test_short_circuit_evaluation():
+    # The RHS would trap; && must not evaluate it.
+    result = run("""
+    int main() {
+      int z = 0;
+      if (z != 0 && 10 / z > 0) return 1;
+      return 2;
+    }
+    """)
+    assert result.return_value == 2
+
+
+def test_fuel_exhaustion():
+    with pytest.raises(SimulationError):
+        run("int main() { while (1) {} return 0; }", fuel=1000)
+
+
+def test_print_output_order():
+    result = run("""
+    int main() {
+      print_int(1); print_float(2.5); print_int(3);
+      return 0;
+    }
+    """)
+    assert result.output == (("i", 1), ("f", 2.5), ("i", 3))
+
+
+def test_observable_includes_return():
+    result = run("int main() { print_int(9); return 4; }")
+    assert result.observable() == (4, (("i", 9),))
+
+
+def test_ternary_and_compound_assign():
+    result = run("""
+    int main() {
+      int x = 10;
+      x += 5; x *= 2; x -= 4; x /= 2;
+      int y = x > 10 ? 100 : 200;
+      return y + x;
+    }
+    """)
+    assert result.return_value == 113
+
+
+def test_break_continue():
+    result = run("""
+    int main() {
+      int total = 0;
+      for (int i = 0; i < 10; i++) {
+        if (i == 3) continue;
+        if (i == 7) break;
+        total += i;
+      }
+      return total;
+    }
+    """)
+    assert result.return_value == 0 + 1 + 2 + 4 + 5 + 6
+
+
+def test_imin_imax_iabs():
+    result = run("""
+    int main() {
+      return imin(3, 5) + imax(3, 5) + iabs(-4);
+    }
+    """)
+    assert result.return_value == 12

@@ -1,0 +1,82 @@
+import pytest
+
+from repro.ir import (
+    ArrayType,
+    F64,
+    FunctionType,
+    I1,
+    I32,
+    I64,
+    IntType,
+    PointerType,
+    VOID,
+)
+
+
+def test_int_type_widths():
+    assert I64.bits == 64
+    assert I1.bits == 1
+    with pytest.raises(ValueError):
+        IntType(13)
+
+
+def test_int_wrap_two_complement():
+    assert I64.wrap(2 ** 63) == -(2 ** 63)
+    assert I64.wrap(-(2 ** 63) - 1) == 2 ** 63 - 1
+    assert I64.wrap(5) == 5
+    assert I32.wrap(2 ** 31) == -(2 ** 31)
+    assert I1.wrap(3) == 1
+    assert I1.wrap(2) == 0
+
+
+def test_int_min_max():
+    assert I64.max_value() == 2 ** 63 - 1
+    assert I64.min_value() == -(2 ** 63)
+    assert I1.min_value() == 0
+    assert I1.max_value() == 1
+
+
+def test_structural_equality():
+    assert IntType(64) == I64
+    assert IntType(32) != I64
+    assert PointerType(I64) == PointerType(IntType(64))
+    assert ArrayType(I64, 4) == ArrayType(I64, 4)
+    assert ArrayType(I64, 4) != ArrayType(I64, 5)
+    assert ArrayType(F64, 4) != ArrayType(I64, 4)
+
+
+def test_types_hashable():
+    mapping = {I64: 1, F64: 2, PointerType(I64): 3}
+    assert mapping[IntType(64)] == 1
+    assert mapping[PointerType(IntType(64))] == 3
+
+
+def test_size_cells():
+    assert I64.size_cells() == 1
+    assert F64.size_cells() == 1
+    assert ArrayType(I64, 10).size_cells() == 10
+    assert PointerType(ArrayType(I64, 10)).size_cells() == 1
+    with pytest.raises(TypeError):
+        VOID.size_cells()
+
+
+def test_function_type():
+    ftype = FunctionType(I64, [I64, F64])
+    assert ftype.ret == I64
+    assert ftype.params == (I64, F64)
+    assert ftype == FunctionType(I64, [I64, F64])
+    assert ftype != FunctionType(I64, [I64])
+
+
+def test_predicates():
+    assert I64.is_int() and not I64.is_float()
+    assert F64.is_float() and F64.is_scalar()
+    assert VOID.is_void()
+    assert PointerType(I64).is_pointer()
+    assert ArrayType(I64, 2).is_array()
+    assert not ArrayType(I64, 2).is_scalar()
+
+
+def test_array_negative_count_rejected():
+    with pytest.raises(ValueError):
+        ArrayType(I64, -1)

@@ -1,0 +1,77 @@
+import pytest
+
+from repro.ir import (
+    BinaryInst,
+    ConstantFloat,
+    ConstantInt,
+    F64,
+    GlobalVariable,
+    I64,
+    UndefValue,
+)
+
+
+def test_constant_int_wraps():
+    c = ConstantInt(I64, 2 ** 64 + 7)
+    assert c.value == 7
+    c2 = ConstantInt(I64, 2 ** 63)
+    assert c2.value == -(2 ** 63)
+
+
+def test_constant_equality_and_hash():
+    assert ConstantInt(I64, 5) == ConstantInt(I64, 5)
+    assert ConstantInt(I64, 5) != ConstantInt(I64, 6)
+    assert ConstantFloat(F64, 1.5) == ConstantFloat(F64, 1.5)
+    assert hash(ConstantInt(I64, 5)) == hash(ConstantInt(I64, 5))
+
+
+def test_constant_type_check():
+    with pytest.raises(TypeError):
+        ConstantInt(F64, 1)
+    with pytest.raises(TypeError):
+        ConstantFloat(I64, 1.0)
+
+
+def test_use_lists_track_operands():
+    a = ConstantInt(I64, 1)
+    b = ConstantInt(I64, 2)
+    inst = BinaryInst("add", a, b)
+    assert (inst, 0) in a.uses
+    assert (inst, 1) in b.uses
+    assert a.users == [inst]
+
+
+def test_replace_all_uses_with():
+    a = ConstantInt(I64, 1)
+    b = ConstantInt(I64, 2)
+    c = ConstantInt(I64, 3)
+    inst = BinaryInst("add", a, a)
+    a.replace_all_uses_with(c)
+    assert inst.operands == (c, c)
+    assert not a.uses
+    assert len(c.uses) == 2
+    # Replacing with itself is a no-op.
+    c.replace_all_uses_with(c)
+    assert inst.operands == (c, c)
+
+
+def test_drop_all_references():
+    a = ConstantInt(I64, 1)
+    inst = BinaryInst("add", a, a)
+    inst.drop_all_references()
+    assert not a.uses
+    assert inst.operands == ()
+
+
+def test_undef_value():
+    u = UndefValue(I64)
+    assert u.is_constant()
+    assert u == UndefValue(I64)
+    assert u != UndefValue(F64)
+
+
+def test_global_variable_is_pointer():
+    gv = GlobalVariable("g", I64, 5)
+    assert gv.type.is_pointer()
+    assert gv.type.pointee == I64
+    assert gv.short_name() == "@g"

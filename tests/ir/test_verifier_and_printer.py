@@ -1,0 +1,88 @@
+import pytest
+
+from repro.errors import VerificationError
+from repro.ir import (
+    BinaryInst,
+    BranchInst,
+    ConstantInt,
+    Function,
+    FunctionType,
+    I64,
+    IRBuilder,
+    RetInst,
+    function_to_text,
+    module_fingerprint,
+    module_to_text,
+    verify_function,
+    verify_module,
+)
+from repro.lang import compile_source
+
+
+def test_verify_smoke_module(smoke_module):
+    verify_module(smoke_module)
+
+
+def test_missing_terminator_detected():
+    fn = Function("f", FunctionType(I64, []))
+    fn.append_block("entry")
+    with pytest.raises(VerificationError):
+        verify_function(fn)
+
+
+def test_terminator_in_middle_detected():
+    fn = Function("f", FunctionType(I64, []))
+    block = fn.append_block("entry")
+    block.append(RetInst(ConstantInt(I64, 0)))
+    block.append(RetInst(ConstantInt(I64, 1)))
+    with pytest.raises(VerificationError):
+        verify_function(fn)
+
+
+def test_use_before_def_detected():
+    fn = Function("f", FunctionType(I64, []))
+    entry = fn.append_block("entry")
+    later = fn.append_block("later")
+    builder = IRBuilder(later)
+    value = builder.add(builder.const_int(1), builder.const_int(2))
+    # entry uses a value defined in 'later' (which it dominates... not).
+    entry_builder = IRBuilder(entry)
+    bad = BinaryInst("add", value, ConstantInt(I64, 1))
+    entry.append(bad)
+    entry_builder.set_insert_point(entry)
+    entry.append(BranchInst(later))
+    builder.ret(value)
+    with pytest.raises(VerificationError):
+        verify_function(fn)
+
+
+def test_stale_parent_link_detected():
+    fn = Function("f", FunctionType(I64, []))
+    block = fn.append_block("entry")
+    inst = block.append(RetInst(ConstantInt(I64, 0)))
+    inst.parent = None
+    with pytest.raises(VerificationError):
+        verify_function(fn)
+
+
+def test_printer_round_trip_text(smoke_module):
+    text = module_to_text(smoke_module)
+    assert "define i64 @main" in text
+    assert "@table = " in text
+    assert "call @fib" in text
+    fn_text = function_to_text(smoke_module.get_function("fib"))
+    assert fn_text.startswith("define i64 @fib")
+
+
+def test_fingerprint_stable_across_renames(smoke_source):
+    m1 = compile_source(smoke_source)
+    m2 = compile_source(smoke_source)
+    assert module_fingerprint(m1) == module_fingerprint(m2)
+
+
+def test_fingerprint_changes_on_transform(smoke_source):
+    from repro.passes import PassManager
+    m1 = compile_source(smoke_source)
+    m2 = compile_source(smoke_source)
+    PassManager().run(m2, ["mem2reg"])
+    assert module_fingerprint(m1) != module_fingerprint(m2)

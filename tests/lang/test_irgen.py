@@ -1,0 +1,146 @@
+import pytest
+
+from repro.errors import SemanticError
+from repro.ir import run_module, verify_module
+from repro.lang import compile_source
+
+
+def run(source):
+    module = compile_source(source)
+    verify_module(module)
+    return run_module(module)
+
+
+def test_requires_main():
+    with pytest.raises(SemanticError):
+        compile_source("int f() { return 0; }")
+
+
+def test_undeclared_identifier():
+    with pytest.raises(SemanticError):
+        compile_source("int main() { return x; }")
+
+
+def test_redefinition_in_scope():
+    with pytest.raises(SemanticError):
+        compile_source("int main() { int x = 1; int x = 2; return x; }")
+
+
+def test_shadowing_in_nested_scope_allowed():
+    result = run("""
+    int main() {
+      int x = 1;
+      { int x = 2; print_int(x); }
+      return x;
+    }
+    """)
+    assert result.return_value == 1
+    assert result.output == (("i", 2),)
+
+
+def test_int_to_float_promotion():
+    result = run("""
+    int main() {
+      float f = 1;       // int literal converts
+      f = f + 2;         // mixed arithmetic promotes
+      print_float(f);
+      return f;          // float converts back by truncation
+    }
+    """)
+    assert result.output == (("f", 3.0),)
+    assert result.return_value == 3
+
+
+def test_float_to_int_truncation():
+    assert run("int main() { int x = 3.9; return x; }").return_value == 3
+    assert run("int main() { int x = -3.9; return x; }").return_value == -3
+
+
+def test_array_as_scalar_rejected():
+    with pytest.raises(SemanticError):
+        compile_source("int main() { int a[3]; return a; }")
+
+
+def test_scalar_indexed_rejected():
+    with pytest.raises(SemanticError):
+        compile_source("int main() { int x = 1; return x[0]; }")
+
+
+def test_call_arity_check():
+    with pytest.raises(SemanticError):
+        compile_source("""
+        int f(int a, int b) { return a + b; }
+        int main() { return f(1); }
+        """)
+
+
+def test_array_passed_to_function():
+    result = run("""
+    int sum3(int a[]) { return a[0] + a[1] + a[2]; }
+    int main() {
+      int v[3];
+      v[0] = 1; v[1] = 2; v[2] = 3;
+      return sum3(v);
+    }
+    """)
+    assert result.return_value == 6
+
+
+def test_global_array_passed_to_function():
+    result = run("""
+    int data[4] = {5, 6, 7, 8};
+    int sum(int a[]) { return a[0] + a[3]; }
+    int main() { return sum(data); }
+    """)
+    assert result.return_value == 13
+
+
+def test_void_function():
+    result = run("""
+    void emit(int x) { print_int(x * 2); }
+    int main() { emit(21); return 0; }
+    """)
+    assert result.output == (("i", 42),)
+
+
+def test_void_return_with_value_rejected():
+    with pytest.raises(SemanticError):
+        compile_source("void f() { return 1; } int main() { return 0; }")
+
+
+def test_missing_return_value_rejected():
+    with pytest.raises(SemanticError):
+        compile_source("int f() { return; } int main() { return 0; }")
+
+
+def test_implicit_return_zero():
+    # Falling off the end of a non-void function returns 0 (defined
+    # behaviour in this dialect).
+    result = run("int main() { int x = 5; x += 1; }")
+    assert result.return_value == 0
+
+
+def test_break_outside_loop_rejected():
+    with pytest.raises(SemanticError):
+        compile_source("int main() { break; return 0; }")
+
+
+def test_const_initializer_expression():
+    result = run("""
+    int k = 3 * 4 + 1;
+    int main() { return k; }
+    """)
+    assert result.return_value == 13
+
+
+def test_forward_function_reference():
+    result = run("""
+    int main() { return later(4); }
+    int later(int x) { return x * x; }
+    """)
+    assert result.return_value == 16
+
+
+def test_logical_result_is_int():
+    result = run("int main() { int b = (3 < 5) + (2 > 1); return b; }")
+    assert result.return_value == 2

@@ -1,0 +1,68 @@
+import pytest
+
+from repro.errors import LexerError
+from repro.lang import tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+def test_keywords_vs_identifiers():
+    tokens = tokenize("int foo while whileish")
+    assert tokens[0].kind == "keyword"
+    assert tokens[1].kind == "ident"
+    assert tokens[2].kind == "keyword"
+    assert tokens[3].kind == "ident"
+
+
+def test_numbers():
+    tokens = tokenize("42 3.5 1e3 2.5e-2 .5")
+    assert tokens[0].kind == "int" and tokens[0].value == 42
+    assert tokens[1].kind == "float" and tokens[1].value == 3.5
+    assert tokens[2].kind == "float" and tokens[2].value == 1000.0
+    assert tokens[3].kind == "float" and tokens[3].value == 0.025
+    assert tokens[4].kind == "float" and tokens[4].value == 0.5
+
+
+def test_maximal_munch_operators():
+    assert texts("a <<= b << c < d") == ["a", "<<=", "b", "<<", "c", "<",
+                                         "d"]
+    assert texts("x+++y") == ["x", "++", "+", "y"]
+    assert texts("a&&b&c") == ["a", "&&", "b", "&", "c"]
+
+
+def test_comments_stripped():
+    tokens = tokenize("a // line comment\nb /* block\ncomment */ c")
+    assert [t.text for t in tokens[:-1]] == ["a", "b", "c"]
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(LexerError):
+        tokenize("a /* never closed")
+
+
+def test_line_and_column_tracking():
+    tokens = tokenize("a\n  b")
+    assert tokens[0].line == 1 and tokens[0].column == 1
+    assert tokens[1].line == 2 and tokens[1].column == 3
+
+
+def test_unexpected_character():
+    with pytest.raises(LexerError):
+        tokenize("a $ b")
+
+
+def test_malformed_exponent():
+    with pytest.raises(LexerError):
+        tokenize("1e+")
+
+
+def test_eof_token():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind == "eof"

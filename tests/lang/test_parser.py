@@ -1,0 +1,118 @@
+import pytest
+
+from repro.errors import ParserError
+from repro.lang import parse
+from repro.lang import ast
+
+
+def first_function(source):
+    program = parse(source)
+    return [d for d in program.declarations
+            if isinstance(d, ast.FunctionDef)][0]
+
+
+def test_precedence():
+    fn = first_function("int main() { return 1 + 2 * 3; }")
+    ret = fn.body.statements[0]
+    assert isinstance(ret.value, ast.Binary)
+    assert ret.value.op == "+"
+    assert ret.value.rhs.op == "*"
+
+
+def test_comparison_binds_looser_than_arith():
+    fn = first_function("int main() { return 1 + 2 < 3 * 4; }")
+    ret = fn.body.statements[0]
+    assert ret.value.op == "<"
+
+
+def test_logical_ops_lowest():
+    fn = first_function("int main() { return 1 < 2 && 3 < 4 || 0; }")
+    ret = fn.body.statements[0]
+    assert ret.value.op == "||"
+    assert ret.value.lhs.op == "&&"
+
+
+def test_ternary():
+    fn = first_function("int main() { return 1 ? 2 : 3 ? 4 : 5; }")
+    ret = fn.body.statements[0]
+    assert isinstance(ret.value, ast.Ternary)
+    assert isinstance(ret.value.else_value, ast.Ternary)
+
+
+def test_compound_assignment_desugars():
+    fn = first_function("int main() { int x = 1; x += 2; return x; }")
+    assign = fn.body.statements[1]
+    assert isinstance(assign, ast.Assign)
+    assert isinstance(assign.value, ast.Binary)
+    assert assign.value.op == "+"
+
+
+def test_increment_desugars():
+    fn = first_function("int main() { int x = 1; x++; return x; }")
+    assign = fn.body.statements[1]
+    assert isinstance(assign, ast.Assign)
+    assert assign.value.op == "+"
+    assert assign.value.rhs.value == 1
+
+
+def test_for_loop_parts():
+    fn = first_function(
+        "int main() { for (int i = 0; i < 3; i++) {} return 0; }")
+    loop = fn.body.statements[0]
+    assert isinstance(loop, ast.For)
+    assert isinstance(loop.init, ast.VarDecl)
+    assert isinstance(loop.condition, ast.Binary)
+    assert isinstance(loop.step, ast.Assign)
+
+
+def test_for_loop_empty_parts():
+    fn = first_function("int main() { for (;;) { break; } return 0; }")
+    loop = fn.body.statements[0]
+    assert loop.init is None and loop.condition is None \
+        and loop.step is None
+
+
+def test_global_array_with_initializer():
+    program = parse("int t[3] = {1, 2, 3};\nint main() { return 0; }")
+    decl = program.declarations[0]
+    assert isinstance(decl, ast.GlobalDecl)
+    assert decl.array_size == 3
+    assert len(decl.initializer) == 3
+
+
+def test_const_global():
+    program = parse("const int k = 9;\nint main() { return 0; }")
+    assert program.declarations[0].is_const
+
+
+def test_array_parameter():
+    fn = first_function("int f(int a[], float b) { return a[0]; }")
+    assert fn.params[0].is_array
+    assert not fn.params[1].is_array
+
+
+def test_dangling_else_binds_inner():
+    fn = first_function("""
+    int main() {
+      if (1) if (2) return 1; else return 2;
+      return 3;
+    }
+    """)
+    outer = fn.body.statements[0]
+    assert outer.else_body is None
+    assert outer.then_body.else_body is not None
+
+
+def test_assignment_to_rvalue_rejected():
+    with pytest.raises(ParserError):
+        parse("int main() { 1 + 2 = 3; return 0; }")
+
+
+def test_missing_semicolon_rejected():
+    with pytest.raises(ParserError):
+        parse("int main() { return 0 }")
+
+
+def test_unbalanced_paren_rejected():
+    with pytest.raises(ParserError):
+        parse("int main() { return (1 + 2; }")

@@ -1,0 +1,109 @@
+"""Heuristic-search tests (the Optuna substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SearchError
+from repro.search import RandomSampler, TPESampler, create_study
+
+
+def test_study_tracks_best_maximize():
+    study = create_study("maximize", seed=0)
+    study.optimize(lambda t: t.suggest_float("x", 0, 1), n_trials=20)
+    assert study.best_value == max(t.value for t in study.trials)
+    assert 0 <= study.best_params["x"] <= 1
+
+
+def test_study_minimize_direction():
+    study = create_study("minimize", seed=0)
+    study.optimize(lambda t: (t.suggest_float("x", -1, 1)) ** 2,
+                   n_trials=25)
+    assert study.best_value == min(t.value for t in study.trials)
+
+
+def test_tpe_beats_random_on_smooth_objective():
+    def objective(trial):
+        x = trial.suggest_float("x", -5.0, 5.0)
+        y = trial.suggest_float("y", -5.0, 5.0)
+        return -((x - 2.0) ** 2 + (y + 1.0) ** 2)
+
+    tpe_scores = []
+    random_scores = []
+    for seed in range(5):
+        tpe = create_study("maximize", sampler=TPESampler(seed=seed))
+        tpe.optimize(objective, n_trials=60)
+        tpe_scores.append(tpe.best_value)
+        rnd = create_study("maximize", sampler=RandomSampler(seed=seed))
+        rnd.optimize(objective, n_trials=60)
+        random_scores.append(rnd.best_value)
+    assert np.mean(tpe_scores) >= np.mean(random_scores)
+
+
+def test_categorical_suggestions_valid():
+    study = create_study("maximize", seed=1)
+
+    def objective(trial):
+        choice = trial.suggest_categorical("kind", ["a", "b", "c"])
+        return {"a": 1.0, "b": 3.0, "c": 2.0}[choice]
+
+    study.optimize(objective, n_trials=30)
+    assert study.best_params["kind"] == "b"
+
+
+def test_int_suggestions_in_range():
+    study = create_study("maximize", seed=2)
+
+    def objective(trial):
+        k = trial.suggest_int("k", 2, 9)
+        assert 2 <= k <= 9
+        return -abs(k - 6)
+
+    study.optimize(objective, n_trials=40)
+    assert study.best_params["k"] == 6
+
+
+def test_log_scale_floats():
+    study = create_study("maximize", seed=3)
+
+    def objective(trial):
+        alpha = trial.suggest_float("alpha", 1e-6, 1.0, log=True)
+        assert 1e-6 <= alpha <= 1.0
+        return -abs(np.log10(alpha) + 3.0)  # optimum at 1e-3
+
+    study.optimize(objective, n_trials=60)
+    assert 1e-5 < study.best_params["alpha"] < 0.1
+
+
+def test_callbacks_stop_early():
+    study = create_study("maximize", seed=0)
+    study.optimize(lambda t: t.suggest_float("x", 0, 1), n_trials=100,
+                   callbacks=(lambda s, t: len(s.trials) >= 5,))
+    assert len(study.trials) == 5
+
+
+def test_failed_trials_are_recorded():
+    study = create_study("maximize", seed=0)
+
+    def objective(trial):
+        x = trial.suggest_float("x", 0, 1)
+        if x < 0.5:
+            raise ValueError("boom")
+        return x
+
+    study.optimize(objective, n_trials=30, catch_errors=True)
+    failed = [t for t in study.trials if t.state == "failed"]
+    complete = [t for t in study.trials if t.state == "complete"]
+    assert failed and complete
+    assert all(t.value >= 0.5 for t in complete)
+
+
+def test_no_trials_raises():
+    study = create_study()
+    with pytest.raises(SearchError):
+        _ = study.best_trial
+
+
+def test_invalid_direction_rejected():
+    from repro.search.study import Study
+    with pytest.raises(SearchError):
+        Study(direction="sideways")

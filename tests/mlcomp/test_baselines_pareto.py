@@ -1,0 +1,118 @@
+"""Baselines + Pareto tooling tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    GeneticSearch,
+    IterativeElimination,
+    RandomPhaseSearch,
+    STANDARD_LEVELS,
+    standard_pipeline,
+)
+from repro.ir import run_module
+from repro.pareto import (
+    dominates,
+    hypervolume_2d,
+    pareto_front,
+    probabilistic_dominance,
+)
+from repro.passes import PASS_REGISTRY, PassManager
+from repro.workloads import load_workload
+
+
+def test_standard_levels_use_registered_phases():
+    for level, sequence in STANDARD_LEVELS.items():
+        for phase in sequence:
+            assert phase in PASS_REGISTRY, (level, phase)
+
+
+def test_standard_levels_preserve_behaviour(riscv):
+    workload = load_workload("beebs", "edn")
+    reference = run_module(workload.compile()).observable()
+    for level in STANDARD_LEVELS:
+        module = workload.compile()
+        PassManager().run(module, standard_pipeline(level))
+        assert run_module(module).observable() == reference, level
+
+
+def test_higher_levels_do_more(riscv):
+    workload = load_workload("beebs", "matmult_int")
+    results = {}
+    for level in ("-O0", "-O2"):
+        module = workload.compile()
+        PassManager().run(module, standard_pipeline(level))
+        results[level] = riscv.profile(module)
+    assert results["-O2"].cycles < results["-O0"].cycles
+
+
+def test_unknown_level_rejected():
+    with pytest.raises(KeyError):
+        standard_pipeline("-O7")
+
+
+def test_random_search_finds_improvement(riscv):
+    workload = load_workload("beebs", "janne_complex")
+    searcher = RandomPhaseSearch(n_trials=6, seed=0)
+    sequence, value = searcher.search(workload, riscv)
+    baseline = riscv.profile(workload.compile())
+    assert value <= baseline.metrics()["exec_time_us"]
+
+
+def test_iterative_elimination_shrinks_pipeline(riscv):
+    workload = load_workload("beebs", "janne_complex")
+    searcher = IterativeElimination(
+        base_sequence=["mem2reg", "instcombine", "lower-expect",
+                       "simplifycfg"])
+    sequence, value = searcher.search(workload, riscv)
+    assert len(sequence) <= 4
+
+
+def test_genetic_search_runs(riscv):
+    workload = load_workload("beebs", "ndes")
+    searcher = GeneticSearch(population=4, generations=2, seed=0)
+    sequence, value = searcher.search(workload, riscv)
+    assert value < float("inf")
+
+
+# -- pareto ----------------------------------------------------------------
+
+def test_dominates_basic():
+    assert dominates([1, 1], [2, 2])
+    assert dominates([1, 2], [2, 2])
+    assert not dominates([2, 2], [2, 2])
+    assert not dominates([1, 3], [2, 2])
+
+
+def test_pareto_front_extraction():
+    points = [[1, 5], [2, 2], [5, 1], [3, 3], [6, 6]]
+    front = pareto_front(points)
+    assert sorted(front) == [0, 1, 2]
+
+
+def test_pareto_front_with_duplicates():
+    points = [[1, 1], [1, 1], [2, 2]]
+    front = pareto_front(points)
+    assert 2 not in front
+    assert set(front) == {0, 1}
+
+
+def test_hypervolume_monotone():
+    reference = (10.0, 10.0)
+    small = hypervolume_2d([[5, 5]], reference)
+    large = hypervolume_2d([[2, 2]], reference)
+    assert large > small
+    combined = hypervolume_2d([[2, 8], [8, 2]], reference)
+    single = hypervolume_2d([[2, 8]], reference)
+    assert combined > single
+
+
+def test_probabilistic_dominance():
+    rng = np.random.default_rng(0)
+    a = rng.normal([1.0, 1.0], 0.05, size=(200, 2))
+    b = rng.normal([2.0, 2.0], 0.05, size=(200, 2))
+    assert probabilistic_dominance(a, b) > 0.99
+    assert probabilistic_dominance(b, a) < 0.01
+    overlapping = rng.normal([1.0, 1.0], 0.05, size=(200, 2))
+    p = probabilistic_dominance(a, overlapping)
+    assert 0.05 < p < 0.95

@@ -1,0 +1,69 @@
+"""CLI tests (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import main
+
+HELLO = """
+int main() {
+  print_int(6 * 7);
+  return 0;
+}
+"""
+
+
+@pytest.fixture
+def hello_file(tmp_path):
+    path = tmp_path / "hello.c"
+    path.write_text(HELLO)
+    return str(path)
+
+
+def test_cli_run(hello_file, capsys):
+    assert main(["run", hello_file]) == 0
+    out = capsys.readouterr().out
+    assert "42" in out
+
+
+def test_cli_run_with_phases(hello_file, capsys):
+    assert main(["run", hello_file, "--phases", "mem2reg",
+                 "instcombine"]) == 0
+    assert "42" in capsys.readouterr().out
+
+
+def test_cli_ir(hello_file, capsys):
+    assert main(["ir", hello_file]) == 0
+    out = capsys.readouterr().out
+    assert "define i64 @main" in out
+
+
+def test_cli_profile(hello_file, capsys):
+    assert main(["profile", hello_file, "--target", "riscv"]) == 0
+    out = capsys.readouterr().out
+    assert "exec_time_us" in out
+    assert "code_size_bytes" in out
+
+
+def test_cli_phases(capsys):
+    assert main(["phases"]) == 0
+    out = capsys.readouterr().out
+    assert "mem2reg" in out
+    assert "loop-unroll" in out
+
+
+def test_cli_features(hello_file, capsys):
+    assert main(["features", hello_file]) == 0
+    out = capsys.readouterr().out
+    assert "n_instructions" in out
+
+
+def test_cli_workloads(capsys):
+    assert main(["workloads", "--suite", "parsec"]) == 0
+    out = capsys.readouterr().out
+    assert "parsec/blackscholes" in out
+    assert "beebs/" not in out
+
+
+def test_cli_requires_command(capsys):
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,141 @@
+"""Tests for the static cost model and the module cloner behind it."""
+
+import numpy as np
+import pytest
+
+from repro.features import COST_FEATURE_NAMES, extract_cost_features
+from repro.features.costmodel import (
+    block_frequencies,
+    function_frequencies,
+)
+from repro.ir import module_fingerprint, run_module, verify_module
+from repro.ir.cloner import clone_module
+from repro.lang import compile_source
+from repro.passes import PassManager
+from repro.workloads import load_suite
+
+
+def test_clone_module_behaviour_identical(smoke_source):
+    original = compile_source(smoke_source)
+    clone = clone_module(original)
+    verify_module(clone)
+    assert run_module(clone).observable() == \
+        run_module(original).observable()
+
+
+def test_clone_module_is_independent(smoke_source):
+    original = compile_source(smoke_source)
+    clone = clone_module(original)
+    before = module_fingerprint(original)
+    PassManager().run(clone, ["mem2reg", "instcombine", "simplifycfg"])
+    assert module_fingerprint(original) == before  # untouched
+
+
+def test_clone_module_preserves_attributes(smoke_source):
+    original = compile_source(smoke_source)
+    original.get_function("main").attributes.add("slp-enabled")
+    clone = clone_module(original)
+    assert "slp-enabled" in clone.get_function("main").attributes
+
+
+def test_clone_all_workloads():
+    for suite in ("parsec", "beebs"):
+        for workload in load_suite(suite)[:6]:
+            module = workload.compile()
+            clone = clone_module(module)
+            verify_module(clone)
+            assert run_module(clone).observable() == \
+                run_module(workload.compile()).observable()
+
+
+def test_block_frequencies_scale_with_trip_counts():
+    src = """
+    int main() {
+      int t = 0;
+      for (int i = 0; i < 50; i++) { t += i; }
+      print_int(t);
+      return 0;
+    }
+    """
+    module = compile_source(src)
+    PassManager().run(module, ["mem2reg", "instcombine"])
+    main = module.get_function("main")
+    freqs = block_frequencies(main)
+    assert max(freqs.values()) == 50.0
+    entry_freq = freqs[id(main.entry)]
+    assert entry_freq == 1.0
+
+
+def test_nested_loop_frequencies_multiply():
+    src = """
+    int main() {
+      int t = 0;
+      for (int i = 0; i < 10; i++) {
+        for (int j = 0; j < 20; j++) { t += i * j; }
+      }
+      print_int(t);
+      return 0;
+    }
+    """
+    module = compile_source(src)
+    PassManager().run(module, ["mem2reg", "instcombine"])
+    freqs = block_frequencies(module.get_function("main"))
+    assert max(freqs.values()) == 200.0
+
+
+def test_function_frequencies_follow_call_graph():
+    src = """
+    int leaf(int x) { return x * 2; }
+    int mid(int x) {
+      int t = 0;
+      for (int i = 0; i < 5; i++) { t += leaf(x + i); }
+      return t;
+    }
+    int main() { return mid(3) + mid(4); }
+    """
+    module = compile_source(src)
+    PassManager().run(module, ["mem2reg", "instcombine"])
+    invocations = function_frequencies(module)
+    assert invocations["main"] == 1.0
+    assert invocations["mid"] == pytest.approx(2.0)
+    assert invocations["leaf"] == pytest.approx(10.0)
+
+
+def test_cost_features_track_workload_size():
+    small = compile_source("""
+    int main() {
+      int t = 0;
+      for (int i = 0; i < 4; i++) { t += i; }
+      print_int(t);
+      return 0;
+    }
+    """)
+    big = compile_source("""
+    int main() {
+      int t = 0;
+      for (int i = 0; i < 400; i++) { t += i; }
+      print_int(t);
+      return 0;
+    }
+    """)
+    f_small = extract_cost_features(small)
+    f_big = extract_cost_features(big)
+    names = dict(zip(COST_FEATURE_NAMES, range(len(COST_FEATURE_NAMES))))
+    assert f_big[names["est_total_work"]] > \
+        f_small[names["est_total_work"]]
+
+
+def test_cost_features_do_not_mutate_module(smoke_module):
+    before = module_fingerprint(smoke_module)
+    extract_cost_features(smoke_module)
+    assert module_fingerprint(smoke_module) == before
+
+
+def test_cost_features_finite_on_recursion():
+    src = """
+    int f(int n) { if (n < 2) return n; return f(n - 1) + f(n - 2); }
+    int main() { return f(20) % 251; }
+    """
+    features = extract_cost_features(compile_source(src))
+    assert np.all(np.isfinite(features))
+    assert features.shape == (len(COST_FEATURE_NAMES),)

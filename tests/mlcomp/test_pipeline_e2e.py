@@ -1,0 +1,63 @@
+"""End-to-end MLComp methodology test (all four boxes of Fig. 2)."""
+
+import pytest
+
+from repro.baselines import STANDARD_LEVELS
+from repro.ir import run_module
+from repro.pipeline import MLComp
+from repro.rl import TrainingConfig
+
+
+@pytest.fixture(scope="module")
+def trained_mlcomp():
+    mlcomp = MLComp(target="riscv", suite="beebs")
+    mlcomp.workloads = mlcomp.workloads[:5]
+    mlcomp.phases = ["mem2reg", "instcombine", "simplifycfg", "gvn",
+                     "licm", "loop-unroll", "dce", "sccp", "inline",
+                     "early-cse", "dse", "loop-rotate"]
+    mlcomp.extract_data(n_sequences=6, seed=2)
+    mlcomp.train_estimator(mode="fast")
+    mlcomp.train_policy(config=TrainingConfig(
+        num_episodes=18, batch_size=3, max_sequence_length=6, seed=0))
+    return mlcomp
+
+
+def test_four_steps_complete(trained_mlcomp):
+    assert len(trained_mlcomp.dataset) >= 25
+    assert trained_mlcomp.estimator is not None
+    assert trained_mlcomp.selector is not None
+    for metric, report in trained_mlcomp.estimator.report.items():
+        assert report["r2"] > 0.5, (metric, report)
+
+
+def test_pss_preserves_behaviour(trained_mlcomp):
+    for workload in trained_mlcomp.workloads[:3]:
+        reference = run_module(workload.compile()).observable()
+        module = workload.compile()
+        trained_mlcomp.optimize(module)
+        assert run_module(module).observable() == reference
+
+
+def test_pss_not_worse_than_unoptimized_on_average(trained_mlcomp):
+    ratios = []
+    for workload in trained_mlcomp.workloads:
+        pss = trained_mlcomp.evaluate_workload(workload)
+        unopt = trained_mlcomp.evaluate_workload(workload, sequence=[])
+        ratios.append(pss.metrics()["exec_time_us"]
+                      / unopt.metrics()["exec_time_us"])
+    mean_ratio = sum(ratios) / len(ratios)
+    assert mean_ratio < 1.05  # never meaningfully worse on average
+
+
+def test_evaluate_with_fixed_sequence(trained_mlcomp):
+    workload = trained_mlcomp.workloads[0]
+    o2 = trained_mlcomp.evaluate_workload(
+        workload, sequence=STANDARD_LEVELS["-O2"])
+    o0 = trained_mlcomp.evaluate_workload(workload, sequence=[])
+    assert o2.cycles < o0.cycles
+
+
+def test_optimize_requires_training():
+    mlcomp = MLComp(target="riscv")
+    with pytest.raises(RuntimeError):
+        mlcomp.optimize(mlcomp.workloads[0].compile())

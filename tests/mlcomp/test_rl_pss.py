@@ -1,0 +1,208 @@
+"""RL / PSS tests: policy math, environment reward, REINFORCE training,
+selector deployment (incl. the inactive-subsequence rule), persistence."""
+
+import numpy as np
+import pytest
+
+from repro.passes import available_phases
+from repro.pe import PerformanceEstimator
+from repro.pss import PhaseSequenceSelector
+from repro.rl import (
+    FeatureEncoder,
+    PhaseSequenceEnv,
+    PolicyNetwork,
+    ReinforceTrainer,
+    RewardConfig,
+    TrainingConfig,
+)
+
+
+def test_policy_outputs_distribution():
+    policy = PolicyNetwork(input_dim=5, n_actions=7, seed=0)
+    probabilities = policy.probabilities(np.zeros(5))
+    assert probabilities.shape == (7,)
+    assert probabilities.min() > 0
+    assert probabilities.sum() == pytest.approx(1.0)
+
+
+def test_policy_table_v_shape():
+    config = TrainingConfig.paper()
+    assert config.num_episodes == 512
+    assert config.batch_size == 6
+    assert config.learning_rate == 0.1
+    assert config.hidden == 16
+    assert config.n_layers == 3
+    assert config.max_sequence_length == 128
+    policy = PolicyNetwork(10, 4, hidden=config.hidden,
+                           n_layers=config.n_layers)
+    assert len(policy.weights) == 3
+    assert policy.weights[0].shape == (10, 16)
+    assert policy.weights[1].shape == (16, 16)
+    assert policy.weights[2].shape == (16, 4)
+
+
+def test_policy_gradient_increases_action_probability():
+    policy = PolicyNetwork(input_dim=4, n_actions=3, seed=1)
+    x = np.array([0.5, -0.2, 0.1, 0.9])
+    _, cache = policy.forward(x)
+    before = policy.probabilities(x)[2]
+    # Positive advantage on action 2: its probability must rise.
+    grad_w, grad_b = policy.gradients(cache, action=2, scale=1.0)
+    policy.apply_gradients(grad_w, grad_b, learning_rate=0.5)
+    after = policy.probabilities(x)[2]
+    assert after > before
+
+
+def test_policy_state_dict_round_trip():
+    policy = PolicyNetwork(input_dim=6, n_actions=5, seed=2)
+    clone = PolicyNetwork.from_state_dict(policy.state_dict())
+    x = np.linspace(-1, 1, 6)
+    assert np.allclose(policy.probabilities(x), clone.probabilities(x))
+
+
+def test_reward_config_pareto_penalty():
+    config = RewardConfig(time_weight=1.0, energy_weight=1.0,
+                          size_weight=1.0, degradation_penalty=2.0)
+    base = {"time": 100.0, "energy": 100.0, "size": 100.0}
+    improved = {"time": 90.0, "energy": 95.0, "size": 100.0}
+    assert config.reward(base, improved) > 0
+    degraded = {"time": 90.0, "energy": 120.0, "size": 100.0}
+    # The energy regression is penalized beyond its weighted term.
+    mixed = config.reward(base, degraded)
+    symmetric_gain = config.reward(base, {"time": 90.0, "energy": 100.0,
+                                          "size": 100.0})
+    assert mixed < symmetric_gain - 0.2
+
+
+def test_feature_encoder_roundtrip():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(30, 63)) * np.linspace(1, 10, 63)
+    encoder = FeatureEncoder().fit(X)
+    z = encoder.encode(X[0])
+    assert z.shape == (encoder.output_dim,)
+    clone = FeatureEncoder.from_state_dict(encoder.state_dict())
+    assert np.allclose(clone.encode(X[0]), z)
+
+
+@pytest.fixture(scope="module")
+def rl_setup(request):
+    small_dataset = request.getfixturevalue("small_dataset")
+    riscv = request.getfixturevalue("riscv")
+    beebs_small = request.getfixturevalue("beebs_small")
+    estimator = PerformanceEstimator().train(small_dataset, mode="fast")
+    phases = ["mem2reg", "instcombine", "simplifycfg", "gvn", "licm",
+              "loop-unroll", "dce", "sccp", "early-cse", "inline"]
+    return riscv, beebs_small, estimator, phases
+
+
+def test_environment_episode(rl_setup):
+    riscv, workloads, estimator, phases = rl_setup
+    env = PhaseSequenceEnv(workloads[0], riscv, estimator, phases,
+                           max_steps=4)
+    state = env.reset()
+    assert state.shape == (63,)
+    total_reward = 0.0
+    done = False
+    steps = 0
+    while not done:
+        state, reward, done, info = env.step(0)  # always mem2reg
+        total_reward += reward
+        steps += 1
+    assert steps == 4
+    # mem2reg fires once; afterwards it is inactive (reward 0).
+    assert env.applied == ["mem2reg"] * 4
+
+
+def test_environment_inactive_phase_zero_reward(rl_setup):
+    riscv, workloads, estimator, phases = rl_setup
+    env = PhaseSequenceEnv(workloads[0], riscv, estimator, phases,
+                           max_steps=3)
+    env.reset()
+    _, first, _, info1 = env.step(0)
+    _, second, _, info2 = env.step(0)
+    assert info1["changed"]
+    assert not info2["changed"]
+    assert second == 0.0
+
+
+def test_reinforce_training_runs_and_improves_policy(rl_setup):
+    riscv, workloads, estimator, phases = rl_setup
+    config = TrainingConfig(num_episodes=12, batch_size=3,
+                            max_sequence_length=5, seed=0)
+    trainer = ReinforceTrainer(workloads[:3], riscv, estimator, phases,
+                               config=config)
+    policy = trainer.train()
+    assert policy is not None
+    assert len(trainer.history) == 4  # 12 episodes / batch of 3
+    assert trainer.encoder.output_dim >= 1
+
+
+def test_selector_respects_sequence_limit(rl_setup):
+    riscv, workloads, estimator, phases = rl_setup
+    encoder = _fit_encoder(workloads)
+    policy = PolicyNetwork(encoder.output_dim, len(phases), seed=0)
+    selector = PhaseSequenceSelector(policy, encoder, phases,
+                                     max_sequence_length=3,
+                                     max_inactive_length=4)
+    module = workloads[0].compile()
+    applied = selector.optimize(module)
+    assert len(applied) <= 3
+
+
+def test_selector_inactive_subsequence_fallback(rl_setup):
+    riscv, workloads, estimator, phases = rl_setup
+    encoder = _fit_encoder(workloads)
+    policy = PolicyNetwork(encoder.output_dim, len(phases), seed=0)
+    selector = PhaseSequenceSelector(policy, encoder, phases,
+                                     max_sequence_length=6,
+                                     max_inactive_length=3)
+    module = workloads[1].compile()
+    trace = []
+    applied = selector.optimize(module, trace=trace)
+    # The trace may contain inactive attempts; runs of inactive phases
+    # never exceed the limit before either progress or termination.
+    run_length = 0
+    for _, changed in trace:
+        if changed:
+            run_length = 0
+        else:
+            run_length += 1
+            assert run_length <= 3
+
+
+def test_selector_preserves_behaviour(rl_setup):
+    from repro.ir import run_module
+    riscv, workloads, estimator, phases = rl_setup
+    encoder = _fit_encoder(workloads)
+    policy = PolicyNetwork(encoder.output_dim, len(phases), seed=3)
+    selector = PhaseSequenceSelector(policy, encoder, phases,
+                                     max_sequence_length=8)
+    for workload in workloads[:3]:
+        reference = run_module(workload.compile()).observable()
+        module = workload.compile()
+        selector.optimize(module)
+        assert run_module(module).observable() == reference
+
+
+def test_selector_save_load(tmp_path, rl_setup):
+    riscv, workloads, estimator, phases = rl_setup
+    encoder = _fit_encoder(workloads)
+    policy = PolicyNetwork(encoder.output_dim, len(phases), seed=1)
+    selector = PhaseSequenceSelector(policy, encoder, phases,
+                                     max_sequence_length=5,
+                                     max_inactive_length=2)
+    path = tmp_path / "pss.npz"
+    selector.save(path)
+    loaded = PhaseSequenceSelector.load(path)
+    assert loaded.phases == phases
+    assert loaded.max_sequence_length == 5
+    assert loaded.max_inactive_length == 2
+    module = workloads[0].compile()
+    module2 = workloads[0].compile()
+    assert selector.optimize(module) == loaded.optimize(module2)
+
+
+def _fit_encoder(workloads):
+    from repro.features import extract_static_features
+    rows = [extract_static_features(w.compile()) for w in workloads]
+    return FeatureEncoder().fit(np.asarray(rows))

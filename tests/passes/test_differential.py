@@ -1,0 +1,107 @@
+"""Property-based differential testing of the pass corpus.
+
+Any sequence of phases must preserve observable behaviour under the
+reference interpreter.  This is the central safety property of the whole
+compiler substrate (and of the PSS, which composes arbitrary sequences).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ir import run_module, verify_module
+from repro.lang import compile_source
+from repro.passes import PassManager, available_phases
+from tests.conftest import SMOKE_SOURCE
+
+PHASES = available_phases()
+
+ARRAY_SRC = """
+int scratch[16];
+int main() {
+  for (int i = 0; i < 16; i++) { scratch[i] = i * i % 11; }
+  int best = -1;
+  for (int i = 0; i < 16; i++) {
+    if (scratch[i] > best) best = scratch[i];
+  }
+  int t = 0;
+  for (int i = 0; i < 16; i += 2) { t += scratch[i] * best; }
+  print_int(best);
+  print_int(t);
+  return t % 251;
+}
+"""
+
+FLOAT_SRC = """
+float horner(float x) {
+  return ((2.0 * x + 3.0) * x + 5.0) * x + 7.0;
+}
+int main() {
+  float acc = 0.0;
+  for (int i = 0; i < 10; i++) {
+    acc = acc + horner(0.1 * i) / (1.0 + i);
+  }
+  print_float(acc);
+  return acc * 100.0;
+}
+"""
+
+SOURCES = [SMOKE_SOURCE, ARRAY_SRC, FLOAT_SRC]
+_REFERENCES = {}
+
+
+def reference(source):
+    if source not in _REFERENCES:
+        _REFERENCES[source] = run_module(
+            compile_source(source)).observable()
+    return _REFERENCES[source]
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    source_index=st.integers(0, len(SOURCES) - 1),
+    sequence=st.lists(st.sampled_from(PHASES), min_size=1, max_size=10),
+)
+def test_random_pipelines_preserve_behaviour(source_index, sequence):
+    source = SOURCES[source_index]
+    module = compile_source(source)
+    PassManager(verify=True).run(module, sequence)
+    assert run_module(module).observable() == reference(source)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(sequence=st.lists(st.sampled_from(PHASES), min_size=1,
+                         max_size=6))
+def test_pipelines_never_grow_unverifiable(sequence):
+    module = compile_source(ARRAY_SRC)
+    PassManager().run(module, sequence)
+    verify_module(module)
+
+
+@pytest.mark.parametrize("phase", PHASES)
+def test_each_phase_alone_is_sound(phase):
+    for source in SOURCES:
+        module = compile_source(source)
+        PassManager(verify=True).run(module, [phase])
+        assert run_module(module).observable() == reference(source)
+
+
+@pytest.mark.parametrize("phase", PHASES)
+def test_each_phase_after_mem2reg_is_sound(phase):
+    for source in SOURCES:
+        module = compile_source(source)
+        PassManager(verify=True).run(
+            module, ["mem2reg", "simplifycfg", phase, phase])
+        assert run_module(module).observable() == reference(source)
+
+
+def test_idempotence_of_cleanup_phases():
+    """Running a cleanup phase twice: the second run reports no change."""
+    for phase in ("dce", "simplifycfg", "adce", "dse", "globaldce"):
+        module = compile_source(SMOKE_SOURCE)
+        manager = PassManager()
+        manager.run(module, ["mem2reg", phase])
+        activity = manager.run_with_fingerprints(module, [phase])
+        assert activity == [False], phase

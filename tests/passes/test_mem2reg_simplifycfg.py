@@ -1,0 +1,146 @@
+from repro.ir import (
+    AllocaInst,
+    LoadInst,
+    PhiInst,
+    StoreInst,
+    run_module,
+    verify_module,
+)
+from repro.lang import compile_source
+from repro.passes import PassManager, create_pass
+
+
+def apply(source, phases):
+    module = compile_source(source)
+    reference = run_module(compile_source(source)).observable()
+    PassManager(verify=True).run(module, phases)
+    assert run_module(module).observable() == reference
+    return module
+
+
+def count_instrs(module, kind):
+    return sum(1 for fn in module.defined_functions()
+               for inst in fn.instructions() if isinstance(inst, kind))
+
+
+SCALAR_SRC = """
+int main() {
+  int x = 1;
+  int y = 2;
+  if (x < y) { x = y + 3; } else { x = y - 3; }
+  print_int(x);
+  return x;
+}
+"""
+
+
+def test_mem2reg_removes_scalar_allocas():
+    module = apply(SCALAR_SRC, ["mem2reg"])
+    assert count_instrs(module, AllocaInst) == 0
+    assert count_instrs(module, LoadInst) == 0
+    assert count_instrs(module, StoreInst) == 0
+
+
+def test_mem2reg_keeps_arrays():
+    src = """
+    int main() {
+      int a[4];
+      a[0] = 7;
+      return a[0];
+    }
+    """
+    module = apply(src, ["mem2reg"])
+    assert count_instrs(module, AllocaInst) == 1  # the array survives
+
+
+def test_mem2reg_inserts_phis_at_joins():
+    module = apply(SCALAR_SRC, ["mem2reg"])
+    assert count_instrs(module, PhiInst) >= 1
+
+
+def test_mem2reg_loop_phi():
+    src = """
+    int main() {
+      int total = 0;
+      for (int i = 0; i < 5; i++) { total += i; }
+      return total;
+    }
+    """
+    module = apply(src, ["mem2reg"])
+    assert count_instrs(module, AllocaInst) == 0
+    main = module.get_function("main")
+    header_phis = [b for b in main.blocks if b.phis()]
+    assert header_phis
+
+
+def test_mem2reg_idempotent():
+    module = apply(SCALAR_SRC, ["mem2reg"])
+    changed = create_pass("mem2reg").run(module)
+    assert not changed
+
+
+def test_simplifycfg_folds_constant_branch():
+    src = """
+    int main() {
+      if (1 < 2) { print_int(10); } else { print_int(20); }
+      return 0;
+    }
+    """
+    module = apply(src, ["mem2reg", "instcombine", "sccp", "simplifycfg"])
+    main = module.get_function("main")
+    # Everything should collapse to a straight line.
+    assert len(main.blocks) == 1
+
+
+def test_simplifycfg_merges_chains():
+    module = apply(SCALAR_SRC, ["mem2reg", "speculative-execution",
+                                "simplifycfg"])
+    main = module.get_function("main")
+    # after hoisting, the diamond folds to selects in a single block
+    assert len(main.blocks) <= 2
+
+
+def test_simplifycfg_removes_unreachable():
+    src = """
+    int main() {
+      return 1;
+      print_int(99);
+      return 2;
+    }
+    """
+    module = apply(src, ["simplifycfg"])
+    main = module.get_function("main")
+    assert len(main.blocks) == 1
+
+
+def test_simplifycfg_diamond_to_select():
+    # speculative-execution empties the diamond arms; simplifycfg then
+    # if-converts the remaining phi into a select.
+    from repro.ir import SelectInst
+    module = apply(SCALAR_SRC, ["mem2reg", "speculative-execution",
+                                "simplifycfg"])
+    assert count_instrs(module, SelectInst) >= 1
+
+
+def test_sroa_splits_constant_indexed_array():
+    src = """
+    int main() {
+      int a[3];
+      a[0] = 1; a[1] = 2; a[2] = 3;
+      return a[0] + a[1] + a[2];
+    }
+    """
+    module = apply(src, ["sroa"])
+    assert count_instrs(module, AllocaInst) == 0
+
+
+def test_sroa_keeps_dynamic_indexed_array():
+    src = """
+    int main() {
+      int a[3];
+      for (int i = 0; i < 3; i++) { a[i] = i; }
+      return a[2];
+    }
+    """
+    module = apply(src, ["sroa"])
+    assert count_instrs(module, AllocaInst) == 1

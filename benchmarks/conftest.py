@@ -10,8 +10,21 @@ fixtures generate ~200 (x86/PARSEC) and ~340 (RISC-V/BEEBS) points, inside
 the paper's range.
 """
 
+import os
+
 import numpy as np
 import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    """Benchmarks are simulation-heavy: mark everything under this
+    directory ``slow`` (excluded from the tier-1 default selection)
+    unless a test opts into the fast tier with ``@pytest.mark.fast``."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    for item in items:
+        if str(item.fspath).startswith(here) \
+                and "fast" not in item.keywords:
+            item.add_marker(pytest.mark.slow)
 
 from repro.pe import PerformanceEstimator
 from repro.pipeline import MLComp

@@ -1,0 +1,92 @@
+"""Benchmark guard for the evaluation engine (ISSUE 1).
+
+A repeated-sequence workload (the shape of RL training and exhaustive /
+Pareto searches) must be >=5x faster against a warm cache than cold,
+with the hit rate reported.  Running with ``REPRO_BENCH_RECORD=1``
+appends the numbers to ``BENCH_engine.json`` at the repo root, so the
+trajectory across PRs is recorded without routine test runs dirtying
+the working tree.
+
+These tests are marked ``fast``: they are the cheap guard tier and run
+in the default (tier-1) selection even though they live in
+``benchmarks/``.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.engine import EvaluationEngine
+from repro.sim import Platform
+from repro.workloads import load_suite
+
+pytestmark = pytest.mark.fast
+
+BENCH_PATH = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "BENCH_engine.json")
+
+SEQUENCES = ((), ("mem2reg", "simplifycfg"),
+             ("mem2reg", "instcombine", "gvn", "dce"),
+             ("mem2reg", "licm", "loop-unroll", "simplifycfg"))
+
+
+def _record(entry):
+    if not os.environ.get("REPRO_BENCH_RECORD"):
+        return
+    try:
+        with open(BENCH_PATH) as handle:
+            history = json.load(handle)
+    except (OSError, ValueError):
+        history = []
+    history.append(entry)
+    with open(BENCH_PATH, "w") as handle:
+        json.dump(history, handle, indent=2)
+        handle.write("\n")
+
+
+def test_warm_cache_speedup_at_least_5x():
+    workloads = load_suite("beebs")[:5]
+    points = [(w, seq) for w in workloads for seq in SEQUENCES]
+    engine = EvaluationEngine(Platform("riscv"))
+
+    started = time.perf_counter()
+    cold = engine.evaluate_batch(points)
+    cold_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    warm = engine.evaluate_batch(points)
+    warm_seconds = time.perf_counter() - started
+
+    assert all(not r.cached for r in cold)
+    assert all(r.cached for r in warm)
+    for fresh, hit in zip(cold, warm):
+        assert fresh.metrics() == hit.metrics()
+
+    speedup = cold_seconds / max(warm_seconds, 1e-9)
+    hit_rate = engine.cache.stats.hit_rate
+    print(f"\n[engine-bench] {len(points)} points: cold "
+          f"{cold_seconds * 1e3:.1f}ms, warm {warm_seconds * 1e3:.2f}ms "
+          f"-> {speedup:.0f}x, hit rate {hit_rate:.1%}")
+    _record({
+        "benchmark": "warm_vs_cold_batch",
+        "points": len(points),
+        "cold_seconds": round(cold_seconds, 6),
+        "warm_seconds": round(warm_seconds, 6),
+        "speedup": round(speedup, 1),
+        "hit_rate": round(hit_rate, 4),
+    })
+    assert speedup >= 5.0, (cold_seconds, warm_seconds)
+    assert hit_rate == pytest.approx(0.5)
+
+
+def test_bench_warm_lookup(benchmark):
+    """Steady-state latency of a warm-cache evaluation."""
+    workload = load_suite("beebs")[0]
+    engine = EvaluationEngine(Platform("riscv"))
+    sequence = ("mem2reg", "simplifycfg")
+    engine.evaluate(workload, sequence)  # prime
+
+    result = benchmark(engine.evaluate, workload, sequence)
+    assert result.cached

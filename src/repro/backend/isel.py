@@ -137,7 +137,10 @@ class FunctionSelector:
         term = pred_block.terminator()
         successors = term.successors()
         multiple_succs = isinstance(term, CondBranchInst)
-        for succ in set(successors):
+        # dict.fromkeys: dedupe while keeping successor order (a raw
+        # set iterates in id-hash order, which made edge-block layout —
+        # and therefore icache timing — vary run to run).
+        for succ in dict.fromkeys(successors):
             phis = succ.phis()
             if not phis:
                 continue

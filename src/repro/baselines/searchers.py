@@ -1,45 +1,88 @@
 """Search-based phase-ordering baselines (the autotuning literature the
 paper positions itself against: random search and genetic search, plus an
-iterative-elimination pass pruner)."""
+iterative-elimination pass pruner).
+
+All searchers evaluate through an :class:`repro.engine.EvaluationEngine`
+so repeated candidate sequences (identical children across generations,
+re-tried eliminations) hit the evaluation cache instead of re-running
+the compile->simulate loop.  Passing an ``estimator`` switches a
+searcher to PE-guided mode: whole candidate sets are scored with one
+batched matrix call (``engine.score_sequences``) and only the
+highest-ranked candidates are validated with real profiling — the
+paper's core "estimate instead of execute" trade applied to the
+baselines themselves.
+"""
 
 import numpy as np
 
-from repro.passes import PassManager, available_phases
+from repro.engine import EvaluationEngine
+from repro.passes import available_phases
 
 
-def _evaluate(workload, platform, sequence, objective):
-    module = workload.compile()
-    PassManager().run(module, sequence)
-    measurement = platform.profile(module)
-    return objective(measurement), measurement
+def _evaluate(workload, platform, sequence, objective, engine=None):
+    engine = engine or EvaluationEngine(platform)
+    result = engine.evaluate(workload, tuple(sequence))
+    return objective(result), result
 
 
 def _default_objective(measurement):
     return measurement.metrics()["exec_time_us"]
 
 
+def _predicted_time(objectives):
+    """Rank key for PE-predicted candidate objectives."""
+    return objectives["time"]
+
+
 class RandomPhaseSearch:
-    """Sample random sequences; keep the best (lower objective wins)."""
+    """Sample random sequences; keep the best (lower objective wins).
+
+    With an ``estimator``, all trials are scored in one batched PE call
+    and only the top ``validate_top`` candidates are actually profiled.
+    """
 
     def __init__(self, n_trials=30, max_length=12, seed=0,
-                 objective=_default_objective, phases=None):
+                 objective=_default_objective, phases=None,
+                 engine=None, estimator=None, validate_top=3):
         self.n_trials = n_trials
         self.max_length = max_length
         self.seed = seed
         self.objective = objective
         self.phases = list(phases or available_phases())
+        self.engine = engine
+        self.estimator = estimator
+        self.validate_top = validate_top
+
+    def _sequences(self, rng):
+        sequences = []
+        for _ in range(self.n_trials):
+            length = int(rng.integers(1, self.max_length + 1))
+            sequences.append(tuple(str(rng.choice(self.phases))
+                                   for _ in range(length)))
+        return sequences
 
     def search(self, workload, platform):
         rng = np.random.default_rng(self.seed)
+        engine = self.engine or EvaluationEngine(platform)
         best_sequence = ()
-        best_value, _ = _evaluate(workload, platform, (), self.objective)
-        for _ in range(self.n_trials):
-            length = int(rng.integers(1, self.max_length + 1))
-            sequence = tuple(str(rng.choice(self.phases))
-                             for _ in range(length))
+        best_value, _ = _evaluate(workload, platform, (),
+                                  self.objective, engine)
+        candidates = self._sequences(rng)
+        if self.estimator is not None:
+            # One matrix call ranks every trial; profile only the top.
+            # (Candidates whose pipeline failed score as None.)
+            predicted = engine.score_sequences(workload, candidates,
+                                               self.estimator)
+            ranked = sorted(
+                ((sequence, objectives) for sequence, objectives
+                 in zip(candidates, predicted) if objectives is not None),
+                key=lambda cp: _predicted_time(cp[1]))
+            candidates = [sequence for sequence, _ in
+                          ranked[:max(1, self.validate_top)]]
+        for sequence in candidates:
             try:
                 value, _ = _evaluate(workload, platform, sequence,
-                                     self.objective)
+                                     self.objective, engine)
             except Exception:
                 continue
             if value < best_value:
@@ -49,11 +92,16 @@ class RandomPhaseSearch:
 
 
 class GeneticSearch:
-    """Small genetic algorithm over phase sequences."""
+    """Small genetic algorithm over phase sequences.
+
+    With an ``estimator``, each generation's fitness is one batched PE
+    matrix call; the final winner is validated by real profiling.
+    """
 
     def __init__(self, population=12, generations=6, max_length=14,
                  mutation_rate=0.25, seed=0,
-                 objective=_default_objective, phases=None):
+                 objective=_default_objective, phases=None,
+                 engine=None, estimator=None):
         self.population = population
         self.generations = generations
         self.max_length = max_length
@@ -61,25 +109,40 @@ class GeneticSearch:
         self.seed = seed
         self.objective = objective
         self.phases = list(phases or available_phases())
+        self.engine = engine
+        self.estimator = estimator
 
     def search(self, workload, platform):
         rng = np.random.default_rng(self.seed)
+        engine = self.engine or EvaluationEngine(platform)
 
         def random_sequence():
             length = int(rng.integers(2, self.max_length + 1))
             return tuple(str(rng.choice(self.phases))
                          for _ in range(length))
 
-        def fitness(sequence):
+        def fitness_profiled(sequence):
             try:
                 value, _ = _evaluate(workload, platform, sequence,
-                                     self.objective)
+                                     self.objective, engine)
                 return value
             except Exception:
                 return float("inf")
 
+        def score_population(sequences):
+            if self.estimator is None:
+                return [(fitness_profiled(s), s) for s in sequences]
+            # Batched PE inference: one matrix call per generation;
+            # failed candidates rank last, like the profiled path.
+            predicted = engine.score_sequences(workload, sequences,
+                                               self.estimator)
+            return [(float("inf") if objectives is None
+                     else _predicted_time(objectives), sequence)
+                    for sequence, objectives in zip(sequences,
+                                                    predicted)]
+
         population = [random_sequence() for _ in range(self.population)]
-        scored = [(fitness(s), s) for s in population]
+        scored = score_population(population)
         for _ in range(self.generations):
             scored.sort(key=lambda fs: fs[0])
             elites = [s for _, s in scored[:max(2, self.population // 3)]]
@@ -98,24 +161,31 @@ class GeneticSearch:
                     if rng.random() < self.mutation_rate:
                         child[i] = str(rng.choice(self.phases))
                 children.append(tuple(child))
-            scored = [(fitness(s), s) for s in children]
+            scored = score_population(children)
         scored.sort(key=lambda fs: fs[0])
+        if self.estimator is not None:
+            # Validate the PE's pick with a real measurement.
+            best_sequence = scored[0][1]
+            return best_sequence, fitness_profiled(best_sequence)
         return scored[0][1], scored[0][0]
 
 
 class IterativeElimination:
     """Start from a full pipeline and drop phases that do not help."""
 
-    def __init__(self, base_sequence=None, objective=_default_objective):
+    def __init__(self, base_sequence=None, objective=_default_objective,
+                 engine=None):
         from repro.baselines.standard import STANDARD_LEVELS
         self.base_sequence = list(base_sequence
                                   or STANDARD_LEVELS["-O2"])
         self.objective = objective
+        self.engine = engine
 
     def search(self, workload, platform):
+        engine = self.engine or EvaluationEngine(platform)
         current = list(self.base_sequence)
         best_value, _ = _evaluate(workload, platform, current,
-                                  self.objective)
+                                  self.objective, engine)
         improved = True
         while improved and len(current) > 1:
             improved = False
@@ -123,7 +193,7 @@ class IterativeElimination:
                 candidate = current[:i] + current[i + 1:]
                 try:
                     value, _ = _evaluate(workload, platform, candidate,
-                                         self.objective)
+                                         self.objective, engine)
                 except Exception:
                     continue
                 if value < best_value:

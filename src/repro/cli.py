@@ -97,7 +97,12 @@ def cmd_workloads(args):
 def cmd_mlcomp(args):
     from repro.pipeline import MLComp
     from repro.rl import TrainingConfig
-    mlcomp = MLComp(target=args.target)
+    mlcomp = MLComp(target=args.target,
+                    cache=not args.no_cache,
+                    cache_size=args.cache_size,
+                    cache_dir=args.cache_dir,
+                    eval_mode=args.eval_mode,
+                    workers=args.workers)
     if args.max_workloads:
         mlcomp.workloads = mlcomp.workloads[:args.max_workloads]
     print(f"[1/4] data extraction ({len(mlcomp.workloads)} workloads)")
@@ -117,6 +122,15 @@ def cmd_mlcomp(args):
         ratio = (pss.metrics()["exec_time_us"]
                  / base.metrics()["exec_time_us"])
         print(f"  {workload.name:16s} time ratio vs -O0: {ratio:.3f}")
+    stats = mlcomp.engine_stats()
+    for label, tier in (("evaluations", stats["evaluations"]),
+                        ("PE scores", stats["pe"])):
+        if tier is None:
+            continue
+        lookups = tier["hits"] + tier["misses"]
+        print(f"[engine] {label}: {tier['hits']} hits / "
+              f"{lookups} lookups (hit rate {tier['hit_rate']:.1%}, "
+              f"{tier['evictions']} evictions)")
     if args.save:
         mlcomp.selector.save(args.save)
         print(f"saved policy to {args.save}")
@@ -175,6 +189,18 @@ def build_parser():
                    choices=("fast", "heuristic"))
     p.add_argument("--save", default=None,
                    help="write the trained PSS bundle (.npz)")
+    # Evaluation-engine knobs.
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the evaluation cache")
+    p.add_argument("--cache-size", type=int, default=4096,
+                   help="max in-memory cache entries (LRU beyond this)")
+    p.add_argument("--cache-dir", default=None,
+                   help="persist evaluations to this directory")
+    p.add_argument("--eval-mode", default="serial",
+                   choices=("serial", "thread", "process"),
+                   help="executor for cold evaluations")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker count for thread/process modes")
     p.set_defaults(func=cmd_mlcomp)
     return parser
 

@@ -1,0 +1,37 @@
+"""Cached parallel evaluation engine for the compile->profile loop."""
+
+from repro.engine.batched import (
+    feature_matrix,
+    objective_rows,
+    predict_many,
+)
+from repro.engine.cache import CacheStats, EvaluationCache, cache_key
+from repro.engine.engine import (
+    EvalFailure,
+    EvalResult,
+    EvaluationEngine,
+)
+from repro.engine.evaluator import (
+    EXECUTION_MODES,
+    PointEvaluator,
+    WorkerError,
+    evaluate_point,
+    point_measurement_seed,
+)
+
+__all__ = [
+    "CacheStats",
+    "EXECUTION_MODES",
+    "EvalFailure",
+    "EvalResult",
+    "EvaluationCache",
+    "EvaluationEngine",
+    "PointEvaluator",
+    "WorkerError",
+    "cache_key",
+    "evaluate_point",
+    "feature_matrix",
+    "objective_rows",
+    "point_measurement_seed",
+    "predict_many",
+]

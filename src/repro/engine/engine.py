@@ -1,0 +1,330 @@
+"""The evaluation engine: cached, parallel compile->profile
+orchestration.
+
+Every MLComp step (Fig. 2) needs the answer to one of two questions:
+
+1. "What does program P optimized with sequence S measure like on
+   platform T?"  — :meth:`EvaluationEngine.evaluate` /
+   :meth:`evaluate_batch` / :meth:`profile_module` (content-addressed
+   cache over full compile->simulate runs, optionally parallel).
+2. "What does the PE predict for module M?" —
+   :meth:`predicted_objectives` / :meth:`score_sequences` (in-memory
+   cache over feature extraction + estimator inference, batched into
+   one matrix call for candidate sets).
+
+Data extraction, RL rollouts, baseline searches and deployment checks
+all route through here, so repeated points are paid for once.
+"""
+
+import hashlib
+import time
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.engine.batched import objective_rows, predict_many
+from repro.engine.cache import EvaluationCache, cache_key
+from repro.engine.evaluator import (
+    PointEvaluator,
+    WorkerError,
+    evaluate_point,
+    point_measurement_seed,
+)
+from repro.features import extract_features
+from repro.ir.printer import module_fingerprint
+
+
+class EvalResult:
+    """One evaluated point, hydrated from a cache payload."""
+
+    failed = False
+
+    def __init__(self, payload, key, cached):
+        self.key = key
+        self.cached = cached
+        self.fingerprint = payload["fingerprint"]
+        self.result_fingerprint = payload["result_fingerprint"]
+        self.sequence = tuple(payload["sequence"])
+        self.target = payload["target"]
+        self.features = np.asarray(payload["features"], dtype=float)
+        self.cycles = payload.get("cycles", 0.0)
+        self.code_size = payload["code_size"]
+        self.output = tuple((kind, value)
+                            for kind, value in payload["output"])
+        self.return_value = payload["return_value"]
+        self.profile_seconds = payload.get("profile_seconds", 0.0)
+        self._metrics = dict(payload["metrics"])
+
+    def metrics(self):
+        """Metric dict (Measurement-compatible accessor)."""
+        return dict(self._metrics)
+
+    def __repr__(self):
+        tag = "cached" if self.cached else "fresh"
+        return (f"<EvalResult {tag} |seq|={len(self.sequence)} "
+                f"t={self._metrics['exec_time_us']:.2f}us>")
+
+
+class EvalFailure:
+    """A point whose evaluation raised; kept in batch output order."""
+
+    failed = True
+
+    def __init__(self, name, sequence, error):
+        self.name = name
+        self.sequence = tuple(sequence)
+        self.error = error
+
+    def __repr__(self):
+        return f"<EvalFailure {self.name} {self.sequence}: {self.error}>"
+
+
+class EvaluationEngine:
+    """Cached (and optionally parallel) evaluation for one platform."""
+
+    def __init__(self, platform, cache=None, cache_size=4096,
+                 store_dir=None, mode="serial", workers=None,
+                 fuel=20_000_000):
+        self.platform = platform
+        if cache is False:
+            self.cache = None
+        else:
+            self.cache = cache if cache is not None else \
+                EvaluationCache(max_entries=cache_size,
+                                store_dir=store_dir)
+        # PE scores are keyed by a per-process estimator token, so they
+        # live in a memory-only tier (never the disk store).
+        self.pe_cache = EvaluationCache(max_entries=cache_size)
+        self.evaluator = PointEvaluator(mode=mode, workers=workers)
+        self.fuel = fuel
+        self._workload_fingerprints = {}
+        self._estimator_tokens = weakref.WeakKeyDictionary()
+        self._token_counter = 0
+
+    # -- identity ---------------------------------------------------------
+    @property
+    def measurement_seed(self):
+        return getattr(self.platform, "measurement_seed", 0)
+
+    def workload_fingerprint(self, workload):
+        """Canonical fingerprint of the workload's unoptimized module,
+        memoized by source content (compiling is pure)."""
+        source = workload.source
+        memo_key = (workload.name,
+                    hashlib.sha256(source.encode("utf-8")).hexdigest())
+        fingerprint = self._workload_fingerprints.get(memo_key)
+        if fingerprint is None:
+            fingerprint = module_fingerprint(workload.compile())
+            self._workload_fingerprints[memo_key] = fingerprint
+        return fingerprint
+
+    def key_for(self, workload, sequence, fuel=None):
+        return cache_key(self.workload_fingerprint(workload),
+                         tuple(sequence), self.platform.target,
+                         self.measurement_seed, fuel or self.fuel)
+
+    def _estimator_token(self, estimator):
+        token = self._estimator_tokens.get(estimator)
+        if token is None:
+            self._token_counter += 1
+            token = f"estimator-{self._token_counter}"
+            self._estimator_tokens[estimator] = token
+        return token
+
+    def _spec(self, workload, sequence, fuel):
+        return {
+            "source": workload.source,
+            "name": workload.name,
+            "sequence": list(sequence),
+            "target": self.platform.target,
+            "measurement_seed": self.measurement_seed,
+            "fuel": fuel or self.fuel,
+        }
+
+    # -- profiled evaluations --------------------------------------------
+    def evaluate(self, workload, sequence, fuel=None):
+        """Evaluate one (workload, sequence) point, cache-first."""
+        key = self.key_for(workload, sequence, fuel)
+        if self.cache is not None:
+            payload = self.cache.get(key)
+            if payload is not None:
+                return EvalResult(payload, key, cached=True)
+        payload = evaluate_point(self._spec(workload, sequence, fuel))
+        if self.cache is not None:
+            self.cache.put(key, payload)
+        return EvalResult(payload, key, cached=False)
+
+    def evaluate_batch(self, points, fuel=None, on_error="raise"):
+        """Evaluate ``[(workload, sequence), ...]`` in input order.
+
+        Cache hits are served inline; misses go through the configured
+        executor.  ``on_error='collect'`` replaces failed points with
+        :class:`EvalFailure` entries instead of raising
+        :class:`WorkerError` on the first failure.
+        """
+        points = list(points)
+        results = [None] * len(points)
+        pending = {}  # key -> (spec, [indices]) — dedup within a batch
+        for index, (workload, sequence) in enumerate(points):
+            key = self.key_for(workload, sequence, fuel)
+            if key in pending:
+                pending[key][1].append(index)
+                continue
+            payload = self.cache.get(key) if self.cache is not None \
+                else None
+            if payload is not None:
+                results[index] = EvalResult(payload, key, cached=True)
+            else:
+                pending[key] = (self._spec(workload, sequence, fuel),
+                                [index])
+        outcomes = self.evaluator.run([spec for spec, _
+                                       in pending.values()])
+        for (key, (spec, indices)), (payload, error) in zip(
+                pending.items(), outcomes):
+            if error is not None:
+                name, sequence, message = error
+                if on_error == "raise":
+                    raise WorkerError(name, sequence, message)
+                for index in indices:
+                    results[index] = EvalFailure(name, sequence,
+                                                 message)
+                continue
+            if self.cache is not None:
+                self.cache.put(key, payload)
+            for position, index in enumerate(indices):
+                # The first occurrence is the fresh evaluation; any
+                # duplicate of it in the same batch is a cache hit.
+                results[index] = EvalResult(payload, key,
+                                            cached=position > 0)
+        return results
+
+    def profile_module(self, module, fuel=None):
+        """Profile an already-optimized module, content-addressed by its
+        final fingerprint (used by PSS deployment checks)."""
+        fingerprint = module_fingerprint(module)
+        key = cache_key(fingerprint, (), self.platform.target,
+                        self.measurement_seed, fuel or self.fuel)
+        if self.cache is not None:
+            payload = self.cache.get(key)
+            if payload is not None:
+                return EvalResult(payload, key, cached=True)
+        from repro.sim import Platform
+        seed = point_measurement_seed(self.measurement_seed, fingerprint)
+        platform = Platform(self.platform.target, measurement_seed=seed)
+        features = extract_features(module, platform)
+        started = time.perf_counter()
+        measurement = platform.profile(module, fuel=fuel or self.fuel)
+        payload = {
+            "fingerprint": fingerprint,
+            "result_fingerprint": fingerprint,
+            "sequence": [],
+            "target": self.platform.target,
+            "measurement_seed": self.measurement_seed,
+            "features": [float(v) for v in features],
+            "metrics": {k: float(v)
+                        for k, v in measurement.metrics().items()},
+            "cycles": float(measurement.cycles),
+            "code_size": int(measurement.code_size),
+            "output": [[kind, value]
+                       for kind, value in measurement.output],
+            "return_value": measurement.return_value,
+            "profile_seconds": time.perf_counter() - started,
+        }
+        if self.cache is not None:
+            self.cache.put(key, payload)
+        return EvalResult(payload, key, cached=False)
+
+    # -- PE-predicted evaluations ----------------------------------------
+    def predicted_objectives(self, module, estimator, fingerprint=None):
+        """PE-predicted {time, energy, size} for a module, cached by
+        content (the RL reward path; no simulation involved)."""
+        if fingerprint is None:
+            fingerprint = module_fingerprint(module)
+        key = "\x1f".join(("pe", fingerprint, self.platform.target,
+                           self._estimator_token(estimator)))
+        payload = self.pe_cache.get(key)
+        if payload is not None:
+            return dict(payload)
+        features = extract_features(module, self.platform)
+        predicted = predict_many(estimator, features)
+        objectives = objective_rows(predicted, features)[0]
+        self.pe_cache.put(key, objectives)
+        return dict(objectives)
+
+    def score_sequences(self, workload, sequences, estimator):
+        """PE-predicted objectives for many candidate sequences, with
+        all uncached predictions made in ONE batched matrix call.
+
+        Searchers use this instead of per-sequence predict loops; the
+        expensive parts that remain (compile + passes + feature
+        extraction) only run for sequences not seen before.  A
+        candidate whose pipeline fails scores as ``None``.
+        """
+        sequences = [tuple(sequence) for sequence in sequences]
+        base_fingerprint = self.workload_fingerprint(workload)
+        token = self._estimator_token(estimator)
+        results = [None] * len(sequences)
+        pending = {}  # key -> (sequence, [indices]) — batch-level dedup
+        for index, sequence in enumerate(sequences):
+            key = "\x1f".join(
+                ("pe-seq", base_fingerprint, "\x1e".join(sequence),
+                 self.platform.target, token))
+            if key in pending:
+                pending[key][1].append(index)
+                continue
+            payload = self.pe_cache.get(key)
+            if payload is not None:
+                results[index] = dict(payload)
+            else:
+                pending[key] = (sequence, [index])
+        if pending:
+            from repro.passes import PassManager
+            rows = []
+            prepared = []  # (key, indices) for candidates that compiled
+            for key, (sequence, indices) in pending.items():
+                # A candidate whose pipeline raises scores as None
+                # instead of aborting the whole batch (mirrors the
+                # per-candidate guards of the profiled search path).
+                try:
+                    module = workload.compile()
+                    PassManager().run(module, list(sequence))
+                    rows.append(extract_features(module, self.platform))
+                except Exception:  # noqa: BLE001 - candidate skipped
+                    continue
+                prepared.append((key, indices))
+            if rows:
+                matrix = np.vstack(rows)
+                fresh = objective_rows(predict_many(estimator, matrix),
+                                       matrix)
+                for (key, indices), objectives in zip(prepared, fresh):
+                    self.pe_cache.put(key, objectives)
+                    for index in indices:
+                        results[index] = dict(objectives)
+        return results
+
+    # -- generic parallel map --------------------------------------------
+    def map(self, fn, items):
+        """Ordered map through the engine's concurrency (threads; the
+        serial mode stays strictly sequential).  Used by Study batches
+        where the objective is an arbitrary closure."""
+        items = list(items)
+        if self.evaluator.mode == "serial" or len(items) <= 1:
+            return [fn(item) for item in items]
+        workers = self.evaluator.workers or min(8, len(items))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+
+    # -- reporting --------------------------------------------------------
+    def stats(self):
+        """Hit/miss statistics for both cache tiers."""
+        out = {"pe": self.pe_cache.stats.as_dict(),
+               "mode": self.evaluator.mode}
+        out["evaluations"] = (self.cache.stats.as_dict()
+                              if self.cache is not None else None)
+        return out
+
+    def __repr__(self):
+        size = len(self.cache) if self.cache is not None else 0
+        return (f"<EvaluationEngine {self.platform.target} "
+                f"mode={self.evaluator.mode} entries={size}>")

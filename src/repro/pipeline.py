@@ -4,8 +4,14 @@
 2. PE model training       -> :class:`repro.pe.PerformanceEstimator`
 3. Policy training (RL)    -> :class:`repro.rl.ReinforceTrainer`
 4. Deployment (PSS)        -> :class:`repro.pss.PhaseSequenceSelector`
+
+All compile->profile evaluations across the four steps flow through one
+shared :class:`repro.engine.EvaluationEngine`, so repeated points (the
+same workload under the same sequence, revisited module states during
+RL) are computed once and the extraction loop can run on a worker pool.
 """
 
+from repro.engine import EvaluationEngine, EvaluationCache
 from repro.passes import available_phases
 from repro.pe import PerformanceEstimator
 from repro.profiling import DataExtractor
@@ -16,15 +22,28 @@ from repro.workloads import default_suite_for, load_suite
 
 
 class MLComp:
-    """End-to-end MLComp for one (platform, application domain) pair."""
+    """End-to-end MLComp for one (platform, application domain) pair.
+
+    Engine knobs: ``cache_size``/``cache_dir`` bound and persist the
+    evaluation cache (``cache=False`` disables it), ``eval_mode`` picks
+    the executor (``serial``/``thread``/``process``) and ``workers``
+    its width.
+    """
 
     def __init__(self, target="x86", suite=None, phases=None,
-                 measurement_seed=0):
+                 measurement_seed=0, cache=True, cache_size=4096,
+                 cache_dir=None, eval_mode="serial", workers=None):
         self.platform = Platform(target, measurement_seed)
         suite = suite or default_suite_for(target)
         self.workloads = load_suite(suite)
         self.suite = suite
         self.phases = list(phases or available_phases())
+        self.engine = EvaluationEngine(
+            self.platform,
+            cache=(EvaluationCache(max_entries=cache_size,
+                                   store_dir=cache_dir)
+                   if cache else False),
+            mode=eval_mode, workers=workers)
         self.dataset = None
         self.estimator = None
         self.trainer = None
@@ -33,7 +52,7 @@ class MLComp:
     # -- step 1 ----------------------------------------------------------
     def extract_data(self, n_sequences=15, seed=0, verbose=False):
         extractor = DataExtractor(self.platform, self.workloads,
-                                  verbose=verbose)
+                                  verbose=verbose, engine=self.engine)
         self.dataset = extractor.extract(n_sequences=n_sequences,
                                          seed=seed)
         self._extractor = extractor
@@ -55,7 +74,8 @@ class MLComp:
         self.trainer = ReinforceTrainer(
             self.workloads, self.platform, self.estimator, self.phases,
             config=config or TrainingConfig(),
-            reward_config=reward_config or RewardConfig())
+            reward_config=reward_config or RewardConfig(),
+            engine=self.engine)
         policy = self.trainer.train(progress=progress)
         self.selector = PhaseSequenceSelector(
             policy, self.trainer.encoder, self.phases,
@@ -73,11 +93,13 @@ class MLComp:
 
     def evaluate_workload(self, workload, sequence=None):
         """Measurement of a workload under the PSS (or a fixed
-        sequence)."""
+        sequence).  Returns a cached :class:`repro.engine.EvalResult`."""
+        if sequence is not None:
+            return self.engine.evaluate(workload, sequence)
         module = workload.compile()
-        if sequence is None:
-            self.optimize(module)
-        else:
-            from repro.passes import PassManager
-            PassManager().run(module, sequence)
-        return self.platform.profile(module)
+        self.optimize(module)
+        return self.engine.profile_module(module)
+
+    def engine_stats(self):
+        """Cache hit/miss statistics across all four steps."""
+        return self.engine.stats()

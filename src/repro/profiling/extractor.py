@@ -3,21 +3,26 @@
 For each (workload, phase sequence) pair: optimize, extract static +
 platform features, profile on the target platform, and record the dynamic
 features into a :class:`Dataset`.
+
+All evaluations route through an :class:`repro.engine.EvaluationEngine`,
+so repeated points (re-extractions, overlapping sequence sets, other
+consumers sharing the engine) are served from the evaluation cache, and
+cold points can run on a thread/process pool.
 """
 
 import time
 
-from repro.features import extract_features
-from repro.passes import PassManager
+from repro.engine import EvaluationEngine
 from repro.profiling.dataset import Dataset
 from repro.profiling.permutations import extraction_sequences
 
 
 class DataExtractor:
-    def __init__(self, platform, workloads, verbose=False):
+    def __init__(self, platform, workloads, verbose=False, engine=None):
         self.platform = platform
         self.workloads = list(workloads)
         self.verbose = verbose
+        self.engine = engine or EvaluationEngine(platform)
         self.failures = []
         self.extraction_seconds = 0.0
         self.profile_seconds = 0.0
@@ -31,27 +36,24 @@ class DataExtractor:
         started = time.perf_counter()
         if sequences is None:
             sequences = extraction_sequences(n_sequences, seed=seed)
+        points = [(workload, sequence) for workload in self.workloads
+                  for sequence in sequences]
+        outcomes = self.engine.evaluate_batch(points, on_error="collect")
         dataset = Dataset()
-        for workload in self.workloads:
-            for sequence in sequences:
-                try:
-                    self._one_point(dataset, workload, sequence)
-                except Exception as error:  # pragma: no cover - guard
-                    self.failures.append((workload.name, sequence,
-                                          repr(error)))
+        for (workload, sequence), outcome in zip(points, outcomes):
+            if outcome.failed:
+                self.failures.append((workload.name, tuple(sequence),
+                                      outcome.error))
+                continue
+            if not outcome.cached:
+                self.profile_seconds += outcome.profile_seconds
+            dataset.add(outcome.features, outcome.metrics(),
+                        workload.name, sequence,
+                        code_size=outcome.code_size)
+            if self.verbose:
+                hit = "cache" if outcome.cached else "fresh"
+                print(f"  [{len(dataset):4d}] {workload.name:16s} "
+                      f"|seq|={len(sequence):2d} {hit} "
+                      f"t={outcome.metrics()['exec_time_us']:9.2f}us")
         self.extraction_seconds = time.perf_counter() - started
         return dataset
-
-    def _one_point(self, dataset, workload, sequence):
-        module = workload.compile()
-        PassManager().run(module, sequence)
-        features = extract_features(module, self.platform)
-        t0 = time.perf_counter()
-        measurement = self.platform.profile(module)
-        self.profile_seconds += time.perf_counter() - t0
-        dataset.add(features, measurement.metrics(), workload.name,
-                    sequence, code_size=measurement.code_size)
-        if self.verbose:
-            print(f"  [{len(dataset):4d}] {workload.name:16s} "
-                  f"|seq|={len(sequence):2d} "
-                  f"t={measurement.metrics()['exec_time_us']:9.2f}us")

@@ -11,7 +11,8 @@ paper's training-time win.
 
 import numpy as np
 
-from repro.features import extract_features, extract_static_features
+from repro.engine import EvaluationEngine
+from repro.features import extract_static_features
 from repro.ir.printer import module_fingerprint
 from repro.passes import create_pass
 
@@ -46,13 +47,17 @@ class PhaseSequenceEnv:
     """One episode optimizes one program with the current policy."""
 
     def __init__(self, workload, platform, estimator, phases,
-                 reward_config=None, max_steps=24):
+                 reward_config=None, max_steps=24, engine=None):
         self.workload = workload
         self.platform = platform
         self.estimator = estimator
         self.phases = list(phases)
         self.reward_config = reward_config or RewardConfig()
         self.max_steps = max_steps
+        # The engine caches (module content -> PE objectives), so states
+        # revisited across episodes (every initial state, every common
+        # sequence prefix) skip feature extraction and inference.
+        self.engine = engine or EvaluationEngine(platform)
         self.module = None
         self.steps = 0
         self.applied = []
@@ -60,27 +65,18 @@ class PhaseSequenceEnv:
         self._fingerprint = None
 
     # -- core ----------------------------------------------------------------
-    def _measure_objectives(self):
+    def _measure_objectives(self, fingerprint=None):
         """PE-predicted time and energy + measured code size (the paper's
         PSS trains against estimated dynamic features)."""
-        features = extract_features(self.module, self.platform)
-        predicted = self.estimator.predict(features)
-        program = None
-        # Code size sits in the platform feature block (no re-compile).
-        from repro.features import FEATURE_NAMES
-        size_index = FEATURE_NAMES.index("code_size_bytes")
-        return {
-            "time": max(predicted["exec_time_us"], 1e-9),
-            "energy": max(predicted["energy_uj"], 1e-9),
-            "size": float(features[size_index]),
-        }, features
+        return self.engine.predicted_objectives(
+            self.module, self.estimator, fingerprint=fingerprint)
 
     def reset(self):
         self.module = self.workload.compile()
         self.steps = 0
         self.applied = []
-        self._objectives, features = self._measure_objectives()
         self._fingerprint = module_fingerprint(self.module)
+        self._objectives = self._measure_objectives(self._fingerprint)
         self.initial_objectives = dict(self._objectives)
         return extract_static_features(self.module)
 
@@ -94,7 +90,7 @@ class PhaseSequenceEnv:
         changed = fingerprint != self._fingerprint
         self._fingerprint = fingerprint
         if changed:
-            objectives, _ = self._measure_objectives()
+            objectives = self._measure_objectives(fingerprint)
             reward = self.reward_config.reward(self._objectives,
                                                objectives)
             self._objectives = objectives

@@ -48,13 +48,18 @@ class ReinforceTrainer:
     """TRAINPOLICY(programs, num_episodes, batch_size, learning_rate)."""
 
     def __init__(self, workloads, platform, estimator, phases,
-                 config=None, reward_config=None):
+                 config=None, reward_config=None, engine=None):
         self.workloads = list(workloads)
         self.platform = platform
         self.estimator = estimator
         self.phases = list(phases)
         self.config = config or TrainingConfig()
         self.reward_config = reward_config or RewardConfig()
+        # One engine is shared by every episode's environment, so PE
+        # scores of revisited module states are computed once per
+        # training run instead of once per visit.
+        from repro.engine import EvaluationEngine
+        self.engine = engine or EvaluationEngine(platform)
         self.encoder = None
         self.policy = None
         self.history = []
@@ -106,7 +111,8 @@ class ReinforceTrainer:
         environment = PhaseSequenceEnv(
             workload, self.platform, self.estimator, self.phases,
             reward_config=self.reward_config,
-            max_steps=self.config.max_sequence_length)
+            max_steps=self.config.max_sequence_length,
+            engine=self.engine)
         raw_state = environment.reset()
         states, actions, rewards, caches = [], [], [], []
         done = False

@@ -50,6 +50,7 @@ class Study:
         self.direction = direction
         self.sampler = sampler or TPESampler()
         self.trials = []
+        self._asked = 0
 
     def _history(self):
         sign = 1.0 if self.direction == "maximize" else -1.0
@@ -57,7 +58,9 @@ class Study:
                 if t.state == "complete" and t.value is not None]
 
     def ask(self):
-        return Trial(len(self.trials), self.sampler, self._history())
+        trial = Trial(self._asked, self.sampler, self._history())
+        self._asked += 1
+        return trial
 
     def tell(self, trial, value):
         trial.value = value
@@ -65,21 +68,48 @@ class Study:
         self.trials.append(trial)
 
     def optimize(self, objective, n_trials, callbacks=(),
-                 catch_errors=False):
-        for _ in range(n_trials):
-            trial = self.ask()
+                 catch_errors=False, batch_size=1, map_fn=None):
+        """Run the ask-evaluate-tell loop.
+
+        ``batch_size > 1`` asks a batch of trials against the same
+        history and evaluates them together through ``map_fn`` (e.g.
+        ``EvaluationEngine.map`` for a thread pool); results are told
+        back in ask order, so the trial log stays deterministic for a
+        deterministic objective.
+        """
+        if map_fn is None:
+            map_fn = lambda fn, items: [fn(item) for item in items]
+
+        def guarded(trial):
             try:
-                value = objective(trial)
-            except Exception:
-                if not catch_errors:
-                    raise
-                trial.state = "failed"
-                self.trials.append(trial)
-                continue
-            self.tell(trial, value)
-            for callback in callbacks:
-                if callback(self, trial):
-                    return self
+                return objective(trial), None
+            except Exception as error:  # noqa: BLE001 - re-raised below
+                return None, error
+
+        remaining = n_trials
+        while remaining > 0:
+            batch = [self.ask()
+                     for _ in range(min(batch_size, remaining))]
+            remaining -= len(batch)
+            outcomes = (map_fn(guarded, batch) if len(batch) > 1
+                        else [guarded(batch[0])])
+            # Tell every evaluated trial before honoring a stop: the
+            # whole batch's objective cost is already paid, and a later
+            # trial may hold the best value.
+            stop = False
+            for trial, (value, error) in zip(batch, outcomes):
+                if error is not None:
+                    if not catch_errors:
+                        raise error
+                    trial.state = "failed"
+                    self.trials.append(trial)
+                    continue
+                self.tell(trial, value)
+                for callback in callbacks:
+                    if callback(self, trial):
+                        stop = True
+            if stop:
+                return self
         return self
 
     @property

@@ -60,6 +60,7 @@ class Platform:
 
     def __init__(self, target, measurement_seed=0):
         self.target = target
+        self.measurement_seed = measurement_seed
         self.isa = get_isa(target)
         self.energy_model = EnergyModel(self.isa)
         self.rapl = RaplCounter(measurement_seed) if target == "x86" \

@@ -1,0 +1,192 @@
+"""Property tests for the evaluation cache (ISSUE 1 satellites).
+
+Covered properties:
+- same key -> identical metrics, features and result fingerprint,
+  whether served fresh, from memory, or from the disk store;
+- distinct measurement seeds / platforms / sequences never collide;
+- eviction and hit/miss/store counters stay mutually consistent.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    EvaluationCache,
+    EvaluationEngine,
+    cache_key,
+)
+from repro.sim import Platform
+from repro.workloads import load_suite
+
+SEQ = ("mem2reg", "simplifycfg", "instcombine")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return load_suite("beebs")[0]
+
+
+# -- key construction -----------------------------------------------------
+
+_key_parts = st.tuples(
+    st.text(min_size=1, max_size=16),
+    st.lists(st.sampled_from(["mem2reg", "dce", "gvn", "licm", "a|b",
+                              "x\x1ey"]), max_size=5).map(tuple),
+    st.sampled_from(["x86", "riscv"]),
+    st.integers(0, 2**31),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=_key_parts, b=_key_parts)
+def test_distinct_points_never_collide(a, b):
+    """cache_key is injective over (fingerprint, sequence, target,
+    seed) — in particular distinct seeds and platforms get distinct
+    keys."""
+    key_a = cache_key(*a)
+    key_b = cache_key(*b)
+    assert (key_a == key_b) == (a == b)
+
+
+def test_key_separates_sequence_boundaries():
+    assert cache_key("f", ("ab", "c"), "riscv", 0) != \
+        cache_key("f", ("a", "bc"), "riscv", 0)
+    assert cache_key("f", ("a", "b"), "riscv", 0) != \
+        cache_key("f", ("a b",), "riscv", 0)
+
+
+# -- same key -> same payload --------------------------------------------
+
+def test_same_key_identical_metrics_and_fingerprint(workload):
+    engine = EvaluationEngine(Platform("riscv", measurement_seed=3))
+    first = engine.evaluate(workload, SEQ)
+    second = engine.evaluate(workload, SEQ)
+    assert not first.cached and second.cached
+    assert first.key == second.key
+    assert first.metrics() == second.metrics()
+    assert first.result_fingerprint == second.result_fingerprint
+    assert list(first.features) == list(second.features)
+    assert first.output == second.output
+
+
+def test_cached_equals_uncached_evaluation(workload):
+    """The cache is transparent: a cacheless engine computes exactly
+    what a caching engine returns (fresh or hit)."""
+    cached_engine = EvaluationEngine(Platform("x86", measurement_seed=5))
+    bare_engine = EvaluationEngine(Platform("x86", measurement_seed=5),
+                                   cache=False)
+    hit = cached_engine.evaluate(workload, SEQ)
+    hit = cached_engine.evaluate(workload, SEQ)
+    fresh = bare_engine.evaluate(workload, SEQ)
+    assert hit.cached and not fresh.cached
+    assert hit.metrics() == fresh.metrics()
+    assert hit.result_fingerprint == fresh.result_fingerprint
+
+
+def test_distinct_seeds_measure_independently(workload):
+    """Two engines with different measurement seeds must not share
+    entries — and on the noisy x86 platform their energies differ."""
+    a = EvaluationEngine(Platform("x86", measurement_seed=1))
+    b = EvaluationEngine(Platform("x86", measurement_seed=2))
+    result_a = a.evaluate(workload, SEQ)
+    result_b = b.evaluate(workload, SEQ)
+    assert result_a.key != result_b.key
+    assert result_a.metrics()["energy_uj"] != \
+        result_b.metrics()["energy_uj"]
+    # The program itself is identical; only the measurement noise moved.
+    assert result_a.result_fingerprint == result_b.result_fingerprint
+
+
+def test_distinct_platforms_measure_independently(workload):
+    x86 = EvaluationEngine(Platform("x86", measurement_seed=1))
+    riscv = EvaluationEngine(Platform("riscv", measurement_seed=1))
+    assert x86.key_for(workload, SEQ) != riscv.key_for(workload, SEQ)
+    assert x86.evaluate(workload, SEQ).metrics() != \
+        riscv.evaluate(workload, SEQ).metrics()
+
+
+# -- stats / eviction consistency ----------------------------------------
+
+def test_stats_counters_consistent():
+    cache = EvaluationCache(max_entries=3)
+    for i in range(7):
+        cache.put(f"k{i}", {"value": i})
+    assert len(cache) == 3
+    assert cache.stats.stores == 7
+    assert cache.stats.evictions == 7 - 3
+    assert cache.get("k6") == {"value": 6}
+    assert cache.get("k0") is None  # evicted (LRU)
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.lookups == cache.stats.hits + cache.stats.misses
+    assert cache.stats.hit_rate == 0.5
+
+
+def test_lru_recency_protects_entries():
+    cache = EvaluationCache(max_entries=2)
+    cache.put("a", {"v": 1})
+    cache.put("b", {"v": 2})
+    assert cache.get("a") == {"v": 1}  # refresh 'a'
+    cache.put("c", {"v": 3})           # evicts 'b', not 'a'
+    assert cache.get("a") == {"v": 1}
+    assert cache.get("b") is None
+    assert cache.get("c") == {"v": 3}
+
+
+@settings(max_examples=60, deadline=None)
+@given(operations=st.lists(
+    st.tuples(st.sampled_from("pg"), st.integers(0, 9)), max_size=60))
+def test_stats_match_reference_lru_model(operations):
+    """The cache agrees with a straightforward LRU reference model on
+    contents, hit/miss counts and eviction counts for any op mix."""
+    from collections import OrderedDict
+    cache = EvaluationCache(max_entries=4)
+    model = OrderedDict()
+    hits = misses = stores = evictions = 0
+    for op, k in operations:
+        key = f"k{k}"
+        if op == "p":
+            cache.put(key, {"v": k})
+            stores += 1
+            model[key] = {"v": k}
+            model.move_to_end(key)
+            if len(model) > 4:
+                model.popitem(last=False)
+                evictions += 1
+        else:
+            value = cache.get(key)
+            if key in model:
+                model.move_to_end(key)
+                hits += 1
+                assert value == model[key]
+            else:
+                misses += 1
+                assert value is None
+    stats = cache.stats
+    assert len(cache) == len(model)
+    assert sorted(cache._entries) == sorted(model)
+    assert (stats.hits, stats.misses, stats.stores, stats.evictions) \
+        == (hits, misses, stores, evictions)
+    assert stats.lookups == hits + misses
+    assert 0.0 <= stats.hit_rate <= 1.0
+
+
+# -- disk store -----------------------------------------------------------
+
+def test_disk_store_survives_process_cache(tmp_path, workload):
+    store = str(tmp_path / "evals")
+    platform = Platform("riscv", measurement_seed=0)
+    first_engine = EvaluationEngine(platform,
+                                    cache=EvaluationCache(
+                                        store_dir=store))
+    first = first_engine.evaluate(workload, SEQ)
+    # A brand-new cache instance (fresh "process") warm-starts from disk.
+    second_engine = EvaluationEngine(platform,
+                                     cache=EvaluationCache(
+                                         store_dir=store))
+    second = second_engine.evaluate(workload, SEQ)
+    assert second.cached
+    assert second_engine.cache.stats.disk_hits == 1
+    assert first.metrics() == second.metrics()
+    assert list(first.features) == list(second.features)

@@ -67,3 +67,25 @@ def test_cli_workloads(capsys):
 def test_cli_requires_command(capsys):
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_cli_mlcomp_engine_knobs_parse(tmp_path):
+    """The engine knobs reach MLComp's EvaluationEngine configuration."""
+    from repro.cli import build_parser
+    from repro.pipeline import MLComp
+    args = build_parser().parse_args(
+        ["mlcomp", "--target", "riscv", "--cache-size", "64",
+         "--cache-dir", str(tmp_path / "cache"),
+         "--eval-mode", "thread", "--workers", "2"])
+    assert args.cache_size == 64
+    assert args.eval_mode == "thread"
+    assert not args.no_cache
+    mlcomp = MLComp(target="riscv", cache_size=args.cache_size,
+                    cache_dir=args.cache_dir, eval_mode=args.eval_mode,
+                    workers=args.workers)
+    assert mlcomp.engine.cache.max_entries == 64
+    assert mlcomp.engine.cache.store_dir == str(tmp_path / "cache")
+    assert mlcomp.engine.evaluator.mode == "thread"
+    assert mlcomp.engine.evaluator.workers == 2
+    disabled = MLComp(target="riscv", cache=False)
+    assert disabled.engine.cache is None

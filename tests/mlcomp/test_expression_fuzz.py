@@ -96,6 +96,43 @@ def test_expression_three_way_agreement(expr):
     assert simulated.output == (("i", expected),)
 
 
+@settings(max_examples=25, deadline=None)
+@given(expr=expressions())
+def test_engine_cached_vs_fresh_agree_with_interpreter(expr):
+    """Differential fuzz through the evaluation engine: a random DSL
+    program evaluated via the engine (fresh, then cached) must report
+    exactly the interpreter's observable results, and the cached entry
+    must be indistinguishable from the fresh evaluation."""
+    if not expr.valid:
+        return
+    from repro.engine import EvaluationEngine
+    from repro.sim import Platform
+    from repro.workloads.registry import Workload
+
+    source = f"""
+    int main() {{
+      int result = {expr.text};
+      print_int(result);
+      return result % 251;
+    }}
+    """
+    expected = expr.value
+    interpreted = run_module(compile_source(source))
+    assert interpreted.output == (("i", expected),)
+
+    workload = Workload("fuzz_expr", "adhoc", source)
+    engine = EvaluationEngine(Platform("riscv"))
+    fresh = engine.evaluate(workload, STANDARD_LEVELS["-O2"])
+    cached = engine.evaluate(workload, STANDARD_LEVELS["-O2"])
+    assert not fresh.cached and cached.cached
+    assert fresh.output == (("i", expected),)
+    assert cached.output == fresh.output
+    assert cached.return_value == fresh.return_value \
+        == interpreted.return_value
+    assert cached.metrics() == fresh.metrics()
+    assert cached.result_fingerprint == fresh.result_fingerprint
+
+
 @settings(max_examples=30, deadline=None)
 @given(values=st.lists(st.integers(-10**6, 10**6), min_size=2,
                        max_size=8),

@@ -25,6 +25,7 @@ def test_all_workloads_interpret(suite):
         assert 0 <= result.return_value < 251, workload.name
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("suite,target", [("parsec", "x86"),
                                           ("beebs", "riscv")])
 def test_all_workloads_o3_differential(suite, target, x86, riscv):
@@ -42,6 +43,7 @@ def test_all_workloads_o3_differential(suite, target, x86, riscv):
             workload.name
 
 
+@pytest.mark.slow
 def test_workload_checksums_stable():
     """Record-and-compare checksums of every workload (golden test)."""
     observed = {}
@@ -58,6 +60,7 @@ def test_workload_checksums_stable():
                 result.return_value, len(result.output))
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("suite,target", [("parsec", "x86"),
                                           ("beebs", "riscv")])
 def test_optimization_monotone_on_suite_average(suite, target, x86,

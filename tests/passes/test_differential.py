@@ -97,6 +97,41 @@ def test_each_phase_after_mem2reg_is_sound(phase):
         assert run_module(module).observable() == reference(source)
 
 
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    source_index=st.integers(0, len(SOURCES) - 1),
+    sequence=st.lists(st.sampled_from(PHASES), min_size=1, max_size=8),
+)
+def test_engine_cached_vs_fresh_compiles_identical(source_index,
+                                                   sequence):
+    """Random pipelines through the evaluation engine: a cached compile
+    must be indistinguishable from a fresh one (same final module
+    fingerprint, metrics, and simulated output), and the interpreter
+    must agree before/after regardless of which path served it."""
+    from repro.engine import EvaluationEngine
+    from repro.ir.printer import module_fingerprint
+    from repro.sim import Platform
+    from repro.workloads.registry import Workload
+
+    source = SOURCES[source_index]
+    workload = Workload(f"diff{source_index}", "adhoc", source)
+    engine = EvaluationEngine(Platform("riscv"))
+    fresh = engine.evaluate(workload, tuple(sequence))
+    cached = engine.evaluate(workload, tuple(sequence))
+    assert not fresh.cached and cached.cached
+    assert cached.metrics() == fresh.metrics()
+    assert cached.output == fresh.output
+    assert cached.result_fingerprint == fresh.result_fingerprint
+    # The engine's compile matches an independent fresh compile, and
+    # the optimized program still behaves like the reference under the
+    # interpreter.
+    module = compile_source(source)
+    PassManager().run(module, sequence)
+    assert module_fingerprint(module) == fresh.result_fingerprint
+    assert run_module(module).observable() == reference(source)
+
+
 def test_idempotence_of_cleanup_phases():
     """Running a cleanup phase twice: the second run reports no change."""
     for phase in ("dce", "simplifycfg", "adce", "dse", "globaldce"):

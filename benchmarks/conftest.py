@@ -15,6 +15,13 @@ import os
 import numpy as np
 import pytest
 
+from repro.engine import EvaluationEngine
+from repro.pe import PerformanceEstimator
+from repro.profiling import DataExtractor
+from repro.rl import RewardConfig, TrainingConfig
+from repro.sim import Platform
+from repro.workloads import load_suite
+
 
 def pytest_collection_modifyitems(config, items):
     """Benchmarks are simulation-heavy: mark everything under this
@@ -26,12 +33,26 @@ def pytest_collection_modifyitems(config, items):
                 and "fast" not in item.keywords:
             item.add_marker(pytest.mark.slow)
 
-from repro.pe import PerformanceEstimator
-from repro.pipeline import MLComp
-from repro.profiling import DataExtractor, extraction_sequences
-from repro.rl import RewardConfig, TrainingConfig
-from repro.sim import Platform
-from repro.workloads import load_suite
+
+#: Engines created by the benchmark fixtures, so the session can report
+#: their cache hit rates at the end.
+_SESSION_ENGINES = []
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Report evaluation-cache hit rates of the benchmark engines."""
+    if not _SESSION_ENGINES:
+        return
+    print("\n=== benchmark evaluation-cache hit rates ===")
+    for label, engine in _SESSION_ENGINES:
+        stats = engine.stats()
+        tier = stats["evaluations"]
+        if tier is None:
+            continue
+        lookups = tier["hits"] + tier["misses"]
+        print(f"  {label:24s} {tier['hits']:5d}/{lookups:5d} hits "
+              f"({tier['hit_rate']:.1%}), disk hits "
+              f"{tier['disk_hits']}, disk stores {tier['disk_stores']}")
 
 # Phases the PSS policies select from (a productive subset keeps policy
 # training snappy; the full registry is exercised by the test suite).
@@ -48,24 +69,37 @@ PSS_CONFIG = TrainingConfig(num_episodes=48, batch_size=6,
                             max_sequence_length=10, seed=0)
 
 
-def _extract(target, suite, n_sequences, seed):
+@pytest.fixture(scope="session")
+def shared_cache_dir(tmp_path_factory):
+    """One on-disk evaluation-cache directory shared by EVERY benchmark
+    fixture (ROADMAP follow-up: previously each fixture's engine kept a
+    private in-memory cache, so identical points evaluated for
+    different figures were recompiled and resimulated)."""
+    return str(tmp_path_factory.mktemp("shared-eval-cache"))
+
+
+def _extract(target, suite, n_sequences, seed, cache_dir):
     platform = Platform(target)
     workloads = load_suite(suite)
-    extractor = DataExtractor(platform, workloads)
+    engine = EvaluationEngine(platform, store_dir=cache_dir)
+    _SESSION_ENGINES.append((f"{suite}/{target}", engine))
+    extractor = DataExtractor(platform, workloads, engine=engine)
     dataset = extractor.extract(n_sequences=n_sequences, seed=seed)
     return platform, workloads, dataset, extractor
 
 
 @pytest.fixture(scope="session")
-def parsec_x86_setup():
+def parsec_x86_setup(shared_cache_dir):
     """(platform, workloads, dataset, extractor) for PARSEC on x86."""
-    return _extract("x86", "parsec", n_sequences=16, seed=11)
+    return _extract("x86", "parsec", n_sequences=16, seed=11,
+                    cache_dir=shared_cache_dir)
 
 
 @pytest.fixture(scope="session")
-def beebs_riscv_setup():
+def beebs_riscv_setup(shared_cache_dir):
     """(platform, workloads, dataset, extractor) for BEEBS on RISC-V."""
-    return _extract("riscv", "beebs", n_sequences=12, seed=13)
+    return _extract("riscv", "beebs", n_sequences=12, seed=13,
+                    cache_dir=shared_cache_dir)
 
 
 @pytest.fixture(scope="session")

@@ -12,7 +12,7 @@
 import numpy as np
 import pytest
 
-from repro.models import TABLE_IV_MODELS, r2_score
+from repro.models import TABLE_IV_MODELS
 from repro.pe import model_search
 from repro.rl import ReinforceTrainer, RewardConfig, TrainingConfig
 from benchmarks.conftest import PSS_PHASES

@@ -6,7 +6,6 @@ while optimizing other objectives; (2) memory size roughly unchanged;
 (3) more balanced results than standard policies.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import evaluate_levels, print_relative_table

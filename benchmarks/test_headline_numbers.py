@@ -77,7 +77,7 @@ def pss_gains(beebs_riscv_setup, pss_riscv):
     print(f"energy:         mean {100 * np.mean(energy_gain):5.1f}%  "
           f"best {100 * np.max(energy_gain):5.1f}%   (paper: up to 6%)")
     print(f"code size:      mean {100 * np.mean(size_gain):5.1f}%  "
-          f"(paper: ~0.1% improvement)")
+          "(paper: ~0.1% improvement)")
     return time_gain, energy_gain, size_gain
 
 
@@ -102,11 +102,11 @@ def test_e7_estimation_vs_profiling_speedup(beebs_riscv_setup,
     platform.profile(workloads[0].compile())
     profile_seconds = time.perf_counter() - t0
     speedup = profile_seconds / predict_seconds
-    print(f"\n=== §V-C headline: estimation vs profiling ===")
+    print("\n=== §V-C headline: estimation vs profiling ===")
     print(f"profiling one variant:  {1000 * profile_seconds:8.2f} ms")
     print(f"PE prediction:          {1000 * predict_seconds:8.3f} ms")
     print(f"speedup:                {speedup:8.1f}x  "
-          f"(paper: 2 days vs 15-108 days = 7.5x-54x)")
+          "(paper: 2 days vs 15-108 days = 7.5x-54x)")
     print(f"data extraction total:  {extractor.extraction_seconds:6.1f} s"
           f" for {len(dataset)} points")
     # The paper's band is 7.5x-54x; our PE inference is a python MLP /

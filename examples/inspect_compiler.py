@@ -43,7 +43,7 @@ def main():
 
     program = compile_module(module, "riscv")
     mfunc = program.functions["sum_squares"]
-    print(f"\n=== RISC-V machine code for sum_squares "
+    print("\n=== RISC-V machine code for sum_squares "
           f"({program.code_size} total bytes) ===")
     for block in mfunc.blocks:
         print(f"{block.label}:")

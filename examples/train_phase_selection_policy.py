@@ -37,7 +37,7 @@ def main():
     selector = mlcomp.train_policy(config=TrainingConfig(
         num_episodes=36, batch_size=6, max_sequence_length=8, seed=0))
     returns = mlcomp.trainer.history
-    print(f"  batch returns: "
+    print("  batch returns: "
           + " ".join(f"{r:6.3f}" for r in returns))
 
     print("[4/4] Deployment: PSS vs standard levels")

@@ -9,7 +9,6 @@ parallel copies on (split) edges.
 
 from repro.ir import (
     AllocaInst,
-    Argument,
     BinaryInst,
     BranchInst,
     CallInst,
@@ -36,7 +35,6 @@ from repro.backend.mir import (
     Label,
     MachineFunction,
     MachineInstr,
-    VirtReg,
 )
 
 _BINOP_MAP = {

@@ -16,7 +16,6 @@ Pipeline per function:
 from repro.backend.mir import (
     Imm,
     MachineInstr,
-    PhysReg,
     StackSlot,
     VirtReg,
 )

@@ -33,6 +33,7 @@ from repro.engine.evaluator import (
 )
 from repro.features import extract_features
 from repro.ir.printer import module_fingerprint
+from repro.passes.analysis import AnalysisManager
 
 
 class EvalResult:
@@ -45,6 +46,10 @@ class EvalResult:
         self.cached = cached
         self.fingerprint = payload["fingerprint"]
         self.result_fingerprint = payload["result_fingerprint"]
+        # Per-function canonical fingerprints of the optimized module
+        # (absent in cache entries written before they existed).
+        self.function_fingerprints = dict(
+            payload.get("function_fingerprints", {}))
         self.sequence = tuple(payload["sequence"])
         self.target = payload["target"]
         self.features = np.asarray(payload["features"], dtype=float)
@@ -98,6 +103,11 @@ class EvaluationEngine:
         self.pe_cache = EvaluationCache(max_entries=cache_size)
         self.evaluator = PointEvaluator(mode=mode, workers=workers)
         self.fuel = fuel
+        # Function-granular reuse for PE-side feature extraction: static
+        # per-function partials keyed by function fingerprint, shared by
+        # every module this engine scores (bounded; cleared when full).
+        self._feature_partials = {}
+        self._feature_partials_cap = 4096
         self._workload_fingerprints = {}
         self._estimator_tokens = weakref.WeakKeyDictionary()
         self._token_counter = 0
@@ -199,10 +209,14 @@ class EvaluationEngine:
                                             cached=position > 0)
         return results
 
-    def profile_module(self, module, fuel=None):
+    def profile_module(self, module, fuel=None, am=None):
         """Profile an already-optimized module, content-addressed by its
-        final fingerprint (used by PSS deployment checks)."""
-        fingerprint = module_fingerprint(module)
+        final fingerprint (used by PSS deployment checks).  An analysis
+        manager carrying warm per-function fingerprints makes the
+        content-addressing incremental."""
+        if am is None:
+            am = AnalysisManager()
+        fingerprint = module_fingerprint(module, am)
         key = cache_key(fingerprint, (), self.platform.target,
                         self.measurement_seed, fuel or self.fuel)
         if self.cache is not None:
@@ -212,12 +226,15 @@ class EvaluationEngine:
         from repro.sim import Platform
         seed = point_measurement_seed(self.measurement_seed, fingerprint)
         platform = Platform(self.platform.target, measurement_seed=seed)
-        features = extract_features(module, platform)
+        features = self._extract_features(module, platform, am)
         started = time.perf_counter()
         measurement = platform.profile(module, fuel=fuel or self.fuel)
         payload = {
             "fingerprint": fingerprint,
             "result_fingerprint": fingerprint,
+            "function_fingerprints": {
+                function.name: am.fingerprint(function)
+                for function in module.defined_functions()},
             "sequence": [],
             "target": self.platform.target,
             "measurement_seed": self.measurement_seed,
@@ -236,17 +253,28 @@ class EvaluationEngine:
         return EvalResult(payload, key, cached=False)
 
     # -- PE-predicted evaluations ----------------------------------------
-    def predicted_objectives(self, module, estimator, fingerprint=None):
+    def _extract_features(self, module, platform, am):
+        """Feature extraction with the engine's per-function partial
+        cache (bounded; dropped wholesale when full)."""
+        if len(self._feature_partials) > self._feature_partials_cap:
+            self._feature_partials.clear()
+        return extract_features(module, platform, am=am,
+                                partial_cache=self._feature_partials)
+
+    def predicted_objectives(self, module, estimator, fingerprint=None,
+                             am=None):
         """PE-predicted {time, energy, size} for a module, cached by
         content (the RL reward path; no simulation involved)."""
+        if am is None:
+            am = AnalysisManager()
         if fingerprint is None:
-            fingerprint = module_fingerprint(module)
+            fingerprint = module_fingerprint(module, am)
         key = "\x1f".join(("pe", fingerprint, self.platform.target,
                            self._estimator_token(estimator)))
         payload = self.pe_cache.get(key)
         if payload is not None:
             return dict(payload)
-        features = extract_features(module, self.platform)
+        features = self._extract_features(module, self.platform, am)
         predicted = predict_many(estimator, features)
         objectives = objective_rows(predicted, features)[0]
         self.pe_cache.put(key, objectives)
@@ -286,10 +314,16 @@ class EvaluationEngine:
                 # A candidate whose pipeline raises scores as None
                 # instead of aborting the whole batch (mirrors the
                 # per-candidate guards of the profiled search path).
+                # Each candidate gets its own analysis manager (fresh
+                # module), but all share the engine's per-function
+                # feature partials: candidates that leave a function
+                # untouched reuse its static analysis.
                 try:
                     module = workload.compile()
-                    PassManager().run(module, list(sequence))
-                    rows.append(extract_features(module, self.platform))
+                    am = AnalysisManager()
+                    PassManager().run(module, list(sequence), am=am)
+                    rows.append(self._extract_features(
+                        module, self.platform, am))
                 except Exception:  # noqa: BLE001 - candidate skipped
                     continue
                 prepared.append((key, indices))

@@ -56,14 +56,20 @@ def evaluate_point(spec):
     from repro.features import extract_features
     from repro.ir.printer import module_fingerprint
     from repro.lang import compile_source
-    from repro.passes import PassManager
+    from repro.passes import AnalysisManager, PassManager
     from repro.sim import Platform
 
     module = compile_source(spec["source"], module_name=spec["name"])
-    fingerprint = module_fingerprint(module)
+    # One analysis manager spans the whole sequence: passes share
+    # dominator trees / loop nests, and the final fingerprint only
+    # re-hashes functions the sequence actually changed.
+    am = AnalysisManager()
+    fingerprint = module_fingerprint(module, am)
     sequence = list(spec["sequence"])
-    PassManager().run(module, sequence)
-    result_fingerprint = module_fingerprint(module)
+    PassManager().run(module, sequence, am=am)
+    result_fingerprint = module_fingerprint(module, am)
+    function_fingerprints = {function.name: am.fingerprint(function)
+                             for function in module.defined_functions()}
     seed = point_measurement_seed(spec["measurement_seed"],
                                   result_fingerprint)
     platform = Platform(spec["target"], measurement_seed=seed)
@@ -75,6 +81,7 @@ def evaluate_point(spec):
     return {
         "fingerprint": fingerprint,
         "result_fingerprint": result_fingerprint,
+        "function_fingerprints": function_fingerprints,
         "sequence": list(sequence),
         "target": spec["target"],
         "measurement_seed": spec["measurement_seed"],

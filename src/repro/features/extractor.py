@@ -47,11 +47,18 @@ def extract_platform_features(program):
     return np.array(values, dtype=float)
 
 
-def extract_features(module, platform=None):
+def extract_features(module, platform=None, am=None, partial_cache=None):
     """Full PE input vector: 63 static features, plus platform features
     and static cost-model estimates when a platform is given (the PE is
-    trained per platform)."""
-    static = extract_static_features(module)
+    trained per platform).
+
+    ``am``/``partial_cache`` enable function-granular reuse of the
+    static third: per-function partials are cached under canonical
+    function fingerprints (see
+    :func:`repro.features.static_features.extract_static_features`).
+    """
+    static = extract_static_features(module, am=am,
+                                     partial_cache=partial_cache)
     if platform is None:
         return static
     program = platform.compile(module)

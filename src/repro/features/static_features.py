@@ -20,14 +20,13 @@ from repro.ir import (
     GEPInst,
     ICmpInst,
     LoadInst,
-    LoopInfo,
     PhiInst,
     RetInst,
     SelectInst,
     StoreInst,
 )
-from repro.ir.cfg import DominatorTree, reverse_postorder
-from repro.passes.loop_utils import constant_trip_count, ensure_preheader
+from repro.ir.cfg import reverse_postorder
+from repro.passes.loop_utils import constant_trip_count
 
 _OPCODES = ("add", "sub", "mul", "sdiv", "srem", "and", "or", "xor",
             "shl", "ashr", "lshr", "fadd", "fsub", "fmul", "fdiv")
@@ -55,125 +54,203 @@ STATIC_FEATURE_NAMES = tuple(
 assert len(STATIC_FEATURE_NAMES) == 63, len(STATIC_FEATURE_NAMES)
 
 
-def extract_static_features(module):
-    """Return the 63-dimensional static feature vector of a module."""
-    counts = {name: 0.0 for name in STATIC_FEATURE_NAMES}
+def extract_static_features(module, am=None, partial_cache=None):
+    """Return the 63-dimensional static feature vector of a module.
+
+    The vector is composed from per-function partial aggregates.  With an
+    analysis manager *and* a ``partial_cache`` dict, each function's
+    partial is cached under its canonical fingerprint, so repeated
+    extraction over a module where only some functions changed (the PSS
+    deployment loop, RL training steps) only re-analyzes the changed
+    functions.  Fingerprinting renames locals (a semantic no-op); without
+    a cache the module is never mutated.
+    """
+    partials = []
+    for function in module.defined_functions():
+        key = None
+        if partial_cache is not None and am is not None:
+            key = am.fingerprint(function)
+            cached = partial_cache.get(key)
+            if cached is not None:
+                partials.append(cached)
+                continue
+        partial = _function_partial(function, am)
+        if key is not None:
+            partial_cache[key] = partial
+        partials.append(partial)
+    return _combine_partials(module, partials)
+
+
+#: Feature names a function contributes to by summation.
+_SUMMED = tuple(
+    [f"n_{op}" for op in _OPCODES] +
+    ["n_icmp", "n_fcmp", "n_load", "n_store", "n_gep", "n_phi",
+     "n_select", "n_call", "n_cast", "n_alloca", "n_cond_branches",
+     "n_uncond_branches", "n_returns", "n_intrinsic_calls",
+     "n_math_calls", "n_print_calls", "n_block_mem_intrinsics",
+     "n_const_index_geps", "n_args_total", "n_cfg_edges", "n_loops",
+     "n_innermost_loops", "n_const_trip_loops", "n_back_edges"])
+
+#: Feature names combined by maximum over functions.
+_MAXED = ("max_blocks_per_function", "max_phis_per_block",
+          "max_loop_depth", "avg_loop_depth", "dom_tree_height",
+          "max_rpo_length")
+
+
+def _function_partial(function, am=None):
+    """One function's contribution to the static feature vector.
+
+    Loop and dominator analyses come from (and seed) the analysis
+    manager when one is given, so a changed function is analyzed once
+    for features and the next pass reuses the same structures.
+    """
+    sums = dict.fromkeys(_SUMMED, 0.0)
+    maxes = dict.fromkeys(_MAXED, 0.0)
     opcode_counts = {op: 0 for op in _OPCODES}
-    total_instructions = 0
-    total_blocks = 0
     block_sizes = []
     distinct_constants = set()
     const_operands = 0
     total_operands = 0
     float_ops = 0
     int_ops = 0
+    call_edges = set()
+    recursive = False
 
-    functions = module.defined_functions()
-    counts["n_functions"] = float(len(functions))
+    maxes["max_blocks_per_function"] = float(len(function.blocks))
+    sums["n_args_total"] += len(function.args)
+    for block in function.blocks:
+        block_sizes.append(len(block.instructions))
+        phis_here = 0
+        for inst in block.instructions:
+            for op in inst.operands:
+                total_operands += 1
+                if isinstance(op, ConstantInt):
+                    const_operands += 1
+                    distinct_constants.add(("i", op.value))
+                elif isinstance(op, ConstantFloat):
+                    const_operands += 1
+                    distinct_constants.add(("f", op.value))
+            if isinstance(inst, BinaryInst):
+                opcode_counts[inst.opcode] += 1
+                if inst.opcode.startswith("f"):
+                    float_ops += 1
+                else:
+                    int_ops += 1
+            elif isinstance(inst, ICmpInst):
+                sums["n_icmp"] += 1
+            elif isinstance(inst, FCmpInst):
+                sums["n_fcmp"] += 1
+            elif isinstance(inst, LoadInst):
+                sums["n_load"] += 1
+            elif isinstance(inst, StoreInst):
+                sums["n_store"] += 1
+            elif isinstance(inst, GEPInst):
+                sums["n_gep"] += 1
+                if isinstance(inst.index, ConstantInt):
+                    sums["n_const_index_geps"] += 1
+            elif isinstance(inst, PhiInst):
+                sums["n_phi"] += 1
+                phis_here += 1
+            elif isinstance(inst, SelectInst):
+                sums["n_select"] += 1
+            elif isinstance(inst, CallInst):
+                sums["n_call"] += 1
+                if inst.is_intrinsic():
+                    sums["n_intrinsic_calls"] += 1
+                    if inst.callee in _MATH_INTRINSICS:
+                        sums["n_math_calls"] += 1
+                    elif inst.callee in ("print_int", "print_float"):
+                        sums["n_print_calls"] += 1
+                    elif inst.callee in ("memset", "memcpy"):
+                        sums["n_block_mem_intrinsics"] += 1
+                else:
+                    call_edges.add((function.name, inst.callee.name))
+                    if inst.callee is function:
+                        recursive = True
+            elif isinstance(inst, CastInst):
+                sums["n_cast"] += 1
+            elif isinstance(inst, AllocaInst):
+                sums["n_alloca"] += 1
+            elif isinstance(inst, CondBranchInst):
+                sums["n_cond_branches"] += 1
+            elif isinstance(inst, BranchInst):
+                sums["n_uncond_branches"] += 1
+            elif isinstance(inst, RetInst):
+                sums["n_returns"] += 1
+        maxes["max_phis_per_block"] = max(maxes["max_phis_per_block"],
+                                          float(phis_here))
+    sums["n_cfg_edges"] += sum(len(b.successors())
+                               for b in function.blocks)
+    # Loops.
+    from repro.passes.analysis import domtree_of
+    from repro.passes.loop_utils import loops_of
+    info = loops_of(function, am)
+    sums["n_loops"] += len(info.loops)
+    sums["n_innermost_loops"] += len(info.innermost_loops())
+    maxes["max_loop_depth"] = float(info.max_depth())
+    depths = [loop.depth for loop in info.loops]
+    if depths:
+        maxes["avg_loop_depth"] = float(np.mean(depths))
+    for loop in info.loops:
+        sums["n_back_edges"] += len(loop.latches())
+        preheader = loop.preheader()
+        if preheader is not None:
+            trip, _ = constant_trip_count(loop, preheader)
+            if trip is not None:
+                sums["n_const_trip_loops"] += 1
+    # Dominator tree height, RPO length.
+    dom = domtree_of(function, am)
+    maxes["dom_tree_height"] = float(_tree_height(dom))
+    maxes["max_rpo_length"] = float(len(reverse_postorder(function)))
+
+    for op in _OPCODES:
+        sums[f"n_{op}"] = float(opcode_counts[op])
+    return {
+        "sums": sums,
+        "maxes": maxes,
+        "block_sizes": block_sizes,
+        "distinct_constants": distinct_constants,
+        "const_operands": const_operands,
+        "total_operands": total_operands,
+        "float_ops": float_ops,
+        "int_ops": int_ops,
+        "call_edges": call_edges,
+        "recursive": recursive,
+    }
+
+
+def _combine_partials(module, partials):
+    counts = {name: 0.0 for name in STATIC_FEATURE_NAMES}
+    counts["n_functions"] = float(len(partials))
     counts["n_globals"] = float(len(module.globals))
     counts["global_array_cells"] = float(sum(
         gv.value_type.size_cells() for gv in module.globals.values()
         if gv.value_type.is_array()))
 
+    block_sizes = []
+    distinct_constants = set()
     call_edges = set()
-    recursive = set()
+    recursive = 0
+    const_operands = 0
+    total_operands = 0
+    float_ops = 0
+    int_ops = 0
+    for partial in partials:
+        for name, value in partial["sums"].items():
+            counts[name] += value
+        for name, value in partial["maxes"].items():
+            counts[name] = max(counts[name], value)
+        block_sizes.extend(partial["block_sizes"])
+        distinct_constants |= partial["distinct_constants"]
+        call_edges |= partial["call_edges"]
+        recursive += int(partial["recursive"])
+        const_operands += partial["const_operands"]
+        total_operands += partial["total_operands"]
+        float_ops += partial["float_ops"]
+        int_ops += partial["int_ops"]
 
-    for function in functions:
-        total_blocks += len(function.blocks)
-        counts["max_blocks_per_function"] = max(
-            counts["max_blocks_per_function"], float(len(function.blocks)))
-        counts["n_args_total"] += len(function.args)
-        for block in function.blocks:
-            block_sizes.append(len(block.instructions))
-            phis_here = 0
-            for inst in block.instructions:
-                total_instructions += 1
-                for op in inst.operands:
-                    total_operands += 1
-                    if isinstance(op, ConstantInt):
-                        const_operands += 1
-                        distinct_constants.add(("i", op.value))
-                    elif isinstance(op, ConstantFloat):
-                        const_operands += 1
-                        distinct_constants.add(("f", op.value))
-                if isinstance(inst, BinaryInst):
-                    opcode_counts[inst.opcode] += 1
-                    if inst.opcode.startswith("f"):
-                        float_ops += 1
-                    else:
-                        int_ops += 1
-                elif isinstance(inst, ICmpInst):
-                    counts["n_icmp"] += 1
-                elif isinstance(inst, FCmpInst):
-                    counts["n_fcmp"] += 1
-                elif isinstance(inst, LoadInst):
-                    counts["n_load"] += 1
-                elif isinstance(inst, StoreInst):
-                    counts["n_store"] += 1
-                elif isinstance(inst, GEPInst):
-                    counts["n_gep"] += 1
-                    if isinstance(inst.index, ConstantInt):
-                        counts["n_const_index_geps"] += 1
-                elif isinstance(inst, PhiInst):
-                    counts["n_phi"] += 1
-                    phis_here += 1
-                elif isinstance(inst, SelectInst):
-                    counts["n_select"] += 1
-                elif isinstance(inst, CallInst):
-                    counts["n_call"] += 1
-                    if inst.is_intrinsic():
-                        counts["n_intrinsic_calls"] += 1
-                        if inst.callee in _MATH_INTRINSICS:
-                            counts["n_math_calls"] += 1
-                        elif inst.callee in ("print_int", "print_float"):
-                            counts["n_print_calls"] += 1
-                        elif inst.callee in ("memset", "memcpy"):
-                            counts["n_block_mem_intrinsics"] += 1
-                    else:
-                        call_edges.add((function.name, inst.callee.name))
-                        if inst.callee is function:
-                            recursive.add(function.name)
-                elif isinstance(inst, CastInst):
-                    counts["n_cast"] += 1
-                elif isinstance(inst, AllocaInst):
-                    counts["n_alloca"] += 1
-                elif isinstance(inst, CondBranchInst):
-                    counts["n_cond_branches"] += 1
-                elif isinstance(inst, BranchInst):
-                    counts["n_uncond_branches"] += 1
-                elif isinstance(inst, RetInst):
-                    counts["n_returns"] += 1
-            counts["max_phis_per_block"] = max(
-                counts["max_phis_per_block"], float(phis_here))
-        counts["n_cfg_edges"] += sum(len(b.successors())
-                                     for b in function.blocks)
-        # Loops.
-        info = LoopInfo(function)
-        counts["n_loops"] += len(info.loops)
-        counts["n_innermost_loops"] += len(info.innermost_loops())
-        counts["max_loop_depth"] = max(counts["max_loop_depth"],
-                                       float(info.max_depth()))
-        depths = [loop.depth for loop in info.loops]
-        if depths:
-            counts["avg_loop_depth"] = max(
-                counts["avg_loop_depth"], float(np.mean(depths)))
-        for loop in info.loops:
-            counts["n_back_edges"] += len(loop.latches())
-            preheader = loop.preheader()
-            if preheader is not None:
-                trip, _ = constant_trip_count(loop, preheader)
-                if trip is not None:
-                    counts["n_const_trip_loops"] += 1
-        # Dominator tree height, RPO length.
-        dom = DominatorTree(function)
-        counts["dom_tree_height"] = max(
-            counts["dom_tree_height"], float(_tree_height(dom)))
-        counts["max_rpo_length"] = max(
-            counts["max_rpo_length"], float(len(reverse_postorder(function))))
-
-    for op in _OPCODES:
-        counts[f"n_{op}"] = float(opcode_counts[op])
-    counts["n_blocks"] = float(total_blocks)
+    total_instructions = sum(block_sizes)
+    counts["n_blocks"] = float(len(block_sizes))
     counts["n_instructions"] = float(total_instructions)
     counts["avg_block_size"] = float(np.mean(block_sizes)) if block_sizes \
         else 0.0
@@ -190,7 +267,7 @@ def extract_static_features(module):
     counts["const_operand_fraction"] = const_operands / \
         max(total_operands, 1)
     counts["n_distinct_consts"] = float(len(distinct_constants))
-    counts["n_recursive_functions"] = float(len(recursive))
+    counts["n_recursive_functions"] = float(recursive)
     counts["n_callgraph_edges"] = float(len(call_edges))
     counts["max_call_chain"] = float(_longest_chain(call_edges))
     counts["phi_density"] = counts["n_phi"] / max(total_instructions, 1)

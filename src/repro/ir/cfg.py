@@ -149,6 +149,15 @@ class Loop:
     def contains(self, block):
         return block in self.blocks
 
+    def ordered_blocks(self):
+        """The loop's blocks in the function's (deterministic) block
+        order.  ``blocks`` is a set: iterating it directly follows
+        object addresses, which vary run-to-run — transformation passes
+        must use this accessor so their output is a pure function of the
+        input program."""
+        function = self.header.parent
+        return [b for b in function.blocks if b in self.blocks]
+
     def exit_blocks(self):
         """Blocks outside the loop targeted from inside."""
         exits = []
@@ -183,17 +192,23 @@ class Loop:
 
 
 class LoopInfo:
-    """Discovers the natural-loop nest of a function."""
+    """Discovers the natural-loop nest of a function.
 
-    def __init__(self, function):
+    ``domtree`` optionally reuses an already-computed (valid)
+    :class:`DominatorTree` instead of rebuilding one — the analysis
+    manager passes its cached tree here.
+    """
+
+    def __init__(self, function, domtree=None):
         self.function = function
         self.loops = []       # all loops, outermost first
         self.top_level = []
         self._block_loop = {}
-        self._compute()
+        self._compute(domtree)
 
-    def _compute(self):
-        dom = DominatorTree(self.function)
+    def _compute(self, dom=None):
+        if dom is None:
+            dom = DominatorTree(self.function)
         headers = {}
         preds = predecessors_map(self.function)
         for block in dom.rpo:

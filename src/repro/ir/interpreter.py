@@ -23,7 +23,6 @@ from repro.ir.instructions import (
     GEPInst,
     ICmpInst,
     LoadInst,
-    PhiInst,
     RetInst,
     SelectInst,
     StoreInst,

@@ -112,27 +112,60 @@ def function_to_text(function):
 
 def module_to_text(module):
     parts = []
-    for gv in module.globals.values():
-        kind = "constant" if gv.is_constant_global else "global"
-        parts.append(f"@{gv.name} = {kind} {gv.value_type} "
-                     f"{gv.initializer!r}")
-    if parts:
+    header = _globals_text(module)
+    if header:
+        parts.append(header)
         parts.append("")
     for function in module.functions.values():
         parts.append(function_to_text(function))
     return "\n".join(parts)
 
 
-def module_fingerprint(module):
-    """A stable hash of the module's structure.
+def _globals_text(module):
+    parts = []
+    for gv in module.globals.values():
+        kind = "constant" if gv.is_constant_global else "global"
+        parts.append(f"@{gv.name} = {kind} {gv.value_type} "
+                     f"{gv.initializer!r}")
+    return "\n".join(parts)
 
-    Names are normalized first so that transformation no-ops that merely
-    rename values do not register as changes (the PSS relies on this to
-    detect inactive phases, paper §III-D).
+
+def function_fingerprint(function):
+    """A stable hash of one function's structure.
+
+    Local names are normalized first so that transformation no-ops that
+    merely rename values do not register as changes (the PSS relies on
+    this to detect inactive phases, paper §III-D).  Function attributes
+    (e.g. the SLP-enable marker) are part of the digest: they change
+    generated code, so two functions differing only in attributes must
+    not share a fingerprint.
     """
     import hashlib
 
-    for function in module.defined_functions():
+    if not function.is_declaration():
         function.rename_locals()
-    text = module_to_text(module)
+    text = function_to_text(function)
+    if function.attributes:
+        text += "attrs " + ",".join(sorted(function.attributes)) + "\n"
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def module_fingerprint(module, am=None):
+    """A stable hash of the module's structure, composed from
+    per-function fingerprints plus the globals header.
+
+    With an :class:`repro.passes.analysis.AnalysisManager` the
+    per-function digests are served from its cache, so re-fingerprinting
+    a module after a phase only pays for the functions the phase
+    actually changed.
+    """
+    import hashlib
+
+    parts = [_globals_text(module)]
+    for function in module.functions.values():
+        if am is not None:
+            parts.append(am.fingerprint(function))
+        else:
+            parts.append(function_fingerprint(function))
+    return hashlib.sha256(
+        "\x1f".join(parts).encode("utf-8")).hexdigest()

@@ -3,30 +3,45 @@
 Passes are run under differential testing in the test suite; the verifier
 catches structural corruption early so failures point at the offending pass
 rather than at the interpreter or backend.
+
+``verify_function`` optionally takes an
+:class:`repro.passes.analysis.AnalysisManager`.  The dominance check
+always recomputes its dominator tree — the verifier polices the
+preservation contract, so it must not trust a preserved (possibly
+stale) tree — and seeds the fresh tree into the manager so the next
+pass reuses it.
 """
 
 from repro.errors import VerificationError
-from repro.ir.cfg import DominatorTree, reachable_blocks
+from repro.ir.cfg import (
+    DominatorTree,
+    predecessors_map,
+    reachable_blocks,
+)
 from repro.ir.instructions import Instruction, PhiInst
 from repro.ir.values import Argument, Constant, GlobalVariable
 from repro.ir.function import Function
 
 
-def verify_module(module):
+def verify_module(module, am=None):
     for function in module.functions.values():
         if not function.is_declaration():
-            verify_function(function)
+            verify_function(function, am)
 
 
-def verify_function(function):
+def verify_function(function, am=None):
     if not function.blocks:
         return
+    preds = predecessors_map(function)
     _check_terminators(function)
     _check_parent_links(function)
     _check_operand_scope(function)
-    _check_phis(function)
+    _check_phis(function, preds)
     _check_use_lists(function)
-    _check_dominance(function)
+    dom = DominatorTree(function)
+    if am is not None:
+        am.put("domtree", function, dom)
+    _check_dominance(function, dom)
 
 
 def _fail(function, message):
@@ -74,23 +89,23 @@ def _check_operand_scope(function):
                     _fail(function, f"invalid operand kind: {op!r}")
 
 
-def _check_phis(function):
+def _check_phis(function, preds):
     reachable = reachable_blocks(function)
     for block in function.blocks:
         if block not in reachable:
             # Unreachable code may hold stale phi entries until a CFG
             # cleanup pass runs; it can never execute, so tolerate it.
             continue
-        preds = block.predecessors()
+        block_preds = preds.get(block, [])
         for phi in block.phis():
             if len(phi.incoming_blocks) != len(phi.operands):
                 _fail(function, "phi incoming/operand length mismatch")
             incoming = set(id(b) for b in phi.incoming_blocks)
-            if incoming != set(id(p) for p in preds):
+            if incoming != set(id(p) for p in block_preds):
                 _fail(function,
                       f"phi in {block.name} does not match predecessors "
                       f"({[b.name for b in phi.incoming_blocks]} vs "
-                      f"{[p.name for p in preds]})")
+                      f"{[p.name for p in block_preds]})")
         seen_non_phi = False
         for inst in block.instructions:
             if isinstance(inst, PhiInst):
@@ -110,8 +125,7 @@ def _check_use_lists(function):
                           f"use list of {op!r} missing ({inst!r}, {index})")
 
 
-def _check_dominance(function):
-    dom = DominatorTree(function)
+def _check_dominance(function, dom):
     reachable = reachable_blocks(function)
     for block in function.blocks:
         if block not in reachable:
@@ -124,7 +138,7 @@ def _check_dominance(function):
                             continue
                         if value.parent not in reachable:
                             _fail(function,
-                                  f"phi incoming from unreachable def: "
+                                  "phi incoming from unreachable def: "
                                   f"{inst!r}")
                         term = pred.terminator()
                         if not dom.instruction_dominates(value, term) and \

@@ -23,7 +23,7 @@ from repro.ir import (
     VOID,
 )
 from repro.ir.instructions import INTRINSICS
-from repro.ir.intrinsics import intrinsic_param_types, intrinsic_return_type
+from repro.ir.intrinsics import intrinsic_param_types
 from repro.lang import ast
 from repro.lang.parser import parse
 

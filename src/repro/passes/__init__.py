@@ -3,11 +3,18 @@
 Importing this package registers every phase in ``PASS_REGISTRY``.
 """
 
+from repro.passes.analysis import (
+    ALL_ANALYSES,
+    AnalysisManager,
+    PRESERVE_CFG,
+    PRESERVE_NONE,
+)
 from repro.passes.base import (
     PASS_REGISTRY,
     Pass,
     FunctionPass,
     PassManager,
+    PassManagerStats,
     available_phases,
     create_pass,
     register_pass,
@@ -34,10 +41,15 @@ from repro.passes import scalar_misc as _scalar_misc    # noqa: F401
 TABLE_VI_PHASES = tuple(sorted(PASS_REGISTRY))
 
 __all__ = [
+    "ALL_ANALYSES",
+    "AnalysisManager",
     "PASS_REGISTRY",
+    "PRESERVE_CFG",
+    "PRESERVE_NONE",
     "Pass",
     "FunctionPass",
     "PassManager",
+    "PassManagerStats",
     "available_phases",
     "create_pass",
     "register_pass",

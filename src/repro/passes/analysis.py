@@ -1,0 +1,237 @@
+"""Analysis manager: cached per-function analyses with preservation sets.
+
+The pass layer follows LLVM's new-pass-manager design: analyses
+(``DominatorTree``, ``LoopInfo``, induction-variable/trip-count queries,
+and the canonical per-function fingerprint) are computed on demand,
+cached per function, and invalidated when a pass changes the function —
+except for the analyses the pass declares *preserved*.
+
+A pass that does not touch the CFG (instcombine, dce, cse, ...) declares
+``preserved_analyses = PRESERVE_CFG`` and the dominator tree / loop nest
+survive it; a CFG-restructuring pass (simplifycfg, loop-rotate, unroll)
+preserves nothing.  The per-function fingerprint is never preserved: any
+change must re-fingerprint.
+
+Correctness contract: a pass run against a warm manager must behave
+bit-identically to a run against fresh analyses (enforced by
+``tests/passes/test_warm_vs_fresh.py`` across the whole registry).
+"""
+
+from repro.ir.cfg import DominatorTree, LoopInfo
+
+
+#: Every analysis the manager knows how to compute.
+ALL_ANALYSES = frozenset({"domtree", "loops", "loopivs", "fingerprint"})
+
+#: Preserved by passes that change instructions but never the CFG.
+PRESERVE_CFG = frozenset({"domtree", "loops"})
+
+#: Preserved by nothing-changed / attribute-only situations.
+PRESERVE_NONE = frozenset()
+
+
+class LoopIVAnalysis:
+    """Memoized induction-variable and trip-count queries for one
+    function.
+
+    Keys pin the queried ``Loop``/preheader objects so Python id reuse
+    after garbage collection cannot alias two distinct loops.
+    """
+
+    def __init__(self, function):
+        self.function = function
+        self._ivs = {}
+        self._trips = {}
+
+    def induction_variable(self, loop, preheader):
+        from repro.passes.loop_utils import find_induction_variable
+        key = (id(loop), id(preheader))
+        hit = self._ivs.get(key)
+        if hit is None:
+            iv = find_induction_variable(loop, preheader)
+            hit = (loop, preheader, iv)
+            self._ivs[key] = hit
+        return hit[2]
+
+    def trip_count(self, loop, preheader, max_count=4096):
+        from repro.passes.loop_utils import constant_trip_count
+        key = (id(loop), id(preheader), max_count)
+        hit = self._trips.get(key)
+        if hit is None:
+            result = constant_trip_count(loop, preheader,
+                                         max_count=max_count)
+            hit = (loop, preheader, result)
+            self._trips[key] = hit
+        return hit[2]
+
+
+def domtree_of(function, am=None):
+    """The function's dominator tree — cached when ``am`` is given."""
+    if am is not None:
+        return am.domtree(function)
+    return DominatorTree(function)
+
+
+def loopivs_of(function, am=None):
+    """IV/trip-count query memo — cached when ``am`` is given."""
+    if am is not None:
+        return am.loopivs(function)
+    return LoopIVAnalysis(function)
+
+
+class AnalysisStats:
+    """Hit/miss/invalidation counters for one manager."""
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.preservations = 0
+
+    def as_dict(self):
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "preservations": self.preservations,
+        }
+
+    def __repr__(self):
+        return (f"<AnalysisStats hits={self.hits} misses={self.misses} "
+                f"invalidations={self.invalidations}>")
+
+
+class AnalysisManager:
+    """Per-function analysis cache with explicit invalidation.
+
+    Entries are keyed by function identity and hold a strong reference
+    to the function, so id reuse cannot alias two functions within the
+    manager's lifetime.  ``enabled=False`` turns the manager into a
+    pass-through that recomputes every query (the legacy cost model,
+    used as the benchmark baseline).
+    """
+
+    def __init__(self, enabled=True):
+        self.enabled = enabled
+        self.stats = AnalysisStats()
+        self._entries = {}  # id(function) -> (function, {name: value})
+
+    # -- computation ------------------------------------------------------
+    def _compute(self, name, function):
+        if name == "domtree":
+            return DominatorTree(function)
+        if name == "loops":
+            return LoopInfo(function, domtree=self.domtree(function))
+        if name == "loopivs":
+            return LoopIVAnalysis(function)
+        if name == "fingerprint":
+            from repro.ir.printer import function_fingerprint
+            return function_fingerprint(function)
+        if name == "callsig":
+            from repro.passes.transform_cache import callee_signature
+            return callee_signature(function)
+        raise KeyError(f"unknown analysis {name!r}")
+
+    def get(self, name, function):
+        """The (cached) analysis ``name`` for ``function``."""
+        if not self.enabled:
+            return self._compute(name, function)
+        entry = self._entries.get(id(function))
+        if entry is None:
+            entry = (function, {})
+            self._entries[id(function)] = entry
+        cache = entry[1]
+        if name in cache:
+            self.stats.hits += 1
+            return cache[name]
+        self.stats.misses += 1
+        value = self._compute(name, function)
+        cache[name] = value
+        return value
+
+    def put(self, name, function, value):
+        """Seed an analysis computed elsewhere (e.g. the verifier's
+        post-change dominator tree)."""
+        if not self.enabled:
+            return
+        entry = self._entries.get(id(function))
+        if entry is None:
+            entry = (function, {})
+            self._entries[id(function)] = entry
+        entry[1][name] = value
+
+    def cached(self, name, function):
+        """The cached value, or None (never computes)."""
+        entry = self._entries.get(id(function))
+        if entry is None:
+            return None
+        return entry[1].get(name)
+
+    # -- conveniences -----------------------------------------------------
+    def domtree(self, function):
+        return self.get("domtree", function)
+
+    def loops(self, function):
+        return self.get("loops", function)
+
+    def loopivs(self, function):
+        return self.get("loopivs", function)
+
+    def fingerprint(self, function):
+        return self.get("fingerprint", function)
+
+    def callee_signature(self, function):
+        return self.get("callsig", function)
+
+    # -- invalidation -----------------------------------------------------
+    def invalidate(self, function, preserved=PRESERVE_NONE):
+        """Drop ``function``'s analyses except the ``preserved`` set.
+
+        ``fingerprint`` is never preservable: a changed function must
+        re-fingerprint.
+        """
+        entry = self._entries.get(id(function))
+        if entry is None:
+            return
+        cache = entry[1]
+        for name in list(cache):
+            if name in preserved and name != "fingerprint":
+                self.stats.preservations += 1
+            else:
+                del cache[name]
+                self.stats.invalidations += 1
+
+    def invalidate_module(self, module, preserved=PRESERVE_NONE):
+        """Invalidate every cached function; entries for functions no
+        longer in ``module`` (e.g. removed by globaldce) are dropped
+        entirely."""
+        live = {id(f) for f in module.functions.values()}
+        for key in list(self._entries):
+            function = self._entries[key][0]
+            if key not in live:
+                self.stats.invalidations += len(self._entries[key][1])
+                del self._entries[key]
+            else:
+                self.invalidate(function, preserved)
+
+    def drop_analysis(self, name):
+        """Drop one analysis for every cached function (used when a
+        pass mutates state that OTHER functions' derived analyses — the
+        callee signature — observe)."""
+        for _, cache in self._entries.values():
+            if cache.pop(name, None) is not None:
+                self.stats.invalidations += 1
+
+    def forget(self, function):
+        """Drop every cached analysis for ``function``."""
+        entry = self._entries.pop(id(function), None)
+        if entry is not None:
+            self.stats.invalidations += len(entry[1])
+
+    def clear(self):
+        self._entries.clear()
+
+    def __repr__(self):
+        cached = sum(len(e[1]) for e in self._entries.values())
+        return (f"<AnalysisManager functions={len(self._entries)} "
+                f"analyses={cached} enabled={self.enabled}>")

@@ -1,9 +1,18 @@
 """Pass infrastructure: Pass base classes, the registry of optimization
 phases (paper Table VI), and the PassManager that applies sequences.
+
+The execution layer follows LLVM's new pass manager: passes pull
+analyses (dominators, loops, IV/trip counts, fingerprints) from an
+:class:`repro.passes.analysis.AnalysisManager` instead of rebuilding
+them, declare which analyses they preserve, and report *which functions*
+they changed so verification and fingerprinting run function-granular.
 """
 
-from repro.ir import verify_module
+import time
+
+from repro.ir import verify_function, verify_module
 from repro.ir.printer import module_fingerprint
+from repro.passes.analysis import AnalysisManager, PRESERVE_NONE
 
 # name -> factory; populated by @register_pass.
 PASS_REGISTRY = {}
@@ -33,68 +42,253 @@ def create_pass(name):
 
 
 class Pass:
-    """A module-level transformation.  ``run`` returns True when the module
-    was changed."""
+    """A module-level transformation.
+
+    Subclasses implement :meth:`run_on_module`; ``run`` returns True when
+    the module was changed.  ``preserved_analyses`` names the analyses
+    that stay valid across a run that changed code (the fingerprint
+    analysis is never preservable).
+    """
 
     pass_name = "<abstract>"
+    preserved_analyses = PRESERVE_NONE
+    #: function -> snapshot, for changes that came from a
+    #: transform-cache materialization in the last run.
+    last_materialized = {}
 
-    def run(self, module):
+    def run(self, module, am=None):
+        """Apply the pass; True when the module changed."""
+        if am is None:
+            am = AnalysisManager()
+        return bool(self.run_with_changes(module, am))
+
+    def run_with_changes(self, module, am):
+        """Apply the pass; returns the set of changed functions.
+
+        Module passes cannot attribute their edits, so a change
+        conservatively reports (and invalidates) every defined function;
+        entries of functions removed from the module are dropped.
+        """
+        changed = self.run_on_module(module, am)
+        if not changed:
+            return set()
+        am.invalidate_module(module, self.preserved_for(module))
+        return set(module.defined_functions())
+
+    def run_on_module(self, module, am):
         raise NotImplementedError
+
+    def preserved_for(self, unit):
+        """The preservation set for this run (``unit`` is the module or
+        function just transformed).  Passes whose preservation depends on
+        what actually happened (e.g. sccp only keeps the CFG analyses
+        alive when no branch folded) override this."""
+        return self.preserved_analyses
 
     def __repr__(self):
         return f"<Pass {self.pass_name}>"
 
 
 class FunctionPass(Pass):
-    """A pass applied independently to each defined function."""
+    """A pass applied independently to each defined function.
 
-    def run(self, module):
-        changed = False
+    Applications are memoized through the function-granular transform
+    cache: when a function's canonical fingerprint is already cached
+    (the fingerprint-driven evaluation loops keep it warm), a content
+    hit either skips the pass (known inactive) or materializes the
+    cached transformed body instead of re-running the pass algorithm.
+    """
+
+    #: True for passes that change state OTHER functions' analyses can
+    #: observe (today: function attributes, read by callers' callee
+    #: signatures).  Such a change must drop every cached callsig.
+    mutates_callee_visible_state = False
+
+    def run_with_changes(self, module, am):
+        from repro.passes.transform_cache import TRANSFORM_CACHE
+
+        cache = TRANSFORM_CACHE if (am.enabled and
+                                    TRANSFORM_CACHE.enabled) else None
+        changed = set()
+        self.last_materialized = {}
         for function in module.defined_functions():
-            if self.run_on_function(function):
-                changed = True
+            key = None
+            if cache is not None:
+                fingerprint = am.cached("fingerprint", function)
+                if fingerprint is not None:
+                    key = cache.key(self.pass_name, fingerprint,
+                                    am.callee_signature(function))
+                    outcome, snapshot = cache.apply(key, function)
+                    if outcome is False:
+                        continue  # known inactive: body skipped
+                    if outcome is True:
+                        # Materialized clone: every analysis (block and
+                        # instruction objects included) is new; the
+                        # post-transform fingerprint is already known.
+                        am.invalidate(function, PRESERVE_NONE)
+                        if snapshot.result_fingerprint is not None:
+                            am.put("fingerprint", function,
+                                   snapshot.result_fingerprint)
+                        changed.add(function)
+                        self.last_materialized[function] = snapshot
+                        continue
+            if self.run_on_function(function, am):
+                am.invalidate(function, self.preserved_for(function))
+                changed.add(function)
+                if key is not None:
+                    cache.record(key, function, changed=True, am=am)
+            elif key is not None:
+                cache.record(key, function, changed=False, am=am)
+        if changed and self.mutates_callee_visible_state:
+            # Callers' cached callee signatures now misrepresent this
+            # function's attributes; recompute them on next use.
+            am.drop_analysis("callsig")
         return changed
 
-    def run_on_function(self, function):
+    def run_on_function(self, function, am=None):
         raise NotImplementedError
+
+
+class PhaseStats:
+    """Timing and bookkeeping for one executed phase."""
+
+    __slots__ = ("phase", "seconds", "changed_functions",
+                 "verified_functions", "analysis_hits",
+                 "analysis_misses", "invalidations")
+
+    def __init__(self, phase, seconds, changed_functions,
+                 verified_functions, analysis_hits, analysis_misses,
+                 invalidations):
+        self.phase = phase
+        self.seconds = seconds
+        self.changed_functions = changed_functions
+        self.verified_functions = verified_functions
+        self.analysis_hits = analysis_hits
+        self.analysis_misses = analysis_misses
+        self.invalidations = invalidations
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self):
+        return (f"<PhaseStats {self.phase} {self.seconds * 1e3:.2f}ms "
+                f"changed={self.changed_functions} "
+                f"hits={self.analysis_hits} misses={self.analysis_misses}>")
+
+
+class PassManagerStats:
+    """Per-phase timing/invalidation statistics of one manager."""
+
+    def __init__(self):
+        self.phases = []
+
+    def record(self, entry):
+        self.phases.append(entry)
+
+    def total_seconds(self):
+        return sum(entry.seconds for entry in self.phases)
+
+    def as_dict(self):
+        return {
+            "phases": [entry.as_dict() for entry in self.phases],
+            "total_seconds": self.total_seconds(),
+        }
+
+    def clear(self):
+        self.phases = []
 
 
 class PassManager:
     """Applies a named sequence of phases to a module.
 
-    With ``verify=True`` (the default in tests) the module is verified after
-    every phase so a miscompiling pass is caught at its own doorstep.
+    With ``verify=True`` (tests construct it this way; the constructor
+    default is ``verify=False``) the functions a phase changed are
+    verified after that phase, so a miscompiling pass is caught at its
+    own doorstep.
+
+    ``analysis_cache=True`` (the default) shares one
+    :class:`AnalysisManager` across the sequence: passes reuse cached
+    dominator trees / loop nests, and verification plus fingerprinting
+    run only on the functions each phase actually modified.
+    ``analysis_cache=False`` reproduces the legacy cost model — fresh
+    analyses for every query and whole-module verification and
+    fingerprints after every phase — and exists as the measured baseline
+    for ``benchmarks/test_passmanager.py``.
+
+    Per-phase timing, changed/verified function counts, and analysis
+    hit/miss/invalidation counters are collected in ``self.stats``.
     """
 
-    def __init__(self, verify=False):
+    def __init__(self, verify=False, analysis_cache=True):
         self.verify = verify
+        self.analysis_cache = analysis_cache
+        self.stats = PassManagerStats()
 
-    def run(self, module, phase_names):
+    def run(self, module, phase_names, am=None):
         """Run ``phase_names`` in order; returns the list of per-phase
         "changed" booleans (the PSS uses this as its activity signal)."""
-        activity = []
-        for name in phase_names:
-            phase = create_pass(name)
-            changed = bool(phase.run(module))
-            if self.verify:
-                verify_module(module)
-            activity.append(changed)
-        return activity
+        return self._run(module, phase_names, am, fingerprints=False)
 
-    def run_with_fingerprints(self, module, phase_names):
+    def run_with_fingerprints(self, module, phase_names, am=None):
         """Like :meth:`run` but detects activity via module fingerprints.
 
         Some phases report "changed" for cosmetic updates; fingerprinting
         after canonical renaming is the ground truth the PSS deployment
         loop uses (paper §III-D).
         """
+        return self._run(module, phase_names, am, fingerprints=True)
+
+    # -- shared implementation -------------------------------------------
+    def _run(self, module, phase_names, am, fingerprints):
+        if am is None:
+            am = AnalysisManager(enabled=self.analysis_cache)
         activity = []
-        fingerprint = module_fingerprint(module)
+        fingerprint = None
+        if fingerprints:
+            fingerprint = self._fingerprint(module, am)
         for name in phase_names:
-            create_pass(name).run(module)
+            started = time.perf_counter()
+            hits0 = am.stats.hits
+            misses0 = am.stats.misses
+            inval0 = am.stats.invalidations
+            phase = create_pass(name)
+            changed_functions = phase.run_with_changes(module, am)
+            verified = 0
             if self.verify:
-                verify_module(module)
-            new_fingerprint = module_fingerprint(module)
-            activity.append(new_fingerprint != fingerprint)
-            fingerprint = new_fingerprint
+                if self.analysis_cache:
+                    # A materialized clone is re-verified only until its
+                    # snapshot has passed verification once.
+                    for function in changed_functions:
+                        snapshot = phase.last_materialized.get(function)
+                        if snapshot is not None and snapshot.verified:
+                            continue
+                        if not function.is_declaration() and \
+                                function.module is module:
+                            verify_function(function, am)
+                            verified += 1
+                            if snapshot is not None:
+                                snapshot.verified = True
+                else:
+                    verify_module(module)
+                    verified = len(module.defined_functions())
+            if fingerprints:
+                new_fingerprint = self._fingerprint(module, am)
+                activity.append(new_fingerprint != fingerprint)
+                fingerprint = new_fingerprint
+            else:
+                activity.append(bool(changed_functions))
+            self.stats.record(PhaseStats(
+                phase=name,
+                seconds=time.perf_counter() - started,
+                changed_functions=len(changed_functions),
+                verified_functions=verified,
+                analysis_hits=am.stats.hits - hits0,
+                analysis_misses=am.stats.misses - misses0,
+                invalidations=am.stats.invalidations - inval0,
+            ))
         return activity
+
+    def _fingerprint(self, module, am):
+        if self.analysis_cache:
+            return module_fingerprint(module, am)
+        return module_fingerprint(module)

@@ -92,7 +92,6 @@ def clone_region(blocks, function, suffix="clone"):
         clone = function.append_block(f"{block.name}.{suffix}")
         block_map[id(block)] = clone
         clones.append(clone)
-    region = set(map(id, blocks))
     # First pass: clone instructions (phis get no incoming yet).
     for block in blocks:
         clone_block = block_map[id(block)]

@@ -10,11 +10,11 @@ also catches partially redundant computations across join-free paths.
 
 from repro.ir import (
     CallInst,
-    DominatorTree,
     LoadInst,
     PhiInst,
     StoreInst,
 )
+from repro.passes.analysis import PRESERVE_CFG, domtree_of
 from repro.passes.base import FunctionPass, register_pass
 from repro.passes.utils import (
     delete_dead_instructions,
@@ -28,9 +28,11 @@ from repro.passes.utils import (
 
 class _EarlyCSEBase(FunctionPass):
     use_memory_ssa = False
+    # Value replacements only; blocks and edges are untouched.
+    preserved_analyses = PRESERVE_CFG
 
-    def run_on_function(self, function):
-        dom = DominatorTree(function)
+    def run_on_function(self, function, am=None):
+        dom = domtree_of(function, am)
         self._changed = False
 
         def walk(block, expressions, loads):
@@ -111,10 +113,12 @@ class EarlyCSEMemSSA(_EarlyCSEBase):
 class GVN(FunctionPass):
     """RPO-iterated global value numbering with dominance-checked leaders."""
 
-    def run_on_function(self, function):
+    preserved_analyses = PRESERVE_CFG
+
+    def run_on_function(self, function, am=None):
         from repro.ir.cfg import reverse_postorder
 
-        dom = DominatorTree(function)
+        dom = domtree_of(function, am)
         changed = False
         iterate = True
         rounds = 0

@@ -13,14 +13,13 @@
 from repro.ir import (
     AllocaInst,
     BinaryInst,
-    CallInst,
     CastInst,
     ConstantInt,
     Instruction,
     LoadInst,
-    PhiInst,
     StoreInst,
 )
+from repro.passes.analysis import PRESERVE_CFG
 from repro.passes.base import FunctionPass, register_pass
 from repro.passes.utils import (
     alloca_escapes,
@@ -35,7 +34,9 @@ from repro.passes.utils import (
 
 @register_pass("dce")
 class DCE(FunctionPass):
-    def run_on_function(self, function):
+    preserved_analyses = PRESERVE_CFG
+
+    def run_on_function(self, function, am=None):
         return delete_dead_instructions(function)
 
 
@@ -48,7 +49,9 @@ class ADCE(FunctionPass):
     instructions; anything not reached through operands is deleted.
     """
 
-    def run_on_function(self, function):
+    preserved_analyses = PRESERVE_CFG
+
+    def run_on_function(self, function, am=None):
         live = set()
         worklist = []
         for block in function.blocks:
@@ -88,7 +91,9 @@ class BDCE(FunctionPass):
     produce, the chain collapses to zero.
     """
 
-    def run_on_function(self, function):
+    preserved_analyses = PRESERVE_CFG
+
+    def run_on_function(self, function, am=None):
         changed = False
         for block in function.blocks:
             for inst in list(block.instructions):
@@ -146,7 +151,10 @@ class BDCE(FunctionPass):
 
 @register_pass("dse")
 class DSE(FunctionPass):
-    def run_on_function(self, function):
+    # Store removal cannot affect the CFG nor IV discovery.
+    preserved_analyses = PRESERVE_CFG | frozenset({"loopivs"})
+
+    def run_on_function(self, function, am=None):
         changed = False
         changed |= self._intra_block(function)
         changed |= self._dead_at_exit(function)

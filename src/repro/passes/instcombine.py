@@ -11,13 +11,12 @@ from repro.ir import (
     CastInst,
     ConstantFloat,
     ConstantInt,
-    FCmpInst,
     ICmpInst,
     SelectInst,
-    UndefValue,
 )
-from repro.ir.instructions import ICMP_NEGATE, ICMP_SWAP
-from repro.ir.types import F64, I1, I64
+from repro.ir.instructions import ICMP_SWAP
+from repro.ir.types import I1, I64
+from repro.passes.analysis import PRESERVE_CFG
 from repro.passes.base import FunctionPass, register_pass
 from repro.passes.utils import (
     delete_dead_instructions,
@@ -161,8 +160,10 @@ def _simplify_icmp(inst):
 class _CombineBase(FunctionPass):
     aggressive = False
     create_instructions = True
+    # Instruction rewrites only; the CFG is never modified.
+    preserved_analyses = PRESERVE_CFG
 
-    def run_on_function(self, function):
+    def run_on_function(self, function, am=None):
         changed = False
         progress = True
         iterations = 0

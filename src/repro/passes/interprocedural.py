@@ -5,21 +5,18 @@ elim-avail-extern.
 
 from repro.ir import (
     AllocaInst,
-    Argument,
     BranchInst,
     CallInst,
     ConstantInt,
-    Function,
     FunctionType,
-    GlobalVariable,
     LoadInst,
     PhiInst,
     RetInst,
     StoreInst,
 )
+from repro.passes.analysis import PRESERVE_CFG
 from repro.passes.base import FunctionPass, Pass, register_pass
 from repro.passes.cloning import clone_region
-from repro.passes.utils import delete_dead_instructions
 
 
 def _call_sites(module, function):
@@ -48,7 +45,7 @@ class Inliner(Pass):
 
     THRESHOLD = 45
 
-    def run(self, module):
+    def run_on_module(self, module, am):
         changed = False
         budget = 50  # bound total inlines per run
         progress = True
@@ -146,7 +143,10 @@ class ArgPromotion(Pass):
     known and the function must not be recursive (kept simple).
     """
 
-    def run(self, module):
+    # Signature/load rewrites only; every function's CFG is untouched.
+    preserved_analyses = PRESERVE_CFG
+
+    def run_on_module(self, module, am):
         changed = False
         for function in list(module.defined_functions()):
             if function.name == "main" or _is_recursive(function):
@@ -211,7 +211,9 @@ class DeadArgElim(Pass):
     """Remove arguments that no function body reads (all call sites known,
     non-recursive, not main)."""
 
-    def run(self, module):
+    preserved_analyses = PRESERVE_CFG
+
+    def run_on_module(self, module, am):
         changed = False
         for function in list(module.defined_functions()):
             if function.name == "main":
@@ -247,7 +249,9 @@ class GlobalOpt(Pass):
     """Fold globals that are never stored to their initializer value, and
     delete stores to globals that are never read."""
 
-    def run(self, module):
+    preserved_analyses = PRESERVE_CFG
+
+    def run_on_module(self, module, am):
         changed = False
         for gv in list(module.globals.values()):
             if gv.value_type.is_array():
@@ -281,7 +285,12 @@ class GlobalOpt(Pass):
 class GlobalDCE(Pass):
     """Delete unreferenced functions and globals (main is the root)."""
 
-    def run(self, module):
+    # Surviving functions are untouched (a deleted function had no live
+    # call sites); their analyses all stay valid.  The removed functions'
+    # cache entries are dropped by invalidate_module.
+    preserved_analyses = PRESERVE_CFG | frozenset({"loopivs"})
+
+    def run_on_module(self, module, am):
         changed = False
         # Functions reachable from main via calls.
         reachable = set()
@@ -317,7 +326,9 @@ class GlobalDCE(Pass):
 class ConstMerge(Pass):
     """Merge identical constant global arrays into one."""
 
-    def run(self, module):
+    preserved_analyses = PRESERVE_CFG
+
+    def run_on_module(self, module, am):
         changed = False
         by_content = {}
         for name, gv in list(module.globals.items()):
@@ -342,7 +353,9 @@ class CalledValuePropagation(Pass):
     yields the same constant lets callers use the constant directly
     (the call is kept for its side effects; DCE removes it if pure)."""
 
-    def run(self, module):
+    preserved_analyses = PRESERVE_CFG
+
+    def run_on_module(self, module, am):
         changed = False
         constant_returns = {}
         for function in module.defined_functions():
@@ -388,7 +401,7 @@ class PruneEH(FunctionPass):
     """Without exceptions in the IR this reduces to removing unreachable
     blocks and marking functions that cannot trap."""
 
-    def run_on_function(self, function):
+    def run_on_function(self, function, am=None):
         from repro.passes.simplifycfg import SimplifyCFG
         changed = SimplifyCFG._remove_unreachable(function)
         return changed
@@ -399,5 +412,5 @@ class ElimAvailExtern(Pass):
     """No linkage model exists in this IR, so the phase is a documented
     no-op (the PSS's inactive-subsequence logic exercises such phases)."""
 
-    def run(self, module):
+    def run_on_module(self, module, am):
         return False

@@ -5,39 +5,75 @@ loop-invariant addresses are hoisted when no instruction in the loop may
 write the loaded cell and the load executes on every iteration (its block
 dominates every latch) — hoisting a conditional load could introduce a trap
 or read an uninitialized cell, so those stay put.
+
+Analyses come from the analysis manager: the loop nest is fetched once,
+and the dominator tree is only rebuilt after a preheader insertion
+changed the CFG (dominance between in-loop blocks is invariant under
+that edge subdivision, so per-loop rebuilds are unnecessary).
 """
 
-from repro.ir import DominatorTree, LoadInst, LoopInfo
+from repro.ir import LoadInst
+from repro.passes.analysis import (
+    PRESERVE_CFG,
+    PRESERVE_NONE,
+    domtree_of,
+)
 from repro.passes.base import FunctionPass, register_pass
 from repro.passes.loop_utils import (
-    ensure_preheader,
+    ensure_preheader_tracked,
     invariant_operands,
     is_loop_invariant,
+    loops_of,
 )
 from repro.passes.utils import instruction_may_write, is_pure
 
 
 @register_pass("licm")
 class LICM(FunctionPass):
-    def run_on_function(self, function):
+    # Dynamic preservation: pure hoisting leaves the CFG untouched, so
+    # dominator/loop analyses survive.  The moment a preheader is
+    # created nothing is preserved — an inner loop's preheader becomes a
+    # body block of every ENCLOSING loop, so even loop membership goes
+    # stale.  (``loopivs`` is never preserved: hoisting can make a value
+    # loop-invariant, turning a cached "no induction variable" verdict
+    # stale-pessimistic.)
+    preserved_analyses = PRESERVE_NONE
+
+    def __init__(self):
+        self._created_preheader = False
+
+    def run_on_function(self, function, am=None):
         changed = False
-        info = LoopInfo(function)
+        self._created_preheader = False
+        info = loops_of(function, am)
         # Process inner loops first so invariants bubble outward.
         for loop in sorted(info.loops, key=lambda lp: -lp.depth):
-            changed |= self._run_on_loop(function, loop)
+            loop_changed, created = self._run_on_loop(function, loop, am)
+            changed |= loop_changed or created
         return changed
 
-    def _run_on_loop(self, function, loop):
-        preheader = ensure_preheader(function, loop)
+    def preserved_for(self, function):
+        if self._created_preheader:
+            return PRESERVE_NONE
+        return PRESERVE_CFG
+
+    def _run_on_loop(self, function, loop, am):
+        preheader, created = ensure_preheader_tracked(function, loop)
         if preheader is None:
-            return False
-        dom = DominatorTree(function)
+            return False, False
+        if created:
+            self._created_preheader = True
+            if am is not None:
+                # Stale mid-run analyses would change hoisting
+                # decisions vs the legacy per-loop rebuilds.
+                am.invalidate(function, PRESERVE_NONE)
+        dom = domtree_of(function, am)
         latches = loop.latches()
         changed = False
         progress = True
         while progress:
             progress = False
-            for block in list(loop.blocks):
+            for block in loop.ordered_blocks():
                 for inst in list(block.instructions):
                     if inst.parent is None:
                         continue
@@ -52,7 +88,7 @@ class LICM(FunctionPass):
                             self._can_hoist_load(inst, loop, dom, latches):
                         self._hoist(inst, preheader)
                         progress = changed = True
-        return changed
+        return changed, created
 
     @staticmethod
     def _hoist(inst, preheader):

@@ -11,19 +11,18 @@ from repro.ir import (
     GEPInst,
     Instruction,
     LoadInst,
-    LoopInfo,
     PhiInst,
     StoreInst,
 )
 from repro.ir.types import I64
+from repro.passes.analysis import PRESERVE_CFG, loopivs_of
 from repro.passes.base import FunctionPass, register_pass
 from repro.passes.cloning import clone_region
 from repro.passes.loop_utils import (
-    constant_trip_count,
-    ensure_preheader,
-    find_induction_variable,
+    ensure_preheader_tracked,
     is_loop_invariant,
     loop_body_is_pure,
+    loops_of,
 )
 from repro.passes.utils import (
     delete_dead_instructions,
@@ -42,37 +41,40 @@ class LoopDeletion(FunctionPass):
     it cannot turn a non-terminating program into a terminating one.
     """
 
-    def run_on_function(self, function):
-        info = LoopInfo(function)
+    def run_on_function(self, function, am=None):
+        info = loops_of(function, am)
+        mutated = False
         for loop in info.innermost_loops():
-            if self._delete(function, loop):
+            deleted, created = self._delete(function, loop, am)
+            mutated |= created
+            if deleted:
                 return True  # structures stale; one deletion per run
-        return False
+        return mutated
 
-    def _delete(self, function, loop):
-        preheader = ensure_preheader(function, loop)
+    def _delete(self, function, loop, am=None):
+        preheader, created = ensure_preheader_tracked(function, loop)
         if preheader is None:
-            return False
-        trip_count, _ = constant_trip_count(loop, preheader)
+            return False, False
+        trip_count, _ = loopivs_of(function, am).trip_count(loop, preheader)
         if trip_count is None:
-            return False
+            return False, created
         if not loop_body_is_pure(loop):
-            return False
+            return False, created
         exit_blocks = loop.exit_blocks()
         if len(exit_blocks) != 1:
-            return False
+            return False, created
         exit_block = exit_blocks[0]
         # No value computed inside may be used outside.
         for block in loop.blocks:
             for inst in block.instructions:
                 for user in inst.users:
                     if user.parent not in loop.blocks:
-                        return False
+                        return False, created
         # Exit phis with entries from loop blocks would lose a predecessor;
         # they must have exactly the loop edge (single pred) to collapse.
         for phi in exit_block.phis():
             if any(b in loop.blocks for b in phi.incoming_blocks):
-                return False
+                return False, created
         # Rewire the preheader straight to the exit, drop the loop blocks.
         term = preheader.terminator()
         term.erase_from_parent()
@@ -84,7 +86,7 @@ class LoopDeletion(FunctionPass):
             block.instructions = []
             block.parent = None
             function.blocks.remove(block)
-        return True
+        return True, created
 
 
 @register_pass("indvars")
@@ -96,25 +98,25 @@ class IndVarSimplify(FunctionPass):
     the loop body with an add.
     """
 
-    def run_on_function(self, function):
+    def run_on_function(self, function, am=None):
         changed = False
-        info = LoopInfo(function)
+        info = loops_of(function, am)
         for loop in sorted(info.loops, key=lambda lp: -lp.depth):
-            changed |= self._strength_reduce(function, loop)
+            changed |= self._strength_reduce(function, loop, am)
         return changed
 
-    def _strength_reduce(self, function, loop):
-        preheader = ensure_preheader(function, loop)
+    def _strength_reduce(self, function, loop, am=None):
+        preheader, created = ensure_preheader_tracked(function, loop)
         if preheader is None:
             return False
-        iv = find_induction_variable(loop, preheader)
+        iv = loopivs_of(function, am).induction_variable(loop, preheader)
         if iv is None:
-            return False
+            return created
         latches = loop.latches()
         if len(latches) != 1:
-            return False
+            return created
         latch = latches[0]
-        changed = False
+        changed = created
         for user in list(iv.phi.users):
             if not isinstance(user, BinaryInst) or user.opcode != "mul":
                 continue
@@ -159,25 +161,28 @@ class LoopIdiom(FunctionPass):
     ``memset`` intrinsic executed in the preheader (the backend lowers it
     to a fast block operation)."""
 
-    def run_on_function(self, function):
-        info = LoopInfo(function)
+    def run_on_function(self, function, am=None):
+        info = loops_of(function, am)
+        mutated = False
         for loop in info.innermost_loops():
-            if self._match_memset(function, loop):
+            matched, created = self._match_memset(function, loop, am)
+            mutated |= created
+            if matched:
                 return True
-        return False
+        return mutated
 
-    def _match_memset(self, function, loop):
+    def _match_memset(self, function, loop, am=None):
         # cond/body/step frontend shape or rotated 1–2 block shapes.
         if len(loop.blocks) > 3:
-            return False
-        preheader = ensure_preheader(function, loop)
+            return False, False
+        preheader, created = ensure_preheader_tracked(function, loop)
         if preheader is None:
-            return False
-        trip_count, iv = constant_trip_count(loop, preheader)
+            return False, False
+        trip_count, iv = loopivs_of(function, am).trip_count(loop, preheader)
         if trip_count is None or trip_count <= 0 or iv is None:
-            return False
+            return False, created
         if iv.step != 1:
-            return False
+            return False, created
         # The body must be exactly: gep(base, iv) ; store C -> gep ; iv
         # update ; compare ; branch.  Everything else disqualifies.
         store = None
@@ -185,43 +190,43 @@ class LoopIdiom(FunctionPass):
             for inst in block.instructions:
                 if isinstance(inst, StoreInst):
                     if store is not None:
-                        return False
+                        return False, created
                     store = inst
                 elif isinstance(inst, (CallInst, LoadInst)):
-                    return False
+                    return False, created
         if store is None:
-            return False
+            return False, created
         pointer = store.pointer
         if not isinstance(pointer, GEPInst):
-            return False
+            return False, created
         if pointer.index is not iv.phi:
-            return False
+            return False, created
         if not is_loop_invariant(pointer.base, loop):
-            return False
+            return False, created
         value = store.value
         if not value.is_constant() and not is_loop_invariant(value, loop):
-            return False
+            return False, created
         if value.is_constant() is False and \
                 isinstance(value, Instruction) and \
                 value.parent in loop.blocks:
-            return False
+            return False, created
         # Loop results must not escape.
         exit_blocks = loop.exit_blocks()
         if len(exit_blocks) != 1:
-            return False
+            return False, created
         for block in loop.blocks:
             for inst in block.instructions:
                 for user in inst.users:
                     if user.parent not in loop.blocks:
-                        return False
+                        return False, created
         for phi in exit_blocks[0].phis():
             if any(b in loop.blocks for b in phi.incoming_blocks):
-                return False
+                return False, created
         # Element size must be one cell (scalars only).
         if pointer.type.pointee.size_cells() != 1:
-            return False
+            return False, created
         if not isinstance(iv.start, ConstantInt):
-            return False
+            return False, created
         # Build: dest = gep(base, start); memset(dest, value, trip_count).
         dest = GEPInst(pointer.base, iv.start)
         dest.name = function.next_name("ms")
@@ -241,7 +246,7 @@ class LoopIdiom(FunctionPass):
             block.instructions = []
             block.parent = None
             function.blocks.remove(block)
-        return True
+        return True, created
 
 
 @register_pass("loop-sink")
@@ -250,9 +255,13 @@ class LoopSink(FunctionPass):
     (unique) exit block — they then execute once instead of per-iteration.
     """
 
-    def run_on_function(self, function):
+    # Moves pure instructions between existing blocks: the CFG, the IV
+    # chains, and the loop nest all survive.
+    preserved_analyses = PRESERVE_CFG | frozenset({"loopivs"})
+
+    def run_on_function(self, function, am=None):
         changed = False
-        info = LoopInfo(function)
+        info = loops_of(function, am)
         for loop in info.loops:
             exit_blocks = loop.exit_blocks()
             if len(exit_blocks) != 1:
@@ -261,7 +270,7 @@ class LoopSink(FunctionPass):
             if len(exit_block.predecessors()) != 1:
                 continue
             from repro.passes.utils import is_pure
-            for block in loop.blocks:
+            for block in loop.ordered_blocks():
                 for inst in list(block.instructions):
                     if isinstance(inst, PhiInst) or inst.is_terminator():
                         continue
@@ -293,9 +302,12 @@ class LoopLoadElim(FunctionPass):
     same address as an earlier store in the same block takes the stored
     value directly."""
 
-    def run_on_function(self, function):
+    # Value replacements only.
+    preserved_analyses = PRESERVE_CFG
+
+    def run_on_function(self, function, am=None):
         changed = False
-        info = LoopInfo(function)
+        info = loops_of(function, am)
         for loop in info.loops:
             for block in loop.blocks:
                 available = None  # (pointer, value)
@@ -325,47 +337,58 @@ class LoopDistribute(FunctionPass):
     escaping the loop.
     """
 
-    def run_on_function(self, function):
-        info = LoopInfo(function)
+    def run_on_function(self, function, am=None):
+        info = loops_of(function, am)
+        mutated = False
         for loop in info.innermost_loops():
             if len(loop.blocks) != 1:
                 continue
-            if self._distribute(function, loop):
+            distributed, created = self._distribute(function, loop, am)
+            mutated |= created
+            if distributed:
                 return True
-        return False
+        return mutated
 
-    def _distribute(self, function, loop):
+    def _distribute(self, function, loop, am=None):
         from repro.passes.utils import underlying_object
 
-        preheader = ensure_preheader(function, loop)
+        preheader, created = ensure_preheader_tracked(function, loop)
         if preheader is None:
-            return False
-        iv = find_induction_variable(loop, preheader)
+            return False, False
+        iv = loopivs_of(function, am).induction_variable(loop, preheader)
         if iv is None:
-            return False
+            return False, created
         block = loop.header
         stores = [i for i in block.instructions if isinstance(i, StoreInst)]
         if len(stores) < 2:
-            return False
+            return False, created
         if any(isinstance(i, (LoadInst, CallInst))
                for i in block.instructions):
-            return False
+            return False, created
         bases = {id(underlying_object(s.pointer)) for s in stores}
         if len(bases) < 2:
-            return False
+            return False, created
         for inst in block.instructions:
             for user in inst.users:
                 if user.parent is not block:
-                    return False
+                    return False, created
         # Partition stores by base; keep the first base's stores in the
         # original loop and move the rest into a cloned loop that runs
         # afterwards.
         exit_blocks = loop.exit_blocks()
         if len(exit_blocks) != 1:
-            return False
+            return False, created
         exit_block = exit_blocks[0]
         if exit_block.phis():
-            return False
+            return False, created
+        # Validate the exit terminator BEFORE cloning anything, so a
+        # bail-out below cannot leave half-attached cloned blocks behind.
+        original_exit_term = None
+        for inst in block.instructions:
+            if isinstance(inst, CondBranchInst):
+                original_exit_term = inst
+        if original_exit_term is None:
+            return False, created
         first_base = underlying_object(stores[0].pointer)
         moved = [s for s in stores
                  if underlying_object(s.pointer) is not first_base]
@@ -381,14 +404,6 @@ class LoopDistribute(FunctionPass):
         # Chain: original loop exits into the cloned loop's preheader.
         # Cloned header phis currently have incoming from preheader and
         # cloned latch; redirect entry edge.
-        original_exit_term = None
-        for inst in block.instructions:
-            if isinstance(inst, CondBranchInst):
-                original_exit_term = inst
-        if original_exit_term is None:
-            # Roll back is impossible; this shape was validated above
-            # (canonical counted loops end in a condbr).
-            return False
         # The original loop's exit edge now targets the cloned block's
         # entry; the cloned loop's exit edge goes to the real exit.
         # Cloned phi entries from the preheader stay (the clone is entered
@@ -398,7 +413,7 @@ class LoopDistribute(FunctionPass):
         for phi in cloned.phis():
             phi.replace_incoming_block(preheader, block)
         delete_dead_instructions(function)
-        return True
+        return True, created
 
 
 @register_pass("loop-unswitch")
@@ -409,23 +424,26 @@ class LoopUnswitch(FunctionPass):
 
     MAX_LOOP_SIZE = 60
 
-    def run_on_function(self, function):
-        info = LoopInfo(function)
+    def run_on_function(self, function, am=None):
+        info = loops_of(function, am)
+        mutated = False
         for loop in info.innermost_loops():
-            if self._unswitch(function, loop):
+            unswitched, created = self._unswitch(function, loop)
+            mutated |= created
+            if unswitched:
                 return True
-        return False
+        return mutated
 
     def _unswitch(self, function, loop):
         if sum(len(b.instructions) for b in loop.blocks) > \
                 self.MAX_LOOP_SIZE:
-            return False
-        preheader = ensure_preheader(function, loop)
+            return False, False
+        preheader, created = ensure_preheader_tracked(function, loop)
         if preheader is None:
-            return False
+            return False, False
         # Find an invariant conditional branch that is not the exit test.
         candidate = None
-        for block in loop.blocks:
+        for block in loop.ordered_blocks():
             term = block.terminator()
             if not isinstance(term, CondBranchInst):
                 continue
@@ -437,12 +455,12 @@ class LoopUnswitch(FunctionPass):
             candidate = term
             break
         if candidate is None:
-            return False
+            return False, created
         # Exactly one exit block keeps the exit-phi fixup (LCSSA-style
         # merge of the two loop versions) tractable.
         exit_blocks = loop.exit_blocks()
         if len(exit_blocks) != 1:
-            return False
+            return False, created
         exit_block = exit_blocks[0]
         orig_exit_preds = [p for p in exit_block.predecessors()
                            if p in loop.blocks]
@@ -513,4 +531,4 @@ class LoopUnswitch(FunctionPass):
             block.append(BranchInst(taken))
             remove_block_from_phis(block, dead)
         delete_dead_instructions(function)
-        return True
+        return True, created

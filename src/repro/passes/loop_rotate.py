@@ -14,13 +14,28 @@ the test instead of the header.
 from repro.ir import (
     BranchInst,
     CondBranchInst,
-    Instruction,
-    LoopInfo,
     PhiInst,
 )
 from repro.passes.base import FunctionPass, register_pass
-from repro.passes.loop_utils import ensure_preheader
+from repro.passes.loop_utils import ensure_preheader_tracked, loops_of
 from repro.passes.utils import is_pure
+
+
+_CLONEABLE = None
+
+
+def _can_clone(inst):
+    """True when :func:`_clone_instruction` supports ``inst``'s type
+    (checked up front so rotation never bails mid-mutation)."""
+    global _CLONEABLE
+    if _CLONEABLE is None:
+        from repro.ir import (
+            BinaryInst, CastInst, FCmpInst, GEPInst, ICmpInst, LoadInst,
+            SelectInst, CallInst,
+        )
+        _CLONEABLE = (BinaryInst, ICmpInst, FCmpInst, CastInst, GEPInst,
+                      SelectInst, LoadInst, CallInst)
+    return isinstance(inst, _CLONEABLE)
 
 
 def _clone_instruction(inst, operand_map, function):
@@ -62,9 +77,9 @@ def _clone_instruction(inst, operand_map, function):
 class LoopRotate(FunctionPass):
     MAX_HEADER_SIZE = 8
 
-    def run_on_function(self, function):
+    def run_on_function(self, function, am=None):
         changed = False
-        info = LoopInfo(function)
+        info = loops_of(function, am)
         for loop in sorted(info.loops, key=lambda lp: -lp.depth):
             changed |= self._rotate(function, loop)
         return changed
@@ -78,9 +93,9 @@ class LoopRotate(FunctionPass):
         in_false = term.false_target in loop.blocks
         if in_true == in_false:
             return False  # both or neither: not a top-tested exit
-        preheader = ensure_preheader(function, loop)
-        if preheader is None:
-            return False
+        # Validate everything BEFORE the first mutation (including the
+        # preheader) so a bail-out below never leaves a half-rotated
+        # loop behind while reporting "no change".
         latches = loop.latches()
         if len(latches) != 1:
             return False
@@ -96,19 +111,29 @@ class LoopRotate(FunctionPass):
         exit_block = term.false_target if in_true else term.true_target
         if exit_block in loop.blocks or body_entry is header:
             return False
+        # The header's test must be the ONLY exit: the LCSSA-style exit
+        # fixup below funnels every escaping value through ``exit_block``,
+        # which is wrong (and produces non-dominating phis) for uses
+        # reached through a second exit such as a ``break``/``return``
+        # inside the body.
+        if set(map(id, loop.exit_blocks())) != {id(exit_block)}:
+            return False
         # The header must contain only phis + a small pure test sequence.
         phis = header.phis()
         tail = header.instructions[len(phis):-1]
         if len(tail) > self.MAX_HEADER_SIZE:
             return False
         for inst in tail:
-            if not is_pure(inst):
+            if not is_pure(inst) or not _can_clone(inst):
                 return False
         # Exit-block and body-entry shape restrictions keep the phi
         # fixups local.
         if [p for p in exit_block.predecessors()] != [header]:
             return False
         if body_entry.phis() or len(body_entry.predecessors()) != 1:
+            return False
+        preheader, _created = ensure_preheader_tracked(function, loop)
+        if preheader is None:
             return False
 
         # 1. Clone the test chain into the preheader as the entry guard
@@ -119,8 +144,6 @@ class LoopRotate(FunctionPass):
         pre_term = preheader.terminator()
         for inst in tail:
             clone = _clone_instruction(inst, guard_map, function)
-            if clone is None:
-                return False
             preheader.insert_before_terminator(clone)
             guard_map[id(inst)] = clone
         guard_cond = guard_map[id(term.condition)]

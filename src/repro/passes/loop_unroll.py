@@ -11,12 +11,12 @@ from repro.ir import (
     BranchInst,
     CondBranchInst,
     Instruction,
-    LoopInfo,
     PhiInst,
 )
+from repro.passes.analysis import loopivs_of
 from repro.passes.base import FunctionPass, register_pass
 from repro.passes.cloning import clone_region
-from repro.passes.loop_utils import constant_trip_count, ensure_preheader
+from repro.passes.loop_utils import ensure_preheader_tracked, loops_of
 from repro.passes.utils import remove_block_from_phis
 
 
@@ -25,40 +25,42 @@ class LoopUnroll(FunctionPass):
     MAX_TRIP_COUNT = 16
     MAX_BODY_INSTRUCTIONS = 40
 
-    def run_on_function(self, function):
+    def run_on_function(self, function, am=None):
         changed = False
         # One unroll per run: loop structures go stale after a transform.
         # Innermost loops first; rerunning the phase peels outward.
-        info = LoopInfo(function)
+        info = loops_of(function, am)
         for loop in info.innermost_loops():
-            if self._unroll(function, loop):
+            unrolled, created = self._unroll(function, loop, am)
+            changed |= created
+            if unrolled:
                 changed = True
                 break
         return changed
 
-    def _unroll(self, function, loop):
-        preheader = ensure_preheader(function, loop)
+    def _unroll(self, function, loop, am=None):
+        preheader, created = ensure_preheader_tracked(function, loop)
         if preheader is None:
-            return False
-        trip_count, iv = constant_trip_count(loop, preheader,
-                                             self.MAX_TRIP_COUNT)
+            return False, False
+        trip_count, iv = loopivs_of(function, am).trip_count(
+            loop, preheader, self.MAX_TRIP_COUNT)
         if trip_count is None or trip_count == 0:
-            return False
+            return False, created
         body_size = sum(len(b.instructions) for b in loop.blocks)
         if body_size > self.MAX_BODY_INSTRUCTIONS:
-            return False
+            return False, created
         latches = loop.latches()
         if len(latches) != 1:
-            return False
+            return False, created
         latch = latches[0]
         exiting = loop.exiting_blocks()
         if len(exiting) != 1:
-            return False
+            return False, created
         if exiting[0] is not loop.header and exiting[0] is not latch:
-            return False
+            return False, created
         exit_blocks = loop.exit_blocks()
         if len(exit_blocks) != 1:
-            return False
+            return False, created
         exit_block = exit_blocks[0]
         header = loop.header
         header_phis = header.phis()
@@ -80,7 +82,7 @@ class LoopUnroll(FunctionPass):
                     continue
                 for user in inst.users:
                     if user.parent not in loop.blocks:
-                        return False
+                        return False, created
 
         blocks = [b for b in function.blocks if b in loop.blocks]
         copies = []
@@ -131,7 +133,6 @@ class LoopUnroll(FunctionPass):
             return value
 
         # Exit phis: entries from the loop now arrive via final_latch.
-        header_phi_set = set(map(id, header_phis))
         for phi in exit_block.phis():
             for pred in list(phi.incoming_blocks):
                 if pred in loop.blocks:
@@ -168,7 +169,7 @@ class LoopUnroll(FunctionPass):
         # Straighten every remaining per-iteration exit test (they are all
         # known taken: the trip count is exact).
         self._straighten_exits(loop, copies, exit_block, trip_count)
-        return True
+        return True, created
 
     @staticmethod
     def _is_clone_user(user, copies):

@@ -15,6 +15,20 @@ from repro.ir import (
 from repro.passes.utils import is_pure
 
 
+def ensure_preheader_tracked(function, loop):
+    """Like :func:`ensure_preheader` but also reports creation.
+
+    Returns ``(preheader, created)`` — ``created`` is True only when a
+    new block was inserted (a CFG change the calling pass must report
+    and invalidate for, even if it then transforms nothing else).
+    """
+    existing = loop.preheader()
+    if existing is not None:
+        return existing, False
+    preheader = ensure_preheader(function, loop)
+    return preheader, preheader is not None
+
+
 def ensure_preheader(function, loop):
     """Create (or return) a dedicated preheader block for ``loop``.
 
@@ -192,7 +206,11 @@ def constant_trip_count(loop, preheader, max_count=4096):
     return count, iv
 
 
-def loops_of(function):
+def loops_of(function, am=None):
+    """The function's loop nest — from the analysis manager's cache when
+    one is supplied, freshly computed otherwise."""
+    if am is not None:
+        return am.loops(function)
     return LoopInfo(function)
 
 

@@ -8,13 +8,13 @@ the paper's setting.
 
 from repro.ir import (
     AllocaInst,
-    DominatorTree,
     LoadInst,
     PhiInst,
     StoreInst,
     UndefValue,
 )
 from repro.ir.cfg import reachable_blocks
+from repro.passes.analysis import PRESERVE_CFG, domtree_of
 from repro.passes.base import FunctionPass, register_pass
 
 
@@ -41,11 +41,15 @@ def promotable_allocas(function):
 
 @register_pass("mem2reg")
 class Mem2Reg(FunctionPass):
-    def run_on_function(self, function):
+    # SSA construction never touches the CFG: phis are inserted and
+    # loads/stores/allocas erased within existing blocks.
+    preserved_analyses = PRESERVE_CFG
+
+    def run_on_function(self, function, am=None):
         allocas = promotable_allocas(function)
         if not allocas:
             return False
-        dom = DominatorTree(function)
+        dom = domtree_of(function, am)
         frontiers = dom.dominance_frontiers()
         reachable = reachable_blocks(function)
 

@@ -12,24 +12,22 @@ from repro.ir import (
     CastInst,
     CondBranchInst,
     ConstantInt,
-    DominatorTree,
     GEPInst,
     ICmpInst,
     Instruction,
     LoadInst,
     PhiInst,
     RetInst,
-    SelectInst,
     StoreInst,
 )
-from repro.ir.types import F64, I64
+from repro.ir.types import I64
+from repro.passes.analysis import PRESERVE_CFG, domtree_of
 from repro.passes.base import FunctionPass, Pass, register_pass
 from repro.passes.utils import (
     delete_dead_instructions,
     fold_binary,
     is_pure,
     must_alias,
-    remove_block_from_phis,
     replace_and_erase,
 )
 
@@ -40,7 +38,7 @@ class Reassociate(FunctionPass):
     add/mul tree, sort constants last, fold them, and rebuild a left-
     leaning chain.  This exposes CSE/constant-folding opportunities."""
 
-    def run_on_function(self, function):
+    def run_on_function(self, function, am=None):
         changed = False
         for block in function.blocks:
             for inst in list(block.instructions):
@@ -116,7 +114,7 @@ class TailCallElim(FunctionPass):
     back edge updating the phis.
     """
 
-    def run_on_function(self, function):
+    def run_on_function(self, function, am=None):
         tail_sites = []
         for block in function.blocks:
             instructions = block.instructions
@@ -171,7 +169,7 @@ class JumpThreading(FunctionPass):
     conditional branch tests a phi whose incoming value from predecessor P
     is a constant, P can jump directly to the decided successor."""
 
-    def run_on_function(self, function):
+    def run_on_function(self, function, am=None):
         changed = False
         for block in list(function.blocks):
             if block not in function.blocks:
@@ -245,8 +243,11 @@ class CorrelatedPropagation(FunctionPass):
     equality test: after ``if (x == C)`` the true block knows ``x == C``.
     """
 
-    def run_on_function(self, function):
-        dom = DominatorTree(function)
+    # Operand rewrites only; no CFG edits.
+    preserved_analyses = PRESERVE_CFG
+
+    def run_on_function(self, function, am=None):
+        dom = domtree_of(function, am)
         changed = False
         for block in function.blocks:
             term = block.terminator()
@@ -285,15 +286,15 @@ class MemCpyOpt(FunctionPass):
     """Collapse runs of stores of one value to consecutive constant
     addresses into a ``memset`` intrinsic (≥ 4 elements)."""
 
+    preserved_analyses = PRESERVE_CFG
     MIN_RUN = 4
 
-    def run_on_function(self, function):
+    def run_on_function(self, function, am=None):
         from repro.passes.utils import _constant_offset, underlying_object
 
         changed = False
         for block in function.blocks:
             run = []  # list of (store, base, offset)
-            i = 0
             instructions = block.instructions
             index = 0
             while index <= len(instructions):
@@ -352,7 +353,9 @@ class MergedLoadStoreMotion(FunctionPass):
     """Sink identical stores from both arms of a diamond into the join
     block (the classic mldst-motion store sinking)."""
 
-    def run_on_function(self, function):
+    preserved_analyses = PRESERVE_CFG
+
+    def run_on_function(self, function, am=None):
         changed = False
         for block in function.blocks:
             term = block.terminator()
@@ -411,9 +414,10 @@ class Float2Int(FunctionPass):
     """Demote float arithmetic on sitofp-ed integers consumed only by
     fptosi back into integer arithmetic."""
 
+    preserved_analyses = PRESERVE_CFG
     _SAFE = {"fadd": "add", "fsub": "sub", "fmul": "mul"}
 
-    def run_on_function(self, function):
+    def run_on_function(self, function, am=None):
         changed = False
         for block in function.blocks:
             for inst in list(block.instructions):
@@ -448,7 +452,9 @@ class DivRemPairs(FunctionPass):
     """When both ``a / b`` and ``a % b`` exist in the same block, compute
     the remainder as ``a - (a/b)*b``, saving one division."""
 
-    def run_on_function(self, function):
+    preserved_analyses = PRESERVE_CFG
+
+    def run_on_function(self, function, am=None):
         changed = False
         for block in function.blocks:
             divs = {}
@@ -481,7 +487,7 @@ class LowerExpect(Pass):
     the phase exists for sequence compatibility and is a documented no-op.
     """
 
-    def run(self, module):
+    def run_on_module(self, module, am):
         return False
 
 
@@ -489,7 +495,7 @@ class LowerExpect(Pass):
 class AlignmentFromAssumptions(Pass):
     """Cell-addressed memory has no alignment; documented no-op."""
 
-    def run(self, module):
+    def run_on_module(self, module, am):
         return False
 
 
@@ -498,9 +504,11 @@ class SpeculativeExecution(FunctionPass):
     """Hoist cheap, pure, single instructions from both targets of a
     conditional branch into the branching block (if-conversion prep)."""
 
+    # Moves instructions between existing blocks; edges untouched.
+    preserved_analyses = PRESERVE_CFG
     MAX_HOIST = 4
 
-    def run_on_function(self, function):
+    def run_on_function(self, function, am=None):
         changed = False
         for block in function.blocks:
             term = block.terminator()
@@ -540,7 +548,9 @@ class CallSiteSplitting(FunctionPass):
     the call, and the terminator, and the call's users are phis or local.
     """
 
-    def run_on_function(self, function):
+    preserved_analyses = PRESERVE_CFG
+
+    def run_on_function(self, function, am=None):
         for block in list(function.blocks):
             phis = block.phis()
             if len(phis) != 1:
@@ -588,12 +598,14 @@ class SROA(FunctionPass):
     allocas are promoted directly (mem2reg subsumed).
     """
 
+    # Alloca splitting + SSA construction: CFG untouched.
+    preserved_analyses = PRESERVE_CFG
     MAX_ELEMENTS = 16
 
-    def run_on_function(self, function):
+    def run_on_function(self, function, am=None):
         changed = self._split_arrays(function)
         from repro.passes.mem2reg import Mem2Reg
-        changed |= Mem2Reg().run_on_function(function)
+        changed |= Mem2Reg().run_on_function(function, am)
         return changed
 
     def _split_arrays(self, function):

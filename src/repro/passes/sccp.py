@@ -8,7 +8,6 @@ propagate back to callers.
 """
 
 from repro.ir import (
-    Argument,
     BinaryInst,
     BranchInst,
     CallInst,
@@ -22,6 +21,7 @@ from repro.ir import (
     RetInst,
     SelectInst,
 )
+from repro.passes.analysis import PRESERVE_CFG, PRESERVE_NONE
 from repro.passes.base import Pass, FunctionPass, register_pass
 from repro.passes.utils import (
     constant_fold_terminator,
@@ -216,10 +216,16 @@ class _SCCPSolver:
 
 
 def _apply_lattice(function, lattice, executable_blocks):
-    """Rewrite the function according to solved lattice values."""
+    """Rewrite the function according to solved lattice values.
+
+    Returns ``(changed, cfg_changed)`` — ``cfg_changed`` is True when a
+    branch folded (an edge disappeared), which is the only rewrite here
+    that invalidates dominator/loop analyses.
+    """
     from repro.ir.values import Constant
 
     changed = False
+    cfg_changed = False
     for block in function.blocks:
         if block not in executable_blocks:
             continue
@@ -239,17 +245,30 @@ def _apply_lattice(function, lattice, executable_blocks):
                     changed = True
     # Fold branches whose condition became constant.
     for block in function.blocks:
-        changed |= constant_fold_terminator(block)
+        if constant_fold_terminator(block):
+            changed = cfg_changed = True
     changed |= delete_dead_instructions(function)
-    return changed
+    return changed, cfg_changed
 
 
 @register_pass("sccp")
 class SCCP(FunctionPass):
-    def run_on_function(self, function):
+    # Constant propagation preserves the CFG unless a branch folds;
+    # preserved_for reports which case this run was.
+    preserved_analyses = PRESERVE_CFG
+
+    def __init__(self):
+        self._cfg_changed = False
+
+    def run_on_function(self, function, am=None):
         solver = _SCCPSolver(function)
         lattice = solver.solve()
-        return _apply_lattice(function, lattice, solver.executable_blocks)
+        changed, self._cfg_changed = _apply_lattice(
+            function, lattice, solver.executable_blocks)
+        return changed
+
+    def preserved_for(self, function):
+        return PRESERVE_NONE if self._cfg_changed else PRESERVE_CFG
 
 
 @register_pass("ipsccp")
@@ -261,7 +280,7 @@ class IPSCCP(Pass):
     point (bounded by a small round count).
     """
 
-    def run(self, module):
+    def run_on_module(self, module, am):
         functions = module.defined_functions()
         arg_states = {f.name: {} for f in functions}
         return_states = {}
@@ -324,6 +343,7 @@ class IPSCCP(Pass):
             solver = _SCCPSolver(function, arg_states[function.name],
                                  call_oracle=final_oracle)
             lattice = solver.solve()
-            changed |= _apply_lattice(function, lattice,
-                                      solver.executable_blocks)
+            function_changed, _ = _apply_lattice(
+                function, lattice, solver.executable_blocks)
+            changed |= function_changed
         return changed

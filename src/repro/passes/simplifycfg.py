@@ -8,21 +8,21 @@ if-converts small diamonds into selects.
 from repro.ir import (
     BranchInst,
     CondBranchInst,
-    PhiInst,
     SelectInst,
 )
 from repro.ir.cfg import reachable_blocks
 from repro.passes.base import FunctionPass, register_pass
 from repro.passes.utils import (
     constant_fold_terminator,
-    is_pure,
     remove_block_from_phis,
 )
 
 
 @register_pass("simplifycfg")
 class SimplifyCFG(FunctionPass):
-    def run_on_function(self, function):
+    # CFG restructuring: preserves nothing (the default).
+
+    def run_on_function(self, function, am=None):
         changed = False
         progress = True
         while progress:

@@ -1,0 +1,365 @@
+"""Function-granular transform cache: content-addressed reuse of
+FunctionPass results.
+
+The compile→profile loop applies thousands of phase sequences to the
+same workloads; sequences share prefixes and converge, so the same
+(pass, function-content) pair is evaluated over and over.  A
+``FunctionPass`` is a deterministic function of its function's content
+(plus the purity attributes of called functions, folded into the cache
+key), so its outcome can be cached:
+
+- an *inactive* outcome (``run_on_function`` returned False, which by
+  the pass contract means "did not mutate") lets a later identical
+  application skip the pass body entirely;
+- an *active* outcome stores a detached snapshot of the transformed
+  body; a later identical application materializes the snapshot (a
+  plain clone) instead of re-running the pass algorithm.
+
+Materialized output equals the pass's own output up to local value
+names, which the canonical fingerprint normalizes away — activity bits,
+fingerprints and behaviour are bit-identical either way (enforced by
+the differential suite).  Any doubt during snapshot or materialization
+(function-pointer operands, missing global/callee names in the target
+module, signature drift) falls back to simply running the pass.
+
+The cache is process-global (content-addressed keys are module- and
+session-independent), bounded LRU, and disabled whenever the calling
+AnalysisManager is disabled (the legacy cost model) or via
+``TRANSFORM_CACHE.enabled``.
+"""
+
+import threading
+from collections import OrderedDict
+
+from repro.ir.function import Function
+from repro.ir.instructions import CallInst, PhiInst
+from repro.ir.values import (
+    ConstantFloat,
+    ConstantInt,
+    GlobalVariable,
+    UndefValue,
+)
+
+_INACTIVE = "inactive"
+_SEEN_ACTIVE = "seen-active"
+
+
+def _fix_forward_references(shell, value_map):
+    _fix_forward_references_blocks(shell.blocks, value_map)
+
+
+def _fix_forward_references_blocks(blocks, value_map):
+    """Rewrite operands that still reference origin values (forward
+    references cloned before their defs existed) through the completed
+    value map."""
+    for block in blocks:
+        for inst in block.instructions:
+            for index, op in enumerate(inst.operands):
+                mapped = value_map.get(id(op))
+                if mapped is not None and mapped is not op:
+                    inst.set_operand(index, mapped)
+
+
+def callee_signature(function):
+    """Everything a FunctionPass may read about OTHER functions: the
+    purity attributes of each non-intrinsic callee.  Part of the cache
+    key so two content-identical functions whose callees differ in
+    attributes never share an entry."""
+    signature = set()
+    for block in function.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, CallInst) and not inst.is_intrinsic():
+                callee = inst.callee
+                signature.add((callee.name, callee.is_pure,
+                               callee.accesses_memory,
+                               tuple(sorted(callee.attributes))))
+    return tuple(sorted(signature))
+
+
+class FunctionSnapshot:
+    """A detached copy of a transformed function body.
+
+    Globals and constants are replaced by placeholders so the snapshot
+    never appears in any live module's use lists; callees are recorded
+    by name.  ``materialize`` clones the snapshot into a target function
+    of a (content-identical) module, remapping placeholders to the
+    target module's objects by name.
+    """
+
+    def __init__(self, shell, arg_count, global_names, callee_names):
+        self.shell = shell
+        self.arg_count = arg_count
+        self.global_names = global_names    # name -> placeholder
+        self.callee_names = callee_names    # name -> placeholder shell
+        self.result_fingerprint = None      # canonical post-state hash
+        self.verified = False               # passed verify_function once
+        # Cloning temporarily registers forward-reference uses on the
+        # shell's instructions; concurrent materializations (thread-mode
+        # evaluation) must not interleave those use-list edits.
+        self._lock = threading.Lock()
+
+    # -- capture ----------------------------------------------------------
+    @classmethod
+    def capture(cls, function):
+        """Snapshot ``function``'s current body, or None when the body
+        holds something the snapshot cannot make module-independent."""
+        from repro.passes.cloning import clone_instruction
+
+        value_map = {}
+        global_names = {}
+        callee_names = {}
+        for block in function.blocks:
+            for inst in block.instructions:
+                for op in inst.operands:
+                    if isinstance(op, GlobalVariable):
+                        if id(op) not in value_map:
+                            placeholder = GlobalVariable(
+                                op.name, op.value_type, op.initializer,
+                                op.is_constant_global)
+                            value_map[id(op)] = placeholder
+                            global_names[op.name] = placeholder
+                    elif isinstance(op, Function):
+                        return None  # function-pointer-ish operand
+        shell = Function(function.name, function.ftype)
+        shell.is_pure = function.is_pure
+        shell.accesses_memory = function.accesses_memory
+        shell.attributes = set(function.attributes)
+        for old_arg, new_arg in zip(function.args, shell.args):
+            new_arg.name = old_arg.name
+            value_map[id(old_arg)] = new_arg
+        block_map = {}
+        for block in function.blocks:
+            block_map[id(block)] = shell.append_block(block.name)
+        # Block LIST order is not def-before-use in general (cloned loop
+        # bodies are appended at the end but referenced earlier, and
+        # unreachable regions have no safe order at all), so cloning is
+        # two-phase: build clones in list order — forward references
+        # temporarily keep the origin operand — then rewrite every
+        # operand through the completed value map.
+        for block in function.blocks:
+            target = block_map[id(block)]
+            for inst in block.instructions:
+                clone = clone_instruction(inst, value_map, block_map,
+                                          shell)
+                if isinstance(clone, CallInst) and \
+                        not clone.is_intrinsic():
+                    name = clone.callee.name
+                    placeholder = callee_names.get(name)
+                    if placeholder is None:
+                        placeholder = Function(name, clone.callee.ftype)
+                        callee_names[name] = placeholder
+                    clone.callee = placeholder
+                target.append(clone)
+                value_map[id(inst)] = clone
+        for block in function.blocks:
+            target = block_map[id(block)]
+            for inst, clone in zip(block.instructions,
+                                   target.instructions):
+                if isinstance(inst, PhiInst):
+                    for value, pred in inst.incoming():
+                        clone.add_incoming(
+                            value_map.get(id(value), value),
+                            block_map.get(id(pred), pred))
+        _fix_forward_references(shell, value_map)
+        return cls(shell, len(function.args), global_names,
+                   callee_names)
+
+    # -- materialization --------------------------------------------------
+    def materialize(self, function):
+        """Replace ``function``'s body with a clone of the snapshot.
+
+        Returns True on success; on any mismatch the target is left
+        untouched and the caller runs the pass normally.
+        """
+        with self._lock:
+            return self._materialize(function)
+
+    def _materialize(self, function):
+        from repro.passes.cloning import clone_instruction
+
+        module = function.module
+        if module is None or len(function.args) != self.arg_count:
+            return False
+        value_map = {}
+        for name, placeholder in self.global_names.items():
+            target_global = module.globals.get(name)
+            if target_global is None or \
+                    target_global.value_type != placeholder.value_type:
+                return False
+            value_map[id(placeholder)] = target_global
+        callee_map = {}
+        for name, placeholder in self.callee_names.items():
+            target_callee = module.functions.get(name)
+            if target_callee is None or \
+                    target_callee.ftype != placeholder.ftype:
+                return False
+            callee_map[name] = target_callee
+        for snap_arg, target_arg in zip(self.shell.args, function.args):
+            if snap_arg.type != target_arg.type:
+                return False
+            value_map[id(snap_arg)] = target_arg
+
+        from repro.ir.basicblock import BasicBlock
+        new_blocks = []
+        block_map = {}
+        for block in self.shell.blocks:
+            clone_block = BasicBlock(block.name, function)
+            block_map[id(block)] = clone_block
+            new_blocks.append(clone_block)
+        try:
+            for block in self.shell.blocks:
+                target = block_map[id(block)]
+                for inst in block.instructions:
+                    # Constants are copied (never shared with the
+                    # snapshot) so no use-list grows across modules.
+                    for op in inst.operands:
+                        if id(op) in value_map:
+                            continue
+                        if isinstance(op, ConstantInt):
+                            value_map[id(op)] = ConstantInt(op.type,
+                                                            op.value)
+                        elif isinstance(op, ConstantFloat):
+                            value_map[id(op)] = ConstantFloat(op.type,
+                                                              op.value)
+                        elif isinstance(op, UndefValue):
+                            value_map[id(op)] = UndefValue(op.type)
+                    clone = clone_instruction(inst, value_map, block_map,
+                                              function)
+                    if isinstance(clone, CallInst) and \
+                            not clone.is_intrinsic():
+                        clone.callee = callee_map[clone.callee.name]
+                    target.append(clone)
+                    value_map[id(inst)] = clone
+            for block in self.shell.blocks:
+                target = block_map[id(block)]
+                for inst, clone in zip(block.instructions,
+                                       target.instructions):
+                    if isinstance(inst, PhiInst):
+                        for value, pred in inst.incoming():
+                            clone.add_incoming(
+                                value_map.get(id(value), value),
+                                block_map.get(id(pred), pred))
+            _fix_forward_references_blocks(new_blocks, value_map)
+        except Exception:  # pragma: no cover - abort leaves target intact
+            for block in new_blocks:
+                for inst in block.instructions:
+                    inst.drop_all_references()
+            return False
+        # Commit: detach the old body, install the clone.
+        for block in function.blocks:
+            for inst in block.instructions:
+                inst.drop_all_references()
+                inst.parent = None
+            block.instructions = []
+            block.parent = None
+        function.blocks = new_blocks
+        function.attributes = set(self.shell.attributes)
+        return True
+
+
+class TransformCacheStats:
+    def __init__(self):
+        self.inactive_hits = 0
+        self.materialized = 0
+        self.materialize_failures = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+
+    def as_dict(self):
+        return dict(self.__dict__)
+
+    def __repr__(self):
+        return (f"<TransformCacheStats inactive={self.inactive_hits} "
+                f"materialized={self.materialized} misses={self.misses}>")
+
+
+class FunctionTransformCache:
+    """Bounded LRU of (pass, function-content) -> outcome."""
+
+    def __init__(self, max_entries=4096):
+        self.enabled = True
+        self.max_entries = max_entries
+        self.stats = TransformCacheStats()
+        self._entries = OrderedDict()
+        self._lock = threading.Lock()
+
+    def key(self, pass_name, fingerprint, signature):
+        return (pass_name, fingerprint, signature)
+
+    def apply(self, key, function):
+        """Serve a cached outcome for ``function``.
+
+        Returns ``(outcome, snapshot)`` where outcome is ``False``
+        (known inactive: skip the pass), ``True`` (snapshot
+        materialized: function transformed; the snapshot rides along so
+        the caller can seed its analysis manager and track
+        verification), or ``None`` (miss / unusable entry: run the
+        pass).
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+        if entry is None or entry == _SEEN_ACTIVE:
+            self.stats.misses += 1
+            return None, None
+        if entry == _INACTIVE:
+            self.stats.inactive_hits += 1
+            return False, None
+        if entry.materialize(function):
+            self.stats.materialized += 1
+            return True, entry
+        self.stats.materialize_failures += 1
+        return None, None
+
+    def record(self, key, function, changed, am=None):
+        """Store the just-observed outcome for ``key``.
+
+        Snapshots are captured lazily: the first active encounter only
+        marks the key (capturing every one-off transform would tax cold
+        evaluations), the second captures the transformed body, and
+        later encounters materialize it.  For a captured snapshot the
+        post-transform fingerprint is computed once, stored, and seeded
+        into ``am`` (the change just invalidated it, and the evaluation
+        loop is about to ask for it anyway).
+        """
+        if changed:
+            with self._lock:
+                existing = self._entries.get(key)
+            if isinstance(existing, FunctionSnapshot):
+                return  # keep the snapshot (materialize failed only
+                        # for THIS module's global/callee layout)
+            if existing != _SEEN_ACTIVE:
+                entry = _SEEN_ACTIVE
+            else:
+                snapshot = FunctionSnapshot.capture(function)
+                if snapshot is None:
+                    return
+                from repro.ir.printer import function_fingerprint
+                snapshot.result_fingerprint = function_fingerprint(
+                    function)
+                if am is not None:
+                    am.put("fingerprint", function,
+                           snapshot.result_fingerprint)
+                entry = snapshot
+        else:
+            entry = _INACTIVE
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            self.stats.stores += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self):
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self):
+        return len(self._entries)
+
+
+#: Process-global cache consulted by FunctionPass.run_with_changes.
+TRANSFORM_CACHE = FunctionTransformCache()

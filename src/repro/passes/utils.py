@@ -8,9 +8,7 @@ import math
 
 from repro.ir import (
     AllocaInst,
-    Argument,
     BinaryInst,
-    BranchInst,
     CallInst,
     CastInst,
     CondBranchInst,
@@ -20,7 +18,6 @@ from repro.ir import (
     GEPInst,
     GlobalVariable,
     ICmpInst,
-    Instruction,
     LoadInst,
     PhiInst,
     SelectInst,

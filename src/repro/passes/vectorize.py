@@ -12,8 +12,8 @@ body exposes the independent operation groups the fuser needs.
 ``slp-vectorizer`` only marks straight-line code as fusable.
 """
 
+from repro.passes.analysis import PRESERVE_CFG
 from repro.passes.base import FunctionPass, register_pass
-from repro.passes.loop_misc import LoopDeletion  # noqa: F401 (registry)
 from repro.passes.loop_unroll import LoopUnroll
 
 SLP_ATTRIBUTE = "slp-enabled"
@@ -21,7 +21,12 @@ SLP_ATTRIBUTE = "slp-enabled"
 
 @register_pass("slp-vectorizer")
 class SLPVectorizer(FunctionPass):
-    def run_on_function(self, function):
+    # Attribute-only change: the IR text and CFG are untouched (the
+    # attribute IS part of the fingerprint, which is never preserved).
+    preserved_analyses = PRESERVE_CFG | frozenset({"loopivs"})
+    mutates_callee_visible_state = True
+
+    def run_on_function(self, function, am=None):
         if SLP_ATTRIBUTE in function.attributes:
             return False
         # Only meaningful when there is straight-line float math to pack.
@@ -39,11 +44,13 @@ class SLPVectorizer(FunctionPass):
 class LoopVectorize(FunctionPass):
     """Interleaving unroll + SLP enablement."""
 
-    def run_on_function(self, function):
+    mutates_callee_visible_state = True
+
+    def run_on_function(self, function, am=None):
         unroller = LoopUnroll()
         unroller.MAX_TRIP_COUNT = 32
         unroller.MAX_BODY_INSTRUCTIONS = 24
-        changed = unroller.run_on_function(function)
+        changed = unroller.run_on_function(function, am)
         if changed and SLP_ATTRIBUTE not in function.attributes:
             function.attributes.add(SLP_ATTRIBUTE)
         return changed

@@ -17,7 +17,6 @@ from repro.models import (
     r2_score,
 )
 from repro.pe.model_search import heuristic_model_search, model_search
-from repro.preprocess import TABLE_III_PREPROCESSORS
 
 
 # Models cheap enough for the quick (non-heuristic) search path.

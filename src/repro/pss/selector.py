@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.features import extract_static_features
 from repro.ir.printer import module_fingerprint
-from repro.passes import create_pass
+from repro.passes import AnalysisManager, create_pass
 from repro.rl.policy import FeatureEncoder, PolicyNetwork
 
 
@@ -35,11 +35,22 @@ class PhaseSequenceSelector:
         """Drive the optimizer over ``module`` in place.
 
         Returns the list of applied (active) phases.
+
+        One analysis manager spans the whole selection: phases share
+        cached dominator/loop analyses, activity detection re-hashes
+        only the functions a phase changed, and feature extraction
+        reuses per-function partials for untouched functions — the
+        function-granular incremental loop the deployment path needs
+        (each inactive trial previously re-fingerprinted and re-analyzed
+        the entire module).
         """
         applied = []
-        fingerprint = module_fingerprint(module)
+        am = AnalysisManager()
+        partials = {}
+        fingerprint = module_fingerprint(module, am)
         while len(applied) < self.max_sequence_length:
-            features = extract_static_features(module)
+            features = extract_static_features(module, am=am,
+                                               partial_cache=partials)
             probabilities = self.policy.probabilities(
                 self.encoder.encode(features))
             ranked = np.argsort(probabilities)[::-1]
@@ -49,8 +60,8 @@ class PhaseSequenceSelector:
             for rank, action in enumerate(
                     ranked[:self.max_inactive_length]):
                 phase_name = self.phases[int(action)]
-                create_pass(phase_name).run(module)
-                new_fingerprint = module_fingerprint(module)
+                create_pass(phase_name).run(module, am)
+                new_fingerprint = module_fingerprint(module, am)
                 if trace is not None:
                     trace.append((phase_name, new_fingerprint !=
                                   fingerprint))

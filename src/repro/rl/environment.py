@@ -9,12 +9,11 @@ toward Pareto-optimal sequences) — no profiling in the loop, which is the
 paper's training-time win.
 """
 
-import numpy as np
 
 from repro.engine import EvaluationEngine
 from repro.features import extract_static_features
 from repro.ir.printer import module_fingerprint
-from repro.passes import create_pass
+from repro.passes import AnalysisManager, create_pass
 
 
 class RewardConfig:
@@ -63,30 +62,40 @@ class PhaseSequenceEnv:
         self.applied = []
         self._objectives = None
         self._fingerprint = None
+        # Per-episode analysis manager + per-function feature partials:
+        # a step that leaves a function untouched reuses its analyses,
+        # fingerprint, and static feature contribution.
+        self._am = None
+        self._partials = {}
 
     # -- core ----------------------------------------------------------------
     def _measure_objectives(self, fingerprint=None):
         """PE-predicted time and energy + measured code size (the paper's
         PSS trains against estimated dynamic features)."""
         return self.engine.predicted_objectives(
-            self.module, self.estimator, fingerprint=fingerprint)
+            self.module, self.estimator, fingerprint=fingerprint,
+            am=self._am)
 
     def reset(self):
         self.module = self.workload.compile()
         self.steps = 0
         self.applied = []
-        self._fingerprint = module_fingerprint(self.module)
+        if len(self._partials) > 4096:
+            self._partials.clear()  # bounded like the engine's cache
+        self._am = AnalysisManager()
+        self._fingerprint = module_fingerprint(self.module, self._am)
         self._objectives = self._measure_objectives(self._fingerprint)
         self.initial_objectives = dict(self._objectives)
-        return extract_static_features(self.module)
+        return extract_static_features(self.module, am=self._am,
+                                       partial_cache=self._partials)
 
     def step(self, action_index):
         """Apply a phase.  Returns (state, reward, done, info)."""
         phase_name = self.phases[action_index]
-        create_pass(phase_name).run(self.module)
+        create_pass(phase_name).run(self.module, self._am)
         self.steps += 1
         self.applied.append(phase_name)
-        fingerprint = module_fingerprint(self.module)
+        fingerprint = module_fingerprint(self.module, self._am)
         changed = fingerprint != self._fingerprint
         self._fingerprint = fingerprint
         if changed:
@@ -97,7 +106,8 @@ class PhaseSequenceEnv:
         else:
             reward = 0.0  # inactive phase: no change, no reward
         done = self.steps >= self.max_steps
-        state = extract_static_features(self.module)
+        state = extract_static_features(self.module, am=self._am,
+                                        partial_cache=self._partials)
         return state, reward, done, {"changed": changed,
                                      "phase": phase_name}
 

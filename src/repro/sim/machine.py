@@ -13,7 +13,6 @@ from repro.backend.mir import (
     FImm,
     GlobalRef,
     Imm,
-    Label,
     PhysReg,
     StackSlot,
 )

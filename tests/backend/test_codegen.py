@@ -8,7 +8,7 @@ from repro.backend.mir import Imm, PhysReg, StackSlot, VirtReg
 from repro.ir import run_module
 from repro.lang import compile_source
 from repro.passes import PassManager
-from repro.sim import Platform, Simulator
+from repro.sim import Simulator
 from repro.sim.pipeline import PipelineModel
 
 
@@ -81,7 +81,7 @@ def test_register_pressure_spills():
                       for i in range(n))
     total = " + ".join(f"v{i}" for i in range(n))
     src = f"int main() {{\n{exprs}\n  int t = {total};\n" \
-          f"  print_int(t);\n  return t % 251;\n}}"
+          "  print_int(t);\n  return t % 251;\n}"
     module = compile_source(src)
     PassManager().run(module, ["mem2reg"])  # keep values in registers
     reference = run_module(compile_source(src))

@@ -190,3 +190,29 @@ def test_disk_store_survives_process_cache(tmp_path, workload):
     assert second_engine.cache.stats.disk_hits == 1
     assert first.metrics() == second.metrics()
     assert list(first.features) == list(second.features)
+
+
+def test_function_fingerprints_in_payload_match_module():
+    """Evaluation payloads carry per-function fingerprints (the
+    function-granular identity the incremental pass layer exposes);
+    they must agree between fresh and cached results and with an
+    independent compile+optimize of the same point."""
+    from repro.engine import EvaluationEngine
+    from repro.ir.printer import function_fingerprint
+    from repro.passes import PassManager
+    from repro.sim import Platform
+    from repro.workloads import load_suite
+
+    workload = load_suite("beebs")[0]
+    sequence = ("mem2reg", "instcombine", "simplifycfg")
+    engine = EvaluationEngine(Platform("riscv"))
+    fresh = engine.evaluate(workload, sequence)
+    cached = engine.evaluate(workload, sequence)
+    assert fresh.function_fingerprints
+    assert cached.function_fingerprints == fresh.function_fingerprints
+
+    module = workload.compile()
+    PassManager().run(module, list(sequence))
+    expected = {function.name: function_fingerprint(function)
+                for function in module.defined_functions()}
+    assert fresh.function_fingerprints == expected

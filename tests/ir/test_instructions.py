@@ -2,7 +2,6 @@ import pytest
 
 from repro.ir import (
     AllocaInst,
-    BasicBlock,
     BinaryInst,
     BranchInst,
     CallInst,

@@ -6,7 +6,6 @@ interpreter, and by the machine simulator after an -O2 pipeline — and
 must agree bit-for-bit.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

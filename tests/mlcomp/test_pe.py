@@ -3,8 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.features import extract_features
-from repro.models import r2_score
 from repro.pe import (
     FittedPipeline,
     PerformanceEstimator,

@@ -4,7 +4,6 @@ selector deployment (incl. the inactive-subsequence rule), persistence."""
 import numpy as np
 import pytest
 
-from repro.passes import available_phases
 from repro.pe import PerformanceEstimator
 from repro.pss import PhaseSequenceSelector
 from repro.rl import (

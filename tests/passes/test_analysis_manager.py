@@ -1,0 +1,195 @@
+"""Unit tests for the analysis manager and the new-PM PassManager:
+caching, invalidation, preservation sets, function-granular verification
+and fingerprints, and per-phase stats.
+"""
+
+import pytest
+
+from repro.ir import DominatorTree, LoopInfo, verify_module
+from repro.ir.printer import function_fingerprint, module_fingerprint
+from repro.lang import compile_source
+from repro.passes import (
+    PASS_REGISTRY,
+    AnalysisManager,
+    PassManager,
+    create_pass,
+)
+from repro.passes.analysis import PRESERVE_CFG, PRESERVE_NONE
+from tests.conftest import LOOP_SOURCE, SMOKE_SOURCE
+
+
+@pytest.fixture
+def module():
+    return compile_source(SMOKE_SOURCE)
+
+
+def _main(module):
+    return module.get_function("main")
+
+
+def test_analyses_are_cached(module):
+    am = AnalysisManager()
+    main = _main(module)
+    dom = am.domtree(main)
+    loops = am.loops(main)
+    fp = am.fingerprint(main)
+    assert am.domtree(main) is dom
+    assert am.loops(main) is loops
+    assert am.fingerprint(main) == fp
+    # 3 re-queries + the cached domtree pull inside the loops analysis.
+    assert am.stats.hits >= 3
+    assert isinstance(dom, DominatorTree)
+    assert isinstance(loops, LoopInfo)
+
+
+def test_loops_reuse_cached_domtree(module):
+    am = AnalysisManager()
+    main = _main(module)
+    misses_before = am.stats.misses
+    am.loops(main)
+    # loops + the domtree it pulled: exactly two analysis computations.
+    assert am.stats.misses == misses_before + 2
+    am.domtree(main)
+    assert am.stats.misses == misses_before + 2
+
+
+def test_invalidate_respects_preservation(module):
+    am = AnalysisManager()
+    main = _main(module)
+    dom = am.domtree(main)
+    loops = am.loops(main)
+    am.fingerprint(main)
+    am.invalidate(main, PRESERVE_CFG)
+    assert am.cached("domtree", main) is dom
+    assert am.cached("loops", main) is loops
+    # The fingerprint is never preservable.
+    assert am.cached("fingerprint", main) is None
+    am.invalidate(main, PRESERVE_NONE)
+    assert am.cached("domtree", main) is None
+    assert am.cached("loops", main) is None
+
+
+def test_invalidate_module_drops_removed_functions(module):
+    am = AnalysisManager()
+    for function in module.defined_functions():
+        am.domtree(function)
+    helper = module.get_function("helper")
+    module.remove_function("helper")
+    am.invalidate_module(module, PRESERVE_NONE)
+    assert am.cached("domtree", helper) is None
+    assert am.cached("domtree", _main(module)) is None
+
+
+def test_disabled_manager_recomputes(module):
+    am = AnalysisManager(enabled=False)
+    main = _main(module)
+    assert am.domtree(main) is not am.domtree(main)
+
+
+def test_module_fingerprint_with_manager_matches_plain(module):
+    am = AnalysisManager()
+    assert module_fingerprint(module, am) == module_fingerprint(module)
+    # Warm second call: same value, served from cache.
+    hits = am.stats.hits
+    assert module_fingerprint(module, am) == module_fingerprint(module)
+    assert am.stats.hits > hits
+
+
+def test_function_fingerprint_includes_attributes(module):
+    main = _main(module)
+    before = function_fingerprint(main)
+    main.attributes.add("slp-enabled")
+    assert function_fingerprint(main) != before
+
+
+def test_cfg_preserving_pass_keeps_domtree_alive(module):
+    am = AnalysisManager()
+    main = _main(module)
+    create_pass("mem2reg").run(module, am)
+    dom = am.cached("domtree", main)
+    assert dom is not None  # seeded/kept by the run
+    changed = create_pass("instcombine").run(module, am)
+    assert changed
+    # instcombine preserves the CFG analyses...
+    assert am.cached("domtree", main) is dom
+    # ...while simplifycfg invalidates them when it changes something.
+    if create_pass("simplifycfg").run(module, am):
+        assert am.cached("domtree", main) is None
+
+
+def test_unchanged_function_keeps_all_analyses(module):
+    am = AnalysisManager()
+    main = _main(module)
+    pm = PassManager()
+    pm.run(module, ["mem2reg", "dce"], am=am)
+    fp = am.cached("fingerprint", main)
+    # dce again: nothing to do, nothing invalidated.
+    activity = pm.run(module, ["dce"], am=am)
+    assert activity == [False]
+    assert am.cached("fingerprint", main) is fp
+
+
+def test_passmanager_records_per_phase_stats(module):
+    pm = PassManager(verify=True)
+    pm.run(module, ["mem2reg", "instcombine", "dce"])
+    stats = pm.stats.as_dict()
+    assert [p["phase"] for p in stats["phases"]] == \
+        ["mem2reg", "instcombine", "dce"]
+    for entry in stats["phases"]:
+        assert entry["seconds"] >= 0.0
+        assert entry["changed_functions"] >= 0
+    assert stats["phases"][0]["changed_functions"] > 0
+    assert stats["total_seconds"] >= sum(
+        p["seconds"] for p in stats["phases"]) * 0.99
+
+
+def test_legacy_mode_matches_new_mode_output():
+    for fingerprints in (False, True):
+        legacy = compile_source(SMOKE_SOURCE)
+        modern = compile_source(SMOKE_SOURCE)
+        sequence = ["mem2reg", "instcombine", "licm", "loop-unroll",
+                    "sccp", "simplifycfg", "dce"]
+        run_legacy = (PassManager(verify=True, analysis_cache=False)
+                      .run_with_fingerprints if fingerprints else
+                      PassManager(verify=True, analysis_cache=False).run)
+        run_modern = (PassManager(verify=True).run_with_fingerprints
+                      if fingerprints else PassManager(verify=True).run)
+        activity_legacy = run_legacy(legacy, sequence)
+        activity_modern = run_modern(modern, sequence)
+        assert activity_legacy == activity_modern
+        assert module_fingerprint(legacy) == module_fingerprint(modern)
+
+
+def test_shared_manager_across_sequences(module):
+    """One manager can span several PassManager.run calls."""
+    am = AnalysisManager()
+    pm = PassManager(verify=True)
+    pm.run(module, ["mem2reg"], am=am)
+    pm.run(module, ["instcombine", "dce"], am=am)
+    verify_module(module)
+    # Same phases on a fresh module without the shared manager agree.
+    other = compile_source(SMOKE_SOURCE)
+    PassManager().run(other, ["mem2reg", "instcombine", "dce"])
+    assert module_fingerprint(other) == module_fingerprint(module)
+
+
+def test_every_registered_pass_declares_valid_preservation():
+    from repro.passes.analysis import ALL_ANALYSES
+    for name, factory in sorted(PASS_REGISTRY.items()):
+        preserved = factory.preserved_analyses
+        assert preserved <= ALL_ANALYSES, name
+        assert "fingerprint" not in preserved, name
+
+
+def test_loop_pass_reports_preheader_only_mutation():
+    """A loop pass that only managed to insert a preheader must still
+    report activity (the CFG changed), so stale analyses are dropped."""
+    module = compile_source(LOOP_SOURCE)
+    PassManager().run(module, ["mem2reg"])
+    am = AnalysisManager()
+    fp_before = module_fingerprint(module, am)
+    activity = PassManager().run(module, ["licm"], am=am)
+    fp_after = module_fingerprint(module, am)
+    # Either nothing at all happened, or the report matches the
+    # fingerprint ground truth.
+    assert activity == [fp_after != fp_before]

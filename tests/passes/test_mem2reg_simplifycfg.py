@@ -4,7 +4,6 @@ from repro.ir import (
     PhiInst,
     StoreInst,
     run_module,
-    verify_module,
 )
 from repro.lang import compile_source
 from repro.passes import PassManager, create_pass

@@ -1,5 +1,4 @@
 from repro.ir import (
-    BinaryInst,
     CallInst,
     LoadInst,
     StoreInst,

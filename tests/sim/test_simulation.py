@@ -1,7 +1,6 @@
 """Simulator tests: timing model, caches, branch predictor, energy,
 RAPL, Platform measurements."""
 
-import numpy as np
 import pytest
 
 from repro.lang import compile_source

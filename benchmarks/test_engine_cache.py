@@ -78,7 +78,11 @@ def test_warm_cache_speedup_at_least_5x():
         "hit_rate": round(hit_rate, 4),
     })
     assert speedup >= 5.0, (cold_seconds, warm_seconds)
-    assert hit_rate == pytest.approx(0.5)
+    # Warm pass hits every point; the cold pass additionally probes the
+    # function-granular result index once per fresh simulation.
+    assert engine.cache.stats.hits == \
+        len(points) + engine.compose_stats["hits"]
+    assert hit_rate >= 0.4
 
 
 def test_bench_warm_lookup(benchmark):

@@ -39,19 +39,12 @@ def test_fig5_pss_improves_on_average(fig5):
     assert means["MLComp"]["energy"] < 1.0
 
 
-@pytest.mark.xfail(
-    strict=False,
-    reason="Environment-sensitive (ROADMAP follow-up, pinned in ISSUE 2): "
-           "REINFORCE training on x86 occasionally converges to a policy "
-           "favouring loop-unroll/loop-vectorize, whose code-size cost on "
-           "the x86 backend exceeds the 1.05 bound even though time/energy "
-           "improve.  The reward's size weight (0.3) rarely outweighs the "
-           "PE-predicted time gains during training, so the outcome flips "
-           "with the training trajectory.  Tracked as an open ROADMAP item "
-           "(candidate fix: size-guarded reward or unroll-threshold "
-           "tuning); xfail keeps the slow tier deterministic meanwhile.")
 def test_fig5_code_size_roughly_flat(fig5):
     # Paper pointer 2: memory size gains are minimal either way.
+    # Was pinned xfail in ISSUE 2 (unguarded REINFORCE occasionally
+    # converged onto unroll/vectorize recipes blowing the bound); the
+    # size-guarded reward (RewardConfig size_guard=1.02, penalty 8.0)
+    # holds the bound across training seeds 0-2, so the pin is dropped.
     _, _, _, _, means = fig5
     assert means["MLComp"]["size"] <= 1.05
 

@@ -29,7 +29,9 @@ from repro.engine.evaluator import (
     PointEvaluator,
     WorkerError,
     evaluate_point,
+    optimize_point,
     point_measurement_seed,
+    profile_optimized,
 )
 from repro.features import extract_features
 from repro.ir.printer import module_fingerprint
@@ -90,8 +92,16 @@ class EvaluationEngine:
 
     def __init__(self, platform, cache=None, cache_size=4096,
                  store_dir=None, mode="serial", workers=None,
-                 fuel=20_000_000):
+                 fuel=20_000_000, compose=True):
         self.platform = platform
+        #: Function-granular second-level cache consumer: on a
+        #: sequence-key miss, serial evaluations run the (cheap) pass
+        #: pipeline locally and look the *optimized* module's
+        #: per-function content up in the result index, skipping
+        #: feature extraction, codegen and simulation when any earlier
+        #: point (or PSS deployment check) produced the same code.
+        self.compose = compose
+        self.compose_stats = {"hits": 0, "misses": 0}
         if cache is False:
             self.cache = None
         else:
@@ -134,6 +144,19 @@ class EvaluationEngine:
                          tuple(sequence), self.platform.target,
                          self.measurement_seed, fuel or self.fuel)
 
+    def result_key_for(self, result_fingerprint, fuel=None):
+        """The result-index key of an *optimized* module's content.
+
+        ``result_fingerprint`` is composed from the module's
+        per-function fingerprints (plus the globals header), so any two
+        points whose sequences produce per-function-identical code
+        share this key — and it coincides with
+        :meth:`profile_module`'s key, so deployment-check profiles and
+        sequence evaluations feed each other.
+        """
+        return cache_key(result_fingerprint, (), self.platform.target,
+                         self.measurement_seed, fuel or self.fuel)
+
     def _estimator_token(self, estimator):
         token = self._estimator_tokens.get(estimator)
         if token is None:
@@ -153,6 +176,46 @@ class EvaluationEngine:
         }
 
     # -- profiled evaluations --------------------------------------------
+    def _evaluate_miss(self, spec, fuel):
+        """One fresh point, with the function-granular result index.
+
+        Runs the pass pipeline in-process (sharing the warm transform
+        caches), content-addresses the optimized module by its composed
+        per-function fingerprints, and only extracts features + profiles
+        when that code was never measured before; the profile is stored
+        under both the sequence key (by the caller) and the result key
+        (here), so later sequences reaching the same code compose
+        instead of re-simulating.
+        """
+        if self.cache is None or not self.compose:
+            return evaluate_point(spec)
+        module, fingerprint, result_fingerprint, function_fingerprints \
+            = optimize_point(spec)
+        result_key = self.result_key_for(result_fingerprint, fuel)
+        stored = self.cache.get(result_key)
+        if stored is not None:
+            self.compose_stats["hits"] += 1
+            payload = dict(stored)
+            payload.update({
+                "fingerprint": fingerprint,
+                "result_fingerprint": result_fingerprint,
+                "function_fingerprints": function_fingerprints,
+                "sequence": list(spec["sequence"]),
+                "measurement_seed": spec["measurement_seed"],
+            })
+            return payload
+        self.compose_stats["misses"] += 1
+        payload = profile_optimized(spec, module, fingerprint,
+                                    result_fingerprint,
+                                    function_fingerprints)
+        index_entry = dict(payload)
+        index_entry.update({
+            "fingerprint": result_fingerprint,
+            "sequence": [],
+        })
+        self.cache.put(result_key, index_entry)
+        return payload
+
     def evaluate(self, workload, sequence, fuel=None):
         """Evaluate one (workload, sequence) point, cache-first."""
         key = self.key_for(workload, sequence, fuel)
@@ -160,7 +223,8 @@ class EvaluationEngine:
             payload = self.cache.get(key)
             if payload is not None:
                 return EvalResult(payload, key, cached=True)
-        payload = evaluate_point(self._spec(workload, sequence, fuel))
+        payload = self._evaluate_miss(self._spec(workload, sequence,
+                                                 fuel), fuel)
         if self.cache is not None:
             self.cache.put(key, payload)
         return EvalResult(payload, key, cached=False)
@@ -188,8 +252,22 @@ class EvaluationEngine:
             else:
                 pending[key] = (self._spec(workload, sequence, fuel),
                                 [index])
-        outcomes = self.evaluator.run([spec for spec, _
-                                       in pending.values()])
+        specs = [spec for spec, _ in pending.values()]
+        if self.evaluator.mode == "serial" and self.cache is not None \
+                and self.compose:
+            # Serial misses go through the in-process result-index path
+            # (identical payloads; parallel modes keep the pool).
+            outcomes = []
+            for spec in specs:
+                try:
+                    outcomes.append((self._evaluate_miss(spec, fuel),
+                                     None))
+                except Exception as error:  # noqa: BLE001 - collected
+                    outcomes.append((None, (spec["name"],
+                                            tuple(spec["sequence"]),
+                                            repr(error))))
+        else:
+            outcomes = self.evaluator.run(specs)
         for (key, (spec, indices)), (payload, error) in zip(
                 pending.items(), outcomes):
             if error is not None:
@@ -353,7 +431,8 @@ class EvaluationEngine:
     def stats(self):
         """Hit/miss statistics for both cache tiers."""
         out = {"pe": self.pe_cache.stats.as_dict(),
-               "mode": self.evaluator.mode}
+               "mode": self.evaluator.mode,
+               "compose": dict(self.compose_stats)}
         out["evaluations"] = (self.cache.stats.as_dict()
                               if self.cache is not None else None)
         return out

@@ -45,19 +45,17 @@ def point_measurement_seed(measurement_seed, result_fingerprint):
     return int.from_bytes(digest[:4], "little")
 
 
-def evaluate_point(spec):
-    """Run one compile->optimize->profile point from a plain spec dict.
+def optimize_point(spec):
+    """Compile the spec's source and run its sequence; returns
+    ``(module, fingerprint, result_fingerprint, function_fingerprints)``.
 
-    Spec keys: ``source``, ``name``, ``sequence``, ``target``,
-    ``measurement_seed``, ``fuel`` (optional).  Returns a
-    JSON-serializable payload dict (the cache entry format).  Top-level
-    so it is picklable for process pools.
+    The two fingerprint values are composed from per-function digests
+    through the shared analysis manager, so the optimized module's
+    content address only pays for the functions the sequence changed.
     """
-    from repro.features import extract_features
     from repro.ir.printer import module_fingerprint
     from repro.lang import compile_source
     from repro.passes import AnalysisManager, PassManager
-    from repro.sim import Platform
 
     module = compile_source(spec["source"], module_name=spec["name"])
     # One analysis manager spans the whole sequence: passes share
@@ -65,11 +63,20 @@ def evaluate_point(spec):
     # re-hashes functions the sequence actually changed.
     am = AnalysisManager()
     fingerprint = module_fingerprint(module, am)
-    sequence = list(spec["sequence"])
-    PassManager().run(module, sequence, am=am)
+    PassManager().run(module, list(spec["sequence"]), am=am)
     result_fingerprint = module_fingerprint(module, am)
     function_fingerprints = {function.name: am.fingerprint(function)
                              for function in module.defined_functions()}
+    return module, fingerprint, result_fingerprint, function_fingerprints
+
+
+def profile_optimized(spec, module, fingerprint, result_fingerprint,
+                      function_fingerprints):
+    """Feature-extract and profile an already-optimized module; returns
+    the JSON-serializable cache payload."""
+    from repro.features import extract_features
+    from repro.sim import Platform
+
     seed = point_measurement_seed(spec["measurement_seed"],
                                   result_fingerprint)
     platform = Platform(spec["target"], measurement_seed=seed)
@@ -82,7 +89,7 @@ def evaluate_point(spec):
         "fingerprint": fingerprint,
         "result_fingerprint": result_fingerprint,
         "function_fingerprints": function_fingerprints,
-        "sequence": list(sequence),
+        "sequence": list(spec["sequence"]),
         "target": spec["target"],
         "measurement_seed": spec["measurement_seed"],
         "features": [float(v) for v in features],
@@ -94,6 +101,20 @@ def evaluate_point(spec):
         "return_value": measurement.return_value,
         "profile_seconds": profile_seconds,
     }
+
+
+def evaluate_point(spec):
+    """Run one compile->optimize->profile point from a plain spec dict.
+
+    Spec keys: ``source``, ``name``, ``sequence``, ``target``,
+    ``measurement_seed``, ``fuel`` (optional).  Returns a
+    JSON-serializable payload dict (the cache entry format).  Top-level
+    so it is picklable for process pools.
+    """
+    module, fingerprint, result_fingerprint, function_fingerprints = \
+        optimize_point(spec)
+    return profile_optimized(spec, module, fingerprint,
+                             result_fingerprint, function_fingerprints)
 
 
 def _guarded_evaluate(spec):

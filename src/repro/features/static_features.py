@@ -25,9 +25,6 @@ from repro.ir import (
     SelectInst,
     StoreInst,
 )
-from repro.ir.cfg import reverse_postorder
-from repro.passes.loop_utils import constant_trip_count
-
 _OPCODES = ("add", "sub", "mul", "sdiv", "srem", "and", "or", "xor",
             "shl", "ashr", "lshr", "fadd", "fsub", "fmul", "fdiv")
 
@@ -54,7 +51,8 @@ STATIC_FEATURE_NAMES = tuple(
 assert len(STATIC_FEATURE_NAMES) == 63, len(STATIC_FEATURE_NAMES)
 
 
-def extract_static_features(module, am=None, partial_cache=None):
+def extract_static_features(module, am=None, partial_cache=None,
+                            vector_cache=None):
     """Return the 63-dimensional static feature vector of a module.
 
     The vector is composed from per-function partial aggregates.  With an
@@ -62,23 +60,40 @@ def extract_static_features(module, am=None, partial_cache=None):
     partial is cached under its canonical fingerprint, so repeated
     extraction over a module where only some functions changed (the PSS
     deployment loop, RL training steps) only re-analyzes the changed
-    functions.  Fingerprinting renames locals (a semantic no-op); without
-    a cache the module is never mutated.
+    functions.
+
+    ``vector_cache`` (a dict, also requires ``am``) additionally
+    memoizes the *combined* vector under the module's content hash:
+    re-extracting after an inactive phase — the dominant case in the
+    deployment loop's activity probing — costs one composed fingerprint
+    and a dict hit.  Callers must treat returned vectors as immutable.
     """
+    key = None
+    if vector_cache is not None and am is not None and am.enabled:
+        from repro.ir.printer import module_fingerprint
+        key = module_fingerprint(module, am)
+        cached = vector_cache.get(key)
+        if cached is not None:
+            return cached
     partials = []
     for function in module.defined_functions():
-        key = None
+        partial_key = None
         if partial_cache is not None and am is not None:
-            key = am.fingerprint(function)
-            cached = partial_cache.get(key)
+            partial_key = am.fingerprint(function)
+            cached = partial_cache.get(partial_key)
             if cached is not None:
                 partials.append(cached)
                 continue
         partial = _function_partial(function, am)
-        if key is not None:
-            partial_cache[key] = partial
+        if partial_key is not None:
+            partial_cache[partial_key] = partial
         partials.append(partial)
-    return _combine_partials(module, partials)
+    vector = _combine_partials(module, partials)
+    if key is not None:
+        if len(vector_cache) > 8192:
+            vector_cache.clear()
+        vector_cache[key] = vector
+    return vector
 
 
 #: Feature names a function contributes to by summation.
@@ -118,42 +133,48 @@ def _function_partial(function, am=None):
 
     maxes["max_blocks_per_function"] = float(len(function.blocks))
     sums["n_args_total"] += len(function.args)
+    # Exact-class dispatch over the raw operand storage: this walk runs
+    # for every changed function on every deployment-loop step, and the
+    # isinstance chain + operand-tuple materialization dominated it.
     for block in function.blocks:
         block_sizes.append(len(block.instructions))
         phis_here = 0
         for inst in block.instructions:
-            for op in inst.operands:
+            for op in inst._operands:
                 total_operands += 1
-                if isinstance(op, ConstantInt):
+                opc = op.__class__
+                if opc is ConstantInt:
                     const_operands += 1
                     distinct_constants.add(("i", op.value))
-                elif isinstance(op, ConstantFloat):
+                elif opc is ConstantFloat:
                     const_operands += 1
                     distinct_constants.add(("f", op.value))
-            if isinstance(inst, BinaryInst):
-                opcode_counts[inst.opcode] += 1
-                if inst.opcode.startswith("f"):
+            cls = inst.__class__
+            if cls is BinaryInst:
+                opcode = inst.opcode
+                opcode_counts[opcode] += 1
+                if opcode[0] == "f":
                     float_ops += 1
                 else:
                     int_ops += 1
-            elif isinstance(inst, ICmpInst):
+            elif cls is ICmpInst:
                 sums["n_icmp"] += 1
-            elif isinstance(inst, FCmpInst):
+            elif cls is FCmpInst:
                 sums["n_fcmp"] += 1
-            elif isinstance(inst, LoadInst):
+            elif cls is LoadInst:
                 sums["n_load"] += 1
-            elif isinstance(inst, StoreInst):
+            elif cls is StoreInst:
                 sums["n_store"] += 1
-            elif isinstance(inst, GEPInst):
+            elif cls is GEPInst:
                 sums["n_gep"] += 1
-                if isinstance(inst.index, ConstantInt):
+                if inst._operands[1].__class__ is ConstantInt:
                     sums["n_const_index_geps"] += 1
-            elif isinstance(inst, PhiInst):
+            elif cls is PhiInst:
                 sums["n_phi"] += 1
                 phis_here += 1
-            elif isinstance(inst, SelectInst):
+            elif cls is SelectInst:
                 sums["n_select"] += 1
-            elif isinstance(inst, CallInst):
+            elif cls is CallInst:
                 sums["n_call"] += 1
                 if inst.is_intrinsic():
                     sums["n_intrinsic_calls"] += 1
@@ -167,18 +188,18 @@ def _function_partial(function, am=None):
                     call_edges.add((function.name, inst.callee.name))
                     if inst.callee is function:
                         recursive = True
-            elif isinstance(inst, CastInst):
+            elif cls is CastInst:
                 sums["n_cast"] += 1
-            elif isinstance(inst, AllocaInst):
+            elif cls is AllocaInst:
                 sums["n_alloca"] += 1
-            elif isinstance(inst, CondBranchInst):
+            elif cls is CondBranchInst:
                 sums["n_cond_branches"] += 1
-            elif isinstance(inst, BranchInst):
+            elif cls is BranchInst:
                 sums["n_uncond_branches"] += 1
-            elif isinstance(inst, RetInst):
+            elif cls is RetInst:
                 sums["n_returns"] += 1
-        maxes["max_phis_per_block"] = max(maxes["max_phis_per_block"],
-                                          float(phis_here))
+        if phis_here > maxes["max_phis_per_block"]:
+            maxes["max_phis_per_block"] = float(phis_here)
     sums["n_cfg_edges"] += sum(len(b.successors())
                                for b in function.blocks)
     # Loops.
@@ -191,17 +212,20 @@ def _function_partial(function, am=None):
     depths = [loop.depth for loop in info.loops]
     if depths:
         maxes["avg_loop_depth"] = float(np.mean(depths))
+    from repro.passes.analysis import loopivs_of
+    ivs = loopivs_of(function, am)
     for loop in info.loops:
         sums["n_back_edges"] += len(loop.latches())
         preheader = loop.preheader()
         if preheader is not None:
-            trip, _ = constant_trip_count(loop, preheader)
+            trip, _ = ivs.trip_count(loop, preheader)
             if trip is not None:
                 sums["n_const_trip_loops"] += 1
-    # Dominator tree height, RPO length.
+    # Dominator tree height, RPO length (the dominator tree already
+    # carries the reverse postorder).
     dom = domtree_of(function, am)
     maxes["dom_tree_height"] = float(_tree_height(dom))
-    maxes["max_rpo_length"] = float(len(reverse_postorder(function)))
+    maxes["max_rpo_length"] = float(len(dom.rpo))
 
     for op in _OPCODES:
         sums[f"n_{op}"] = float(opcode_counts[op])

@@ -51,7 +51,11 @@ from repro.ir.basicblock import BasicBlock
 from repro.ir.function import Function, Module
 from repro.ir.builder import IRBuilder
 from repro.ir.cfg import DominatorTree, Loop, LoopInfo, reverse_postorder
-from repro.ir.verifier import verify_function, verify_module
+from repro.ir.verifier import (
+    verify_function,
+    verify_function_bookkeeping,
+    verify_module,
+)
 from repro.ir.printer import (
     function_to_text,
     module_fingerprint,
@@ -70,7 +74,8 @@ __all__ = [
     "SelectInst", "CastInst",
     "BasicBlock", "Function", "Module", "IRBuilder",
     "DominatorTree", "LoopInfo", "Loop", "reverse_postorder",
-    "verify_function", "verify_module",
+    "verify_function", "verify_function_bookkeeping",
+    "verify_module",
     "function_to_text", "module_to_text", "module_fingerprint",
     "Interpreter", "ExecutionResult", "run_module",
 ]

@@ -27,8 +27,11 @@ class BasicBlock:
         return self.insert(self.instructions.index(term), instruction)
 
     def terminator(self):
-        if self.instructions and self.instructions[-1].is_terminator():
-            return self.instructions[-1]
+        instructions = self.instructions
+        if instructions:
+            last = instructions[-1]
+            if last._terminator:
+                return last
         return None
 
     def phis(self):

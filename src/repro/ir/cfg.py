@@ -18,6 +18,23 @@ def predecessors_map(function):
     return preds
 
 
+def unique_predecessors_map(function):
+    """{block: ordered deduped predecessor list} for every block —
+    entry-equal to ``block.predecessors()`` (which reports a ``condbr``
+    with two identical targets once), at one CFG walk for the whole
+    function instead of one per query."""
+    preds = {block: [] for block in function.blocks}
+    for block in function.blocks:
+        successors = block.successors()
+        if len(successors) == 2 and successors[0] is successors[1]:
+            successors = successors[:1]
+        for succ in successors:
+            entry = preds.get(succ)
+            if entry is not None:
+                entry.append(block)
+    return preds
+
+
 def reverse_postorder(function):
     """Blocks in reverse postorder from the entry (unreachable excluded)."""
     entry = function.entry

@@ -46,6 +46,10 @@ class Instruction(Value):
     """An SSA instruction.  Operands are tracked with def-use bookkeeping."""
 
     opcode = "<abstract>"
+    #: Class-level terminator flag (set by the four terminator classes);
+    #: ``is_terminator`` is on several hot paths where an isinstance
+    #: chain is measurable.
+    _terminator = False
 
     def __init__(self, type_, operands, name=""):
         super().__init__(type_, name)
@@ -87,8 +91,7 @@ class Instruction(Value):
 
     # -- classification ----------------------------------------------------
     def is_terminator(self):
-        return isinstance(self, (BranchInst, CondBranchInst, RetInst,
-                                 UnreachableInst))
+        return self._terminator
 
     def has_side_effects(self):
         """True if this instruction cannot be deleted even when unused."""
@@ -282,6 +285,7 @@ class PhiInst(Instruction):
 
 
 class BranchInst(Instruction):
+    _terminator = True
     opcode = "br"
 
     def __init__(self, target):
@@ -297,6 +301,7 @@ class BranchInst(Instruction):
 
 
 class CondBranchInst(Instruction):
+    _terminator = True
     opcode = "condbr"
 
     def __init__(self, condition, true_target, false_target):
@@ -321,6 +326,7 @@ class CondBranchInst(Instruction):
 
 
 class RetInst(Instruction):
+    _terminator = True
     opcode = "ret"
 
     def __init__(self, value=None):
@@ -335,6 +341,7 @@ class RetInst(Instruction):
 
 
 class UnreachableInst(Instruction):
+    _terminator = True
     opcode = "unreachable"
 
     def __init__(self):

@@ -133,12 +133,29 @@ def _globals_text(module):
 def function_fingerprint(function):
     """A stable hash of one function's structure.
 
-    Local names are normalized first so that transformation no-ops that
-    merely rename values do not register as changes (the PSS relies on
-    this to detect inactive phases, paper §III-D).  Function attributes
-    (e.g. the SLP-enable marker) are part of the digest: they change
-    generated code, so two functions differing only in attributes must
-    not share a fingerprint.
+    Local value names do not enter the digest, so transformation no-ops
+    that merely rename values do not register as changes (the PSS relies
+    on this to detect inactive phases, paper §III-D).  Function
+    attributes (e.g. the SLP-enable marker) are part of the digest: they
+    change generated code, so two functions differing only in attributes
+    must not share a fingerprint.
+
+    Computed structurally (:mod:`repro.ir.structhash`) — no text is
+    materialized and the function is not mutated.  The legacy
+    print-then-hash form survives as :func:`function_text_fingerprint`;
+    the two agree collision-wise (tests/ir/test_structhash.py).
+    """
+    from repro.ir.structhash import structural_fingerprint
+    return structural_fingerprint(function)
+
+
+def function_text_fingerprint(function):
+    """Legacy fingerprint: canonical-rename, print, hash the text.
+
+    Kept as the seed cost model's fingerprint (the benchmark baseline in
+    ``benchmarks/test_passmanager.py``) and as the reference that the
+    structural hash is property-tested against.  Note the side effect:
+    locals are renamed to their canonical names.
     """
     import hashlib
 
@@ -155,17 +172,38 @@ def module_fingerprint(module, am=None):
     per-function fingerprints plus the globals header.
 
     With an :class:`repro.passes.analysis.AnalysisManager` the
-    per-function digests are served from its cache, so re-fingerprinting
+    per-function digests are served from its cache — re-fingerprinting
     a module after a phase only pays for the functions the phase
-    actually changed.
+    actually changed — and the composed digest itself is memoized until
+    the next invalidation, so activity probing after an inactive phase
+    is a dict hit.
     """
     import hashlib
 
+    if am is not None and am.enabled:
+        cached = am.cached_module_fingerprint(module)
+        if cached is not None:
+            return cached
     parts = [_globals_text(module)]
     for function in module.functions.values():
         if am is not None:
             parts.append(am.fingerprint(function))
         else:
             parts.append(function_fingerprint(function))
+    digest = hashlib.sha256(
+        "\x1f".join(parts).encode("utf-8")).hexdigest()
+    if am is not None and am.enabled:
+        am.store_module_fingerprint(module, digest)
+    return digest
+
+
+def module_text_fingerprint(module):
+    """Legacy module hash composed from per-function text fingerprints
+    (the seed cost model; see :func:`function_text_fingerprint`)."""
+    import hashlib
+
+    parts = [_globals_text(module)]
+    for function in module.functions.values():
+        parts.append(function_text_fingerprint(function))
     return hashlib.sha256(
         "\x1f".join(parts).encode("utf-8")).hexdigest()

@@ -44,6 +44,20 @@ def verify_function(function, am=None):
     _check_dominance(function, dom)
 
 
+def verify_function_bookkeeping(function):
+    """Only the checks that are NOT a function of printed content:
+    def-use registration and parent links.  A function whose canonical
+    fingerprint already verified (``passes.base.VERIFIED_CONTENTS``)
+    skips the content-determined checks but must still prove its
+    bookkeeping — a fingerprint-identical body can carry a stale use
+    list or parent pointer, and the worklist engines and DCE trust
+    both."""
+    if not function.blocks:
+        return
+    _check_parent_links(function)
+    _check_use_lists(function)
+
+
 def _fail(function, message):
     raise VerificationError(f"in @{function.name}: {message}")
 

@@ -115,6 +115,10 @@ class AnalysisManager:
         self.enabled = enabled
         self.stats = AnalysisStats()
         self._entries = {}  # id(function) -> (function, {name: value})
+        # Composed module digests (printer.module_fingerprint), dropped
+        # whenever any per-function fingerprint changes: exactly as
+        # stale as the per-function cache it composes.
+        self._module_fps = {}  # id(module) -> (module, digest)
 
     # -- computation ------------------------------------------------------
     def _compute(self, name, function):
@@ -154,6 +158,8 @@ class AnalysisManager:
         post-change dominator tree)."""
         if not self.enabled:
             return
+        if name == "fingerprint":
+            self._module_fps.clear()
         entry = self._entries.get(id(function))
         if entry is None:
             entry = (function, {})
@@ -183,6 +189,15 @@ class AnalysisManager:
     def callee_signature(self, function):
         return self.get("callsig", function)
 
+    # -- module fingerprint memo ------------------------------------------
+    def cached_module_fingerprint(self, module):
+        hit = self._module_fps.get(id(module))
+        return hit[1] if hit is not None else None
+
+    def store_module_fingerprint(self, module, digest):
+        if self.enabled:
+            self._module_fps[id(module)] = (module, digest)
+
     # -- invalidation -----------------------------------------------------
     def invalidate(self, function, preserved=PRESERVE_NONE):
         """Drop ``function``'s analyses except the ``preserved`` set.
@@ -190,6 +205,7 @@ class AnalysisManager:
         ``fingerprint`` is never preservable: a changed function must
         re-fingerprint.
         """
+        self._module_fps.clear()
         entry = self._entries.get(id(function))
         if entry is None:
             return
@@ -205,6 +221,7 @@ class AnalysisManager:
         """Invalidate every cached function; entries for functions no
         longer in ``module`` (e.g. removed by globaldce) are dropped
         entirely."""
+        self._module_fps.clear()
         live = {id(f) for f in module.functions.values()}
         for key in list(self._entries):
             function = self._entries[key][0]
@@ -224,12 +241,14 @@ class AnalysisManager:
 
     def forget(self, function):
         """Drop every cached analysis for ``function``."""
+        self._module_fps.clear()
         entry = self._entries.pop(id(function), None)
         if entry is not None:
             self.stats.invalidations += len(entry[1])
 
     def clear(self):
         self._entries.clear()
+        self._module_fps.clear()
 
     def __repr__(self):
         cached = sum(len(e[1]) for e in self._entries.values())

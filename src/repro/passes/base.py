@@ -9,10 +9,56 @@ they changed so verification and fingerprinting run function-granular.
 """
 
 import time
+from collections import OrderedDict
 
-from repro.ir import verify_function, verify_module
-from repro.ir.printer import module_fingerprint
+from repro.ir import (
+    verify_function,
+    verify_function_bookkeeping,
+    verify_module,
+)
+from repro.ir.printer import module_fingerprint, module_text_fingerprint
 from repro.passes.analysis import AnalysisManager, PRESERVE_NONE
+
+
+class VerifiedContents:
+    """Bounded LRU set of function fingerprints that passed verification.
+
+    The *content-determined* checks (terminators, operand scope, phis,
+    dominance) are pure functions of function content, so a content
+    hash that verified once need not re-run them — the same argument
+    that justifies the transform cache's one-time snapshot
+    verification, generalized to every changed function.  Def-use and
+    parent-link bookkeeping is NOT content-determined; memo hits still
+    run :func:`repro.ir.verify_function_bookkeeping`.  The legacy mode
+    (``analysis_cache=False``) never consults this memo: it re-verifies
+    everything, every phase, as the seed did.
+    """
+
+    def __init__(self, max_entries=16384):
+        self.max_entries = max_entries
+        self.hits = 0
+        self._entries = OrderedDict()
+
+    def __contains__(self, fingerprint):
+        if fingerprint in self._entries:
+            self._entries.move_to_end(fingerprint)
+            self.hits += 1
+            return True
+        return False
+
+    def add(self, fingerprint):
+        self._entries[fingerprint] = None
+        self._entries.move_to_end(fingerprint)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self):
+        self._entries.clear()
+
+
+#: Process-global verification memo (content-addressed, like the
+#: transform cache).
+VERIFIED_CONTENTS = VerifiedContents()
 
 # name -> factory; populated by @register_pass.
 PASS_REGISTRY = {}
@@ -52,6 +98,10 @@ class Pass:
 
     pass_name = "<abstract>"
     preserved_analyses = PRESERVE_NONE
+    #: True for module passes whose outcomes the module transform cache
+    #: may memoize (content-deterministic, replayable as per-function
+    #: body swaps): inline, ipsccp, globalopt.
+    module_memo = False
     #: function -> snapshot, for changes that came from a
     #: transform-cache materialization in the last run.
     last_materialized = {}
@@ -68,11 +118,52 @@ class Pass:
         Module passes cannot attribute their edits, so a change
         conservatively reports (and invalidates) every defined function;
         entries of functions removed from the module are dropped.
+
+        Passes opting into ``module_memo`` are memoized through the
+        module transform cache: a module state this pass was already
+        observed on either skips the body (known inactive) or replays
+        the recorded per-function bodies — then only the replayed
+        functions are invalidated and reported.
         """
+        from repro.passes.transform_cache import (
+            MODULE_TRANSFORM_CACHE,
+            module_pass_digest,
+        )
+
+        self.last_materialized = {}
+        memo = MODULE_TRANSFORM_CACHE if (
+            self.module_memo and am.enabled
+            and MODULE_TRANSFORM_CACHE.enabled) else None
+        key = pre_fingerprints = pre_meta = last_seen = None
+        if memo is not None:
+            digest, pre_meta = module_pass_digest(module, am)
+            key = memo.key(self.pass_name, (digest, pre_meta))
+            outcome, payload = memo.apply(key, module, am)
+            if outcome is False:
+                return set()
+            if outcome is True:
+                # Replayed: analyses of untouched functions survive
+                # (the no-cache run invalidated them too, but analyses
+                # only affect speed — the warm-vs-fresh contract).
+                am.drop_analysis("callsig")
+                if payload:
+                    return payload
+                return set(module.defined_functions())
+            last_seen = payload
+            pre_fingerprints = {
+                name: (am.fingerprint(function)
+                       if not function.is_declaration() else None)
+                for name, function in module.functions.items()}
         changed = self.run_on_module(module, am)
         if not changed:
+            if memo is not None:
+                memo.record(key, module, am, False, pre_fingerprints,
+                            pre_meta, last_seen)
             return set()
         am.invalidate_module(module, self.preserved_for(module))
+        if memo is not None:
+            memo.record(key, module, am, True, pre_fingerprints,
+                        pre_meta, last_seen)
         return set(module.defined_functions())
 
     def run_on_module(self, module, am):
@@ -256,18 +347,31 @@ class PassManager:
             verified = 0
             if self.verify:
                 if self.analysis_cache:
-                    # A materialized clone is re-verified only until its
-                    # snapshot has passed verification once.
+                    # Content-addressed verification: a changed function
+                    # whose (post-change) fingerprint verified before —
+                    # in this module or any other — is not re-verified.
+                    # Subsumes the materialized-snapshot fast path.
                     for function in changed_functions:
                         snapshot = phase.last_materialized.get(function)
                         if snapshot is not None and snapshot.verified:
                             continue
-                        if not function.is_declaration() and \
-                                function.module is module:
+                        if function.is_declaration() or \
+                                function.module is not module:
+                            continue
+                        content = am.fingerprint(function)
+                        if content in VERIFIED_CONTENTS:
+                            # The content-determined checks are served
+                            # by the memo; def-use/parent bookkeeping
+                            # is NOT content (a fingerprint-identical
+                            # function can carry corrupt use lists), so
+                            # it is always re-checked.
+                            verify_function_bookkeeping(function)
+                        else:
                             verify_function(function, am)
                             verified += 1
-                            if snapshot is not None:
-                                snapshot.verified = True
+                            VERIFIED_CONTENTS.add(content)
+                        if snapshot is not None:
+                            snapshot.verified = True
                 else:
                     verify_module(module)
                     verified = len(module.defined_functions())
@@ -291,4 +395,5 @@ class PassManager:
     def _fingerprint(self, module, am):
         if self.analysis_cache:
             return module_fingerprint(module, am)
-        return module_fingerprint(module)
+        # Legacy cost model: the seed's print-then-hash fingerprint.
+        return module_text_fingerprint(module)

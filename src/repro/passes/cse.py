@@ -24,6 +24,7 @@ from repro.passes.utils import (
     replace_and_erase,
     value_number_key,
 )
+from repro.passes.worklist import delete_dead_worklist, use_worklist
 
 
 class _EarlyCSEBase(FunctionPass):
@@ -89,7 +90,10 @@ class _EarlyCSEBase(FunctionPass):
                 walk(function.entry, {}, {})
             finally:
                 sys.setrecursionlimit(limit)
-        self._changed |= delete_dead_instructions(function)
+        if use_worklist(am):
+            self._changed |= delete_dead_worklist(function)
+        else:
+            self._changed |= delete_dead_instructions(function)
         return self._changed
 
     @staticmethod
@@ -149,7 +153,10 @@ class GVN(FunctionPass):
                     if leader is None or leader.parent is None:
                         leaders[key] = inst
         changed |= self._load_forwarding(function, dom)
-        changed |= delete_dead_instructions(function)
+        if use_worklist(am):
+            changed |= delete_dead_worklist(function)
+        else:
+            changed |= delete_dead_instructions(function)
         return changed
 
     @staticmethod

@@ -43,6 +43,7 @@ def _is_recursive(function):
 class Inliner(Pass):
     """Bottom-up inlining with a size threshold."""
 
+    module_memo = True
     THRESHOLD = 45
 
     def run_on_module(self, module, am):
@@ -249,6 +250,7 @@ class GlobalOpt(Pass):
     """Fold globals that are never stored to their initializer value, and
     delete stores to globals that are never read."""
 
+    module_memo = True
     preserved_analyses = PRESERVE_CFG
 
     def run_on_module(self, module, am):

@@ -30,6 +30,7 @@ from repro.passes.utils import (
     must_alias,
     replace_and_erase,
 )
+from repro.passes.worklist import delete_dead_worklist, use_worklist
 
 
 @register_pass("reassociate")
@@ -79,7 +80,10 @@ class Reassociate(FunctionPass):
                 if current is not inst:
                     replace_and_erase(inst, current)
                     changed = True
-        changed |= delete_dead_instructions(function)
+        if use_worklist(am):
+            changed |= delete_dead_worklist(function)
+        else:
+            changed |= delete_dead_instructions(function)
         return changed
 
     @staticmethod
@@ -443,7 +447,10 @@ class Float2Int(FunctionPass):
                     user.erase_from_parent()
                 inst.erase_from_parent()
                 changed = True
-        changed |= delete_dead_instructions(function)
+        if use_worklist(am):
+            changed |= delete_dead_worklist(function)
+        else:
+            changed |= delete_dead_instructions(function)
         return changed
 
 

@@ -20,7 +20,9 @@ from repro.ir import (
     PhiInst,
     RetInst,
     SelectInst,
+    UndefValue,
 )
+from repro.ir.values import Constant
 from repro.passes.analysis import PRESERVE_CFG, PRESERVE_NONE
 from repro.passes.base import Pass, FunctionPass, register_pass
 from repro.passes.utils import (
@@ -32,6 +34,7 @@ from repro.passes.utils import (
     fold_icmp,
     replace_and_erase,
 )
+from repro.passes.worklist import delete_dead_worklist, use_worklist
 
 _TOP = "top"        # undefined / not yet known
 _BOTTOM = "bottom"  # overdefined
@@ -44,9 +47,7 @@ class _Lattice:
         self.values = {}
 
     def get(self, value):
-        from repro.ir.values import Constant
         if isinstance(value, Constant):
-            from repro.ir import UndefValue
             if isinstance(value, UndefValue):
                 return _TOP
             return value
@@ -145,7 +146,8 @@ class _SCCPSolver:
             self._mark_users(inst)
 
     def _visit(self, inst):
-        if isinstance(inst, PhiInst):
+        cls = inst.__class__
+        if cls is PhiInst:
             state = _TOP
             for value, pred in inst.incoming():
                 if (id(pred), id(inst.parent)) in self.executable_edges:
@@ -153,7 +155,7 @@ class _SCCPSolver:
                                                self.lattice.get(value))
             self._update(inst, state)
             return
-        if isinstance(inst, CondBranchInst):
+        if cls is CondBranchInst:
             cond = self.lattice.get(inst.condition)
             if cond == _BOTTOM:
                 self.cfg_worklist.append((inst.parent, inst.true_target))
@@ -162,14 +164,14 @@ class _SCCPSolver:
                 target = inst.true_target if cond.value else inst.false_target
                 self.cfg_worklist.append((inst.parent, target))
             return
-        if isinstance(inst, BranchInst):
+        if cls is BranchInst:
             self.cfg_worklist.append((inst.parent, inst.target))
             return
-        if isinstance(inst, (BinaryInst, ICmpInst, FCmpInst, CastInst,
-                             SelectInst)):
+        if cls is BinaryInst or cls is ICmpInst or cls is FCmpInst \
+                or cls is CastInst or cls is SelectInst:
             self._update(inst, self._evaluate(inst))
             return
-        if isinstance(inst, CallInst):
+        if cls is CallInst:
             state = _BOTTOM
             if self.call_oracle is not None and not inst.is_intrinsic():
                 state = self.call_oracle(inst, self.lattice)
@@ -183,31 +185,33 @@ class _SCCPSolver:
             self._update(inst, _BOTTOM)
 
     def _evaluate(self, inst):
-        states = [self.lattice.get(op) for op in inst.operands]
-        if any(s == _BOTTOM for s in states):
+        get = self.lattice.get
+        states = [get(op) for op in inst._operands]
+        cls = inst.__class__
+        if _BOTTOM in states:
             # Select with known condition can still be constant.
-            if isinstance(inst, SelectInst):
+            if cls is SelectInst:
                 cond = states[0]
                 if isinstance(cond, ConstantInt):
                     return states[1] if cond.value else states[2]
             return _BOTTOM
-        if any(s == _TOP for s in states):
+        if _TOP in states:
             return _TOP
-        if isinstance(inst, BinaryInst):
+        if cls is BinaryInst:
             result = fold_binary(inst.opcode, states[0], states[1],
                                  inst.type)
             return result if result is not None else _BOTTOM
-        if isinstance(inst, ICmpInst):
+        if cls is ICmpInst:
             result = fold_icmp(inst.predicate, states[0], states[1])
             return result if result is not None else _BOTTOM
-        if isinstance(inst, FCmpInst):
+        if cls is FCmpInst:
             result = fold_fcmp(inst.predicate, states[0], states[1])
             return result if result is not None else _BOTTOM
-        if isinstance(inst, CastInst):
+        if cls is CastInst:
             result = fold_cast(inst.opcode, states[0], inst.value.type,
                                inst.type)
             return result if result is not None else _BOTTOM
-        if isinstance(inst, SelectInst):
+        if cls is SelectInst:
             cond = states[0]
             if isinstance(cond, ConstantInt):
                 return states[1] if cond.value else states[2]
@@ -215,12 +219,14 @@ class _SCCPSolver:
         return _BOTTOM
 
 
-def _apply_lattice(function, lattice, executable_blocks):
+def _apply_lattice(function, lattice, executable_blocks, worklist=True):
     """Rewrite the function according to solved lattice values.
 
     Returns ``(changed, cfg_changed)`` — ``cfg_changed`` is True when a
     branch folded (an edge disappeared), which is the only rewrite here
-    that invalidates dominator/loop analyses.
+    that invalidates dominator/loop analyses.  The trailing dead-code
+    cleanup runs the worklist engine unless the caller runs the legacy
+    (rescan) cost model.
     """
     from repro.ir.values import Constant
 
@@ -247,7 +253,10 @@ def _apply_lattice(function, lattice, executable_blocks):
     for block in function.blocks:
         if constant_fold_terminator(block):
             changed = cfg_changed = True
-    changed |= delete_dead_instructions(function)
+    if worklist:
+        changed |= delete_dead_worklist(function)
+    else:
+        changed |= delete_dead_instructions(function)
     return changed, cfg_changed
 
 
@@ -264,7 +273,8 @@ class SCCP(FunctionPass):
         solver = _SCCPSolver(function)
         lattice = solver.solve()
         changed, self._cfg_changed = _apply_lattice(
-            function, lattice, solver.executable_blocks)
+            function, lattice, solver.executable_blocks,
+            worklist=use_worklist(am))
         return changed
 
     def preserved_for(self, function):
@@ -280,8 +290,37 @@ class IPSCCP(Pass):
     point (bounded by a small round count).
     """
 
+    module_memo = True
+
     def run_on_module(self, module, am):
         functions = module.defined_functions()
+        # Fast path: with no call edges between defined functions the
+        # argument/return lattices cannot change across rounds (the
+        # oracle answers bottom for declarations either way), so the
+        # fixpoint iteration collapses to one solve+apply per function —
+        # identical results, half the solver work.  Most single-kernel
+        # workloads take this path.
+        defined = {id(f) for f in functions}
+        has_interprocedural_calls = any(
+            isinstance(inst, CallInst) and not inst.is_intrinsic()
+            and id(inst.callee) in defined
+            for function in functions
+            for block in function.blocks
+            for inst in block.instructions)
+        if not has_interprocedural_calls:
+            changed = False
+            for function in functions:
+                default = _BOTTOM if function.name == "main" else _TOP
+                seeds = {arg.index: default for arg in function.args}
+                solver = _SCCPSolver(
+                    function, seeds,
+                    call_oracle=lambda call, lattice: _BOTTOM)
+                lattice = solver.solve()
+                function_changed, _ = _apply_lattice(
+                    function, lattice, solver.executable_blocks,
+                    worklist=use_worklist(am))
+                changed |= function_changed
+            return changed
         arg_states = {f.name: {} for f in functions}
         return_states = {}
         # Seed: externally callable functions (main) get bottom arguments.
@@ -344,6 +383,7 @@ class IPSCCP(Pass):
                                  call_oracle=final_oracle)
             lattice = solver.solve()
             function_changed, _ = _apply_lattice(
-                function, lattice, solver.executable_blocks)
+                function, lattice, solver.executable_blocks,
+                worklist=use_worklist(am))
             changed |= function_changed
         return changed

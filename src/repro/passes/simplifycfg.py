@@ -3,6 +3,21 @@
 Folds constant branches, removes unreachable blocks, merges straight-line
 block chains, skips empty forwarding blocks, collapses trivial phis, and
 if-converts small diamonds into selects.
+
+Two execution engines share the per-block rewrite rules:
+
+- the **dirty-block engine** (default): keeps the seed's round
+  structure but each round only visits blocks marked by the previous
+  round's rewrites (the touched block, blocks whose predecessor sets
+  changed, users of collapsed phis), with one predecessors map serving
+  every guard query instead of an O(function) scan per query;
+- the **rescan engine** (``PassManager(analysis_cache=False)``): the
+  seed's ``while progress: apply every rule to every block`` loop, kept
+  as the measured legacy cost-model baseline.
+
+Both engines apply the same rules in the same order and are
+bit-identical on the differential corpus
+(``tests/passes/test_worklist_vs_rescan.py``).
 """
 
 from repro.ir import (
@@ -10,12 +25,24 @@ from repro.ir import (
     CondBranchInst,
     SelectInst,
 )
-from repro.ir.cfg import reachable_blocks
+from repro.ir.cfg import reachable_blocks, unique_predecessors_map
 from repro.passes.base import FunctionPass, register_pass
 from repro.passes.utils import (
     constant_fold_terminator,
     remove_block_from_phis,
 )
+from repro.passes.worklist import CFGWorklist, use_worklist
+
+
+_build_preds_map = unique_predecessors_map
+
+
+def _preds_of(block, preds_map):
+    if preds_map is not None:
+        hit = preds_map.get(block)
+        if hit is not None:
+            return hit
+    return block.predecessors()
 
 
 @register_pass("simplifycfg")
@@ -23,6 +50,120 @@ class SimplifyCFG(FunctionPass):
     # CFG restructuring: preserves nothing (the default).
 
     def run_on_function(self, function, am=None):
+        if not use_worklist(am):
+            return self._run_rescan(function)
+        return self._run_worklist(function)
+
+    # -- dirty-block engine -----------------------------------------------
+    def _run_worklist(self, function):
+        """The rescan engine's round structure, restricted per round to
+        the blocks the previous round's rewrites could have affected.
+
+        Rule order, intra-rule iteration order, and each rule's
+        fixpoint shape match ``_run_rescan`` exactly; only the clean
+        blocks — where no rule can newly fire — are skipped, so the two
+        engines apply the same rewrites in the same order and converge
+        to bit-identical IR (differential-tested for every pass).
+        """
+        changed = False
+        dirty = None  # marked ids from the previous round; None = all
+        # One predecessors map serves every rule's guard queries; it is
+        # rebuilt only after a rewrite edits CFG edges (rules query all
+        # their guards before mutating, so within one application the
+        # map is never stale).
+        preds_state = {"map": _build_preds_map(function), "stale": False}
+
+        def preds_map():
+            if preds_state["stale"]:
+                preds_state["map"] = _build_preds_map(function)
+                preds_state["stale"] = False
+            return preds_state["map"]
+
+        while True:
+            marks = CFGWorklist()
+            if dirty is not None and not dirty:
+                break
+            progress = False
+
+            def is_dirty(block, dirty=dirty, marks=marks):
+                return (dirty is None or id(block) in dirty
+                        or id(block) in marks.ids)
+
+            # 1. Fold constant branches; a removed edge changes the dead
+            #    target's predecessor set (and can orphan a region).
+            folded = False
+            for block in function.blocks:
+                if not is_dirty(block):
+                    continue
+                before = block.successors()
+                if constant_fold_terminator(block):
+                    folded = True
+                    preds_state["stale"] = True
+                    marks.add(block)
+                    after = set(block.successors())
+                    for succ in before:
+                        if succ not in after:
+                            marks.add_pred_change(succ)
+            progress |= folded
+
+            # 2. Remove unreachable blocks (round 1 also clears dead
+            #    blocks left by earlier passes, as the rescan does).
+            if folded or dirty is None:
+                if self._remove_unreachable(function, marks):
+                    progress = True
+                    preds_state["stale"] = True
+
+            # 3. Collapse trivial phis to a cross-block fixpoint (phi
+            #    erasure never changes edges, so the map stays valid).
+            collapsing = True
+            while collapsing:
+                collapsing = False
+                for block in function.blocks:
+                    if not is_dirty(block):
+                        continue
+                    if self._collapse_phis_at(block, marks,
+                                              preds_map()):
+                        collapsing = True
+                progress |= collapsing
+
+            # 4. Merge chains: first dirty mergeable block in list
+            #    order, restart after each merge (the rescan's shape).
+            merging = True
+            while merging:
+                merging = False
+                for block in list(function.blocks):
+                    if block.parent is None or not is_dirty(block):
+                        continue
+                    if self._merge_chain_at(block, marks, preds_map()):
+                        preds_state["stale"] = True
+                        merging = True
+                        progress = True
+                        break
+
+            # 5. Skip empty forwarding blocks (one sweep per round).
+            for block in list(function.blocks):
+                if block.parent is None or not is_dirty(block):
+                    continue
+                if self._skip_forwarding_at(block, marks, preds_map()):
+                    preds_state["stale"] = True
+                    progress = True
+
+            # 6. If-convert empty diamonds (one sweep per round).
+            for block in list(function.blocks):
+                if block.parent is None or not is_dirty(block):
+                    continue
+                if self._diamond_at(block, marks, preds_map()):
+                    preds_state["stale"] = True
+                    progress = True
+
+            changed |= progress
+            if not progress:
+                break
+            dirty = marks.ids
+        return changed
+
+    # -- rescan engine (legacy cost model) --------------------------------
+    def _run_rescan(self, function):
         changed = False
         progress = True
         while progress:
@@ -44,16 +185,18 @@ class SimplifyCFG(FunctionPass):
         return changed
 
     @staticmethod
-    def _remove_unreachable(function):
+    def _remove_unreachable(function, worklist=None):
         reachable = reachable_blocks(function)
         dead = [b for b in function.blocks if b not in reachable]
         if not dead:
             return False
         dead_set = set(dead)
+        survivors = set()
         for block in dead:
             for succ in block.successors():
                 if succ not in dead_set:
                     remove_block_from_phis(block, succ)
+                    survivors.add(succ)
         for block in dead:
             # Break def-use links into the live region first.
             for inst in list(block.instructions):
@@ -61,7 +204,38 @@ class SimplifyCFG(FunctionPass):
                 if not inst.type.is_void() and inst.is_used():
                     inst.replace_all_uses_with(UndefValue(inst.type))
             block.remove_from_parent()
+        if worklist is not None:
+            for succ in survivors:
+                worklist.add_pred_change(succ)
         return True
+
+    # -- per-block rules (shared by both engines) -------------------------
+    @staticmethod
+    def _collapse_phis_at(block, worklist=None, preds_map=None):
+        """Collapse trivial phis of one block."""
+        changed = False
+        preds = _preds_of(block, preds_map)
+        for phi in list(block.phis()):
+            value = None
+            if len(preds) == 1 and len(phi.operands) == 1:
+                value = phi.operands[0]
+            else:
+                values = [v for v in phi.operands if v is not phi]
+                if values and all(v is values[0] for v in values):
+                    value = values[0]
+            if value is None:
+                continue
+            if worklist is not None:
+                worklist.add(block)
+                # A phi user elsewhere may have just become trivial (or
+                # a condbr condition constant).
+                for user in phi.users:
+                    if user.parent is not None:
+                        worklist.add(user.parent)
+            phi.replace_all_uses_with(value)
+            phi.erase_from_parent()
+            changed = True
+        return changed
 
     @staticmethod
     def _collapse_trivial_phis(function):
@@ -70,169 +244,205 @@ class SimplifyCFG(FunctionPass):
         while progress:
             progress = False
             for block in function.blocks:
-                preds = block.predecessors()
-                for phi in list(block.phis()):
-                    if len(preds) == 1 and len(phi.operands) == 1:
-                        phi.replace_all_uses_with(phi.operands[0])
-                        phi.erase_from_parent()
-                        progress = True
-                        continue
-                    values = [v for v in phi.operands if v is not phi]
-                    if values and all(v is values[0] for v in values):
-                        phi.replace_all_uses_with(values[0])
-                        phi.erase_from_parent()
-                        progress = True
+                progress |= SimplifyCFG._collapse_phis_at(block)
             changed |= progress
         return changed
 
     @staticmethod
+    def _merge_chain_at(block, worklist=None, preds_map=None):
+        """Merge ``block -> succ`` when block's only successor is succ
+        and succ's only predecessor is block."""
+        function = block.parent
+        if function is None:
+            return False
+        term = block.terminator()
+        if not isinstance(term, BranchInst):
+            return False
+        succ = term.target
+        if succ is block or succ is function.entry:
+            return False
+        if len(_preds_of(succ, preds_map)) != 1:
+            return False
+        # Fold phis in succ (single predecessor).
+        for phi in list(succ.phis()):
+            phi.replace_all_uses_with(phi.incoming_value_for(block))
+            phi.erase_from_parent()
+        term.erase_from_parent()
+        after_blocks = succ.successors()
+        for inst in list(succ.instructions):
+            succ.instructions.remove(inst)
+            block.append(inst)
+        for after in after_blocks:
+            for phi in after.phis():
+                phi.replace_incoming_block(succ, block)
+        succ.parent = None
+        function.blocks.remove(succ)
+        if worklist is not None:
+            worklist.add(block)  # may merge again / expose a diamond
+            for after in after_blocks:
+                worklist.add_pred_change(after)
+        return True
+
+    @staticmethod
     def _merge_chains(function):
-        """Merge ``a -> b`` when a's only successor is b and b's only
-        predecessor is a."""
         changed = False
         progress = True
         while progress:
             progress = False
             for block in list(function.blocks):
-                term = block.terminator()
-                if not isinstance(term, BranchInst):
-                    continue
-                succ = term.target
-                if succ is block or succ is function.entry:
-                    continue
-                if len(succ.predecessors()) != 1:
-                    continue
-                # Fold phis in succ (single predecessor).
-                for phi in list(succ.phis()):
-                    phi.replace_all_uses_with(phi.incoming_value_for(block))
-                    phi.erase_from_parent()
-                term.erase_from_parent()
-                after_blocks = succ.successors()
-                for inst in list(succ.instructions):
-                    succ.instructions.remove(inst)
-                    block.append(inst)
-                for after in after_blocks:
-                    for phi in after.phis():
-                        phi.replace_incoming_block(succ, block)
-                succ.parent = None
-                function.blocks.remove(succ)
-                progress = True
-                changed = True
-                break
+                if SimplifyCFG._merge_chain_at(block):
+                    progress = True
+                    changed = True
+                    break
         return changed
+
+    @staticmethod
+    def _skip_forwarding_at(block, worklist=None, preds_map=None):
+        """Rewire predecessors around ``block`` when it is an empty
+        block that just ``br``'s on."""
+        function = block.parent
+        if function is None:
+            return False
+        if block is function.entry:
+            return False
+        if len(block.instructions) != 1:
+            return False
+        term = block.terminator()
+        if not isinstance(term, BranchInst):
+            return False
+        target = term.target
+        if target is block:
+            return False
+        # Safe only if target's phis can absorb the rewire: for each
+        # predecessor P of block, target must not already have P as a
+        # predecessor (else phi would need two entries with possibly
+        # different values), unless target has no phis.
+        preds = _preds_of(block, preds_map)
+        if not preds:
+            return False
+        target_preds = _preds_of(target, preds_map)
+        if target.phis():
+            if any(p in target_preds for p in preds):
+                return False
+        for pred in preds:
+            pred.terminator().replace_successor(block, target)
+        for phi in target.phis():
+            # Splice the rewired entries where the forwarded entry sat,
+            # so the resulting incoming order does not depend on when
+            # this rule fires (the two engines reach it at different
+            # times; appending would leave order-divergent phis).
+            pairs = []
+            for value, incoming in zip(phi.operands,
+                                       phi.incoming_blocks):
+                if incoming is block:
+                    pairs.extend((value, pred) for pred in preds)
+                else:
+                    pairs.append((value, incoming))
+            phi.drop_all_references()
+            phi.incoming_blocks = []
+            for value, incoming in pairs:
+                phi.add_incoming(value, incoming)
+        block.remove_from_parent()
+        if worklist is not None:
+            worklist.add_pred_change(target)
+        return True
 
     @staticmethod
     def _skip_forwarding_blocks(function):
-        """Rewire predecessors around empty blocks that just ``br`` on."""
         changed = False
         for block in list(function.blocks):
-            if block is function.entry:
-                continue
-            if len(block.instructions) != 1:
-                continue
-            term = block.terminator()
-            if not isinstance(term, BranchInst):
-                continue
-            target = term.target
-            if target is block:
-                continue
-            # Safe only if target's phis can absorb the rewire: for each
-            # predecessor P of block, target must not already have P as a
-            # predecessor (else phi would need two entries with possibly
-            # different values), unless target has no phis.
-            preds = block.predecessors()
-            if not preds:
-                continue
-            target_preds = target.predecessors()
-            if target.phis():
-                if any(p in target_preds for p in preds):
-                    continue
-            for pred in preds:
-                pred.terminator().replace_successor(block, target)
-                for phi in target.phis():
-                    phi.add_incoming(phi.incoming_value_for(block), pred)
-            for phi in target.phis():
-                phi.remove_incoming(block)
-            block.remove_from_parent()
-            changed = True
+            changed |= SimplifyCFG._skip_forwarding_at(block)
         return changed
 
     @staticmethod
-    def _diamond_to_select(function):
-        """If-convert diamonds/triangles whose arms are empty.
+    def _diamond_at(block, worklist=None, preds_map=None):
+        """If-convert a diamond/triangle branching at ``block`` whose
+        arms are empty.
 
-        ``if (c) x = a; else x = b;`` after mem2reg becomes a diamond whose
-        arms hold no instructions and a phi at the join — convert the phi
-        into a select and fold the branch.
+        ``if (c) x = a; else x = b;`` after mem2reg becomes a diamond
+        whose arms hold no instructions and a phi at the join — convert
+        the phi into a select and fold the branch.
         """
+        function = block.parent
+        if function is None:
+            return False
+        term = block.terminator()
+        if not isinstance(term, CondBranchInst):
+            return False
+        true_block, false_block = term.true_target, term.false_target
+        if true_block is false_block:
+            return False
+
+        def is_empty_forward(candidate, join):
+            return (len(candidate.instructions) == 1
+                    and isinstance(candidate.terminator(), BranchInst)
+                    and candidate.terminator().target is join
+                    and _preds_of(candidate, preds_map) == [block])
+
+        join = None
+        arm_true = arm_false = None
+        # Diamond: block -> t -> join, block -> f -> join.
+        if (isinstance(true_block.terminator(), BranchInst)
+                and isinstance(false_block.terminator(), BranchInst)
+                and true_block.terminator().target
+                is false_block.terminator().target):
+            join = true_block.terminator().target
+            if not (is_empty_forward(true_block, join)
+                    and is_empty_forward(false_block, join)):
+                return False
+            arm_true, arm_false = true_block, false_block
+        # Triangle: block -> t -> join, block -> join.
+        elif (isinstance(true_block.terminator(), BranchInst)
+                and true_block.terminator().target is false_block):
+            join = false_block
+            if not is_empty_forward(true_block, join):
+                return False
+            arm_true, arm_false = true_block, block
+        elif (isinstance(false_block.terminator(), BranchInst)
+                and false_block.terminator().target is true_block):
+            join = true_block
+            if not is_empty_forward(false_block, join):
+                return False
+            arm_true, arm_false = block, false_block
+        else:
+            return False
+        if join is block or not join.phis():
+            return False
+        join_preds = _preds_of(join, preds_map)
+        if sorted(map(id, join_preds)) != sorted(
+                map(id, {id(arm_true): arm_true,
+                         id(arm_false): arm_false}.values())):
+            return False
+        condition = term.condition
+        insert_at = block.instructions.index(term)
+        for phi in list(join.phis()):
+            tv = phi.incoming_value_for(arm_true)
+            fv = phi.incoming_value_for(arm_false)
+            if tv is fv:
+                phi.replace_all_uses_with(tv)
+                phi.erase_from_parent()
+                continue
+            select = SelectInst(condition, tv, fv,
+                                function.next_name("sel"))
+            block.insert(insert_at, select)
+            insert_at += 1
+            phi.replace_all_uses_with(select)
+            phi.erase_from_parent()
+        term.erase_from_parent()
+        block.append(BranchInst(join))
+        for arm in (arm_true, arm_false):
+            if arm is not block:
+                arm.remove_from_parent()
+        if worklist is not None:
+            worklist.add(block)  # now a straight branch: may merge
+            worklist.add_pred_change(join)
+        return True
+
+    @staticmethod
+    def _diamond_to_select(function):
         changed = False
         for block in list(function.blocks):
-            term = block.terminator()
-            if not isinstance(term, CondBranchInst):
+            if block.parent is None:
                 continue
-            true_block, false_block = term.true_target, term.false_target
-            if true_block is false_block:
-                continue
-
-            def is_empty_forward(candidate, join):
-                return (len(candidate.instructions) == 1
-                        and isinstance(candidate.terminator(), BranchInst)
-                        and candidate.terminator().target is join
-                        and candidate.predecessors() == [block])
-
-            join = None
-            arm_true = arm_false = None
-            # Diamond: block -> t -> join, block -> f -> join.
-            if (isinstance(true_block.terminator(), BranchInst)
-                    and isinstance(false_block.terminator(), BranchInst)
-                    and true_block.terminator().target
-                    is false_block.terminator().target):
-                join = true_block.terminator().target
-                if not (is_empty_forward(true_block, join)
-                        and is_empty_forward(false_block, join)):
-                    continue
-                arm_true, arm_false = true_block, false_block
-            # Triangle: block -> t -> join, block -> join.
-            elif (isinstance(true_block.terminator(), BranchInst)
-                    and true_block.terminator().target is false_block):
-                join = false_block
-                if not is_empty_forward(true_block, join):
-                    continue
-                arm_true, arm_false = true_block, block
-            elif (isinstance(false_block.terminator(), BranchInst)
-                    and false_block.terminator().target is true_block):
-                join = true_block
-                if not is_empty_forward(false_block, join):
-                    continue
-                arm_true, arm_false = block, false_block
-            else:
-                continue
-            if join is block or not join.phis():
-                continue
-            join_preds = join.predecessors()
-            if sorted(map(id, join_preds)) != sorted(
-                    map(id, {id(arm_true): arm_true,
-                             id(arm_false): arm_false}.values())):
-                continue
-            condition = term.condition
-            insert_at = block.instructions.index(term)
-            for phi in list(join.phis()):
-                tv = phi.incoming_value_for(arm_true)
-                fv = phi.incoming_value_for(arm_false)
-                if tv is fv:
-                    phi.replace_all_uses_with(tv)
-                    phi.erase_from_parent()
-                    continue
-                select = SelectInst(condition, tv, fv,
-                                    function.next_name("sel"))
-                block.insert(insert_at, select)
-                insert_at += 1
-                phi.replace_all_uses_with(select)
-                phi.erase_from_parent()
-            term.erase_from_parent()
-            block.append(BranchInst(join))
-            for arm in (arm_true, arm_false):
-                if arm is not block:
-                    arm.remove_from_parent()
-            changed = True
+            changed |= SimplifyCFG._diamond_at(block)
         return changed

@@ -32,7 +32,7 @@ import threading
 from collections import OrderedDict
 
 from repro.ir.function import Function
-from repro.ir.instructions import CallInst, PhiInst
+from repro.ir.instructions import CallInst
 from repro.ir.values import (
     ConstantFloat,
     ConstantInt,
@@ -42,22 +42,6 @@ from repro.ir.values import (
 
 _INACTIVE = "inactive"
 _SEEN_ACTIVE = "seen-active"
-
-
-def _fix_forward_references(shell, value_map):
-    _fix_forward_references_blocks(shell.blocks, value_map)
-
-
-def _fix_forward_references_blocks(blocks, value_map):
-    """Rewrite operands that still reference origin values (forward
-    references cloned before their defs existed) through the completed
-    value map."""
-    for block in blocks:
-        for inst in block.instructions:
-            for index, op in enumerate(inst.operands):
-                mapped = value_map.get(id(op))
-                if mapped is not None and mapped is not op:
-                    inst.set_operand(index, mapped)
 
 
 def callee_signature(function):
@@ -103,7 +87,7 @@ class FunctionSnapshot:
     def capture(cls, function):
         """Snapshot ``function``'s current body, or None when the body
         holds something the snapshot cannot make module-independent."""
-        from repro.passes.cloning import clone_instruction
+        from repro.passes.cloning import clone_blocks_into
 
         value_map = {}
         global_names = {}
@@ -127,40 +111,22 @@ class FunctionSnapshot:
         for old_arg, new_arg in zip(function.args, shell.args):
             new_arg.name = old_arg.name
             value_map[id(old_arg)] = new_arg
-        block_map = {}
-        for block in function.blocks:
-            block_map[id(block)] = shell.append_block(block.name)
-        # Block LIST order is not def-before-use in general (cloned loop
-        # bodies are appended at the end but referenced earlier, and
-        # unreachable regions have no safe order at all), so cloning is
-        # two-phase: build clones in list order — forward references
-        # temporarily keep the origin operand — then rewrite every
-        # operand through the completed value map.
-        for block in function.blocks:
-            target = block_map[id(block)]
-            for inst in block.instructions:
-                clone = clone_instruction(inst, value_map, block_map,
-                                          shell)
-                if isinstance(clone, CallInst) and \
-                        not clone.is_intrinsic():
-                    name = clone.callee.name
-                    placeholder = callee_names.get(name)
-                    if placeholder is None:
-                        placeholder = Function(name, clone.callee.ftype)
-                        callee_names[name] = placeholder
-                    clone.callee = placeholder
-                target.append(clone)
-                value_map[id(inst)] = clone
-        for block in function.blocks:
-            target = block_map[id(block)]
-            for inst, clone in zip(block.instructions,
-                                   target.instructions):
-                if isinstance(inst, PhiInst):
-                    for value, pred in inst.incoming():
-                        clone.add_incoming(
-                            value_map.get(id(value), value),
-                            block_map.get(id(pred), pred))
-        _fix_forward_references(shell, value_map)
+
+        def on_clone(_inst, clone):
+            # Callees are recorded as placeholder shells by name;
+            # materialization rebinds them in the target module.
+            if isinstance(clone, CallInst) and not clone.is_intrinsic():
+                name = clone.callee.name
+                placeholder = callee_names.get(name)
+                if placeholder is None:
+                    placeholder = Function(name, clone.callee.ftype)
+                    callee_names[name] = placeholder
+                clone.callee = placeholder
+
+        clone_blocks_into(
+            function.blocks, shell, value_map, {},
+            make_block=lambda b: shell.append_block(b.name),
+            on_clone=on_clone)
         return cls(shell, len(function.args), global_names,
                    callee_names)
 
@@ -172,80 +138,75 @@ class FunctionSnapshot:
         untouched and the caller runs the pass normally.
         """
         with self._lock:
-            return self._materialize(function)
+            built = self._build(function)
+            if built is None:
+                return False
+            self._commit(function, built)
+            return True
 
-    def _materialize(self, function):
-        from repro.passes.cloning import clone_instruction
+    def _build(self, function):
+        """Clone the snapshot body against ``function``'s module without
+        touching the function; returns the new block list or None.  The
+        split from :meth:`_commit` lets the module-pass memo build every
+        function's clone before committing any — replay stays atomic.
+        """
+        from repro.passes.cloning import clone_blocks_into
 
         module = function.module
         if module is None or len(function.args) != self.arg_count:
-            return False
+            return None
         value_map = {}
         for name, placeholder in self.global_names.items():
             target_global = module.globals.get(name)
             if target_global is None or \
                     target_global.value_type != placeholder.value_type:
-                return False
+                return None
             value_map[id(placeholder)] = target_global
         callee_map = {}
         for name, placeholder in self.callee_names.items():
             target_callee = module.functions.get(name)
             if target_callee is None or \
                     target_callee.ftype != placeholder.ftype:
-                return False
+                return None
             callee_map[name] = target_callee
         for snap_arg, target_arg in zip(self.shell.args, function.args):
             if snap_arg.type != target_arg.type:
-                return False
+                return None
             value_map[id(snap_arg)] = target_arg
 
         from repro.ir.basicblock import BasicBlock
-        new_blocks = []
+
+        def prepare(inst):
+            # Constants are copied (never shared with the snapshot) so
+            # no use-list grows across modules.
+            for op in inst.operands:
+                if id(op) in value_map:
+                    continue
+                if isinstance(op, ConstantInt):
+                    value_map[id(op)] = ConstantInt(op.type, op.value)
+                elif isinstance(op, ConstantFloat):
+                    value_map[id(op)] = ConstantFloat(op.type, op.value)
+                elif isinstance(op, UndefValue):
+                    value_map[id(op)] = UndefValue(op.type)
+
+        def on_clone(_inst, clone):
+            if isinstance(clone, CallInst) and not clone.is_intrinsic():
+                clone.callee = callee_map[clone.callee.name]
+
         block_map = {}
-        for block in self.shell.blocks:
-            clone_block = BasicBlock(block.name, function)
-            block_map[id(block)] = clone_block
-            new_blocks.append(clone_block)
         try:
-            for block in self.shell.blocks:
-                target = block_map[id(block)]
-                for inst in block.instructions:
-                    # Constants are copied (never shared with the
-                    # snapshot) so no use-list grows across modules.
-                    for op in inst.operands:
-                        if id(op) in value_map:
-                            continue
-                        if isinstance(op, ConstantInt):
-                            value_map[id(op)] = ConstantInt(op.type,
-                                                            op.value)
-                        elif isinstance(op, ConstantFloat):
-                            value_map[id(op)] = ConstantFloat(op.type,
-                                                              op.value)
-                        elif isinstance(op, UndefValue):
-                            value_map[id(op)] = UndefValue(op.type)
-                    clone = clone_instruction(inst, value_map, block_map,
-                                              function)
-                    if isinstance(clone, CallInst) and \
-                            not clone.is_intrinsic():
-                        clone.callee = callee_map[clone.callee.name]
-                    target.append(clone)
-                    value_map[id(inst)] = clone
-            for block in self.shell.blocks:
-                target = block_map[id(block)]
-                for inst, clone in zip(block.instructions,
-                                       target.instructions):
-                    if isinstance(inst, PhiInst):
-                        for value, pred in inst.incoming():
-                            clone.add_incoming(
-                                value_map.get(id(value), value),
-                                block_map.get(id(pred), pred))
-            _fix_forward_references_blocks(new_blocks, value_map)
+            return clone_blocks_into(
+                self.shell.blocks, function, value_map, block_map,
+                make_block=lambda b: BasicBlock(b.name, function),
+                prepare=prepare, on_clone=on_clone)
         except Exception:  # pragma: no cover - abort leaves target intact
-            for block in new_blocks:
-                for inst in block.instructions:
+            for clone_block in block_map.values():
+                for inst in clone_block.instructions:
                     inst.drop_all_references()
-            return False
-        # Commit: detach the old body, install the clone.
+            return None
+
+    def _commit(self, function, new_blocks):
+        """Detach the old body, install the built clone (cannot fail)."""
         for block in function.blocks:
             for inst in block.instructions:
                 inst.drop_all_references()
@@ -254,7 +215,6 @@ class FunctionSnapshot:
             block.parent = None
         function.blocks = new_blocks
         function.attributes = set(self.shell.attributes)
-        return True
 
 
 class TransformCacheStats:
@@ -277,8 +237,14 @@ class TransformCacheStats:
 class FunctionTransformCache:
     """Bounded LRU of (pass, function-content) -> outcome."""
 
-    def __init__(self, max_entries=4096):
+    def __init__(self, max_entries=4096, eager_capture=False):
         self.enabled = True
+        #: True captures a snapshot on the first active encounter.
+        #: Measured on the cold compile->profile benchmark this LOSES:
+        #: most (pass, content) pairs are unique, so the per-outcome
+        #: clone tax exceeds the saved re-runs.  Lazy capture (default)
+        #: marks the first encounter and clones on the second.
+        self.eager_capture = eager_capture
         self.max_entries = max_entries
         self.stats = TransformCacheStats()
         self._entries = OrderedDict()
@@ -330,7 +296,7 @@ class FunctionTransformCache:
             if isinstance(existing, FunctionSnapshot):
                 return  # keep the snapshot (materialize failed only
                         # for THIS module's global/callee layout)
-            if existing != _SEEN_ACTIVE:
+            if not self.eager_capture and existing != _SEEN_ACTIVE:
                 entry = _SEEN_ACTIVE
             else:
                 snapshot = FunctionSnapshot.capture(function)
@@ -363,3 +329,165 @@ class FunctionTransformCache:
 
 #: Process-global cache consulted by FunctionPass.run_with_changes.
 TRANSFORM_CACHE = FunctionTransformCache()
+
+
+# -- module-pass outcome memo ---------------------------------------------
+
+def module_pass_digest(module, am):
+    """Everything a module pass may read: the composed module
+    fingerprint (globals header + every function's content, attributes
+    and name, in module order) plus the per-function signature and
+    purity flags the fingerprint does not carry (declarations included —
+    inline and the SCCP call oracle read them)."""
+    from repro.ir.printer import module_fingerprint
+
+    meta = tuple((name, str(f.ftype), f.is_pure, f.accesses_memory)
+                 for name, f in module.functions.items())
+    return (module_fingerprint(module, am), meta)
+
+
+class ModuleSnapshot:
+    """The recorded outcome of one active module-pass run: a
+    :class:`FunctionSnapshot` for every function whose canonical
+    fingerprint changed.
+
+    Only captured when the run changed nothing a per-function body
+    snapshot cannot replay — same function and global sets, same
+    signatures, same purity flags (``capture`` returns None otherwise,
+    and the entry stays uncacheable).  Replay is atomic: every
+    function's clone is built against the target module first, then all
+    are committed; a build failure leaves the module untouched.
+    """
+
+    def __init__(self, snapshots):
+        self.snapshots = snapshots  # name -> FunctionSnapshot
+        self._lock = threading.Lock()
+
+    @classmethod
+    def capture(cls, module, am, pre_fingerprints, pre_meta):
+        digest_meta = tuple(
+            (name, str(f.ftype), f.is_pure, f.accesses_memory)
+            for name, f in module.functions.items())
+        if digest_meta != pre_meta:
+            return None  # signature/purity/function-set drift
+        snapshots = {}
+        for name, function in module.functions.items():
+            if function.is_declaration():
+                if pre_fingerprints.get(name) is None:
+                    continue
+                return None  # definition became a declaration
+            fingerprint = am.fingerprint(function)
+            if fingerprint == pre_fingerprints.get(name):
+                continue
+            snapshot = FunctionSnapshot.capture(function)
+            if snapshot is None:
+                return None
+            snapshot.result_fingerprint = fingerprint
+            snapshots[name] = snapshot
+        return cls(snapshots)
+
+    def materialize(self, module, am):
+        """Replay the recorded outcome onto ``module``; returns the set
+        of replaced functions, or None (module left untouched)."""
+        with self._lock:
+            built = {}
+            for name, snapshot in self.snapshots.items():
+                function = module.functions.get(name)
+                if function is None:
+                    return None
+                blocks = snapshot._build(function)
+                if blocks is None:
+                    return None
+                built[name] = (function, snapshot, blocks)
+            changed = set()
+            for name, (function, snapshot, blocks) in built.items():
+                snapshot._commit(function, blocks)
+                am.invalidate(function, frozenset())
+                if snapshot.result_fingerprint is not None:
+                    am.put("fingerprint", function,
+                           snapshot.result_fingerprint)
+                changed.add(function)
+            return changed
+
+
+class ModuleTransformCache:
+    """Bounded LRU of (pass, module-content) -> module-pass outcome.
+
+    The compile→profile loop re-runs inline/ipsccp/globalopt on the
+    same module states thousands of times during search (every sequence
+    candidate sharing a prefix replays them); outcomes are content
+    deterministic, so the memo either skips the pass (known inactive)
+    or replays the recorded per-function bodies.
+    """
+
+    def __init__(self, max_entries=512, eager_capture=False):
+        self.enabled = True
+        self.eager_capture = eager_capture
+        self.max_entries = max_entries
+        self.stats = TransformCacheStats()
+        self._entries = OrderedDict()
+        self._lock = threading.Lock()
+
+    def key(self, pass_name, digest):
+        return (pass_name, digest)
+
+    def apply(self, key, module, am):
+        """Serve a cached outcome: ``(False, None)`` known inactive,
+        ``(True, changed_functions)`` snapshot replayed, ``(None,
+        last_seen)`` miss (run the pass; pass ``last_seen`` back to
+        :meth:`record`)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+        if entry is None or entry == _SEEN_ACTIVE:
+            self.stats.misses += 1
+            return None, entry
+        if entry == _INACTIVE:
+            self.stats.inactive_hits += 1
+            return False, None
+        changed = entry.materialize(module, am)
+        if changed is not None:
+            self.stats.materialized += 1
+            return True, changed
+        self.stats.materialize_failures += 1
+        return None, None
+
+    def record(self, key, module, am, changed, pre_fingerprints,
+               pre_meta, last_seen):
+        """Store the just-observed outcome (lazy capture, like the
+        function-level cache: first active encounter marks, the second
+        captures)."""
+        if not changed:
+            entry = _INACTIVE
+        else:
+            with self._lock:
+                existing = self._entries.get(key)
+            if isinstance(existing, ModuleSnapshot):
+                return  # keep it (replay failed only for THIS module)
+            if last_seen != _SEEN_ACTIVE and not self.eager_capture:
+                entry = _SEEN_ACTIVE
+            else:
+                snapshot = ModuleSnapshot.capture(
+                    module, am, pre_fingerprints, pre_meta)
+                if snapshot is None:
+                    return
+                entry = snapshot
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            self.stats.stores += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self):
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self):
+        return len(self._entries)
+
+
+#: Process-global module-pass memo consulted by Pass.run_with_changes.
+MODULE_TRANSFORM_CACHE = ModuleTransformCache()

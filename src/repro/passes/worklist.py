@@ -1,0 +1,153 @@
+"""Shared worklist infrastructure for fixpoint passes.
+
+The seed's hot passes (instcombine, dce, simplifycfg, the sccp cleanup)
+reached their fixpoints with ``while progress: rescan everything``
+loops: every local rewrite paid another full scan of the function.
+This module provides the LLVM-style alternative — seed the worklist
+from the whole function once, then re-enqueue only the instructions (or
+blocks) a rewrite could have affected: the defs of the erased
+instruction's operands, the users of the replaced value, the
+replacement itself.
+
+Converted passes keep their original rescan bodies for the legacy cost
+model (``PassManager(analysis_cache=False)``, the measured baseline of
+``benchmarks/test_passmanager.py``); both engines are bit-identical on
+the differential corpus (``tests/passes/test_worklist_vs_rescan.py``).
+"""
+
+from repro.ir.instructions import Instruction
+from repro.passes.utils import is_trivially_dead
+
+
+def use_worklist(am):
+    """Whether a pass should run its worklist engine.
+
+    The legacy cost model (a disabled AnalysisManager) keeps the seed's
+    rescan bodies so the benchmark baseline stays honest.
+    """
+    return am is None or am.enabled
+
+
+class InstructionWorklist:
+    """Deduplicated LIFO worklist of instructions.
+
+    Entries hold strong references while queued (so CPython id reuse
+    cannot alias two live instructions in the dedup set) and erased
+    instructions are skipped on pop (``inst.parent is None``).
+    """
+
+    __slots__ = ("_stack", "_queued")
+
+    def __init__(self):
+        self._stack = []
+        self._queued = set()
+
+    def __len__(self):
+        return len(self._stack)
+
+    def add(self, inst):
+        """Enqueue one instruction (no-op when already queued/erased)."""
+        if inst.parent is not None and id(inst) not in self._queued:
+            self._queued.add(id(inst))
+            self._stack.append(inst)
+
+    def add_users(self, value):
+        """Enqueue every (distinct) instruction using ``value``."""
+        for user, _ in value.uses:
+            self.add(user)
+
+    def add_operand_defs(self, inst):
+        """Enqueue the defining instructions of ``inst``'s operands
+        (they may have become dead or foldable)."""
+        for op in inst.operands:
+            if isinstance(op, Instruction):
+                self.add(op)
+
+    def seed(self, function):
+        """Seed from the whole function so pops arrive in program order
+        (defs before users, matching the rescan visit order)."""
+        blocks = function.blocks
+        for block in reversed(blocks):
+            instructions = block.instructions
+            for index in range(len(instructions) - 1, -1, -1):
+                inst = instructions[index]
+                self._queued.add(id(inst))
+                self._stack.append(inst)
+
+    def pop(self):
+        """The next live queued instruction, or None when drained."""
+        stack = self._stack
+        queued = self._queued
+        while stack:
+            inst = stack.pop()
+            queued.discard(id(inst))
+            if inst.parent is not None:
+                return inst
+        return None
+
+
+class CFGWorklist:
+    """Dirty-block marks for round-structured CFG passes.
+
+    CFG cleanup rules interact (a merge exposes a diamond, a fold
+    orphans a region), so simplifycfg keeps the seed's *round*
+    structure — every rule applied in a fixed priority order — but each
+    round only visits blocks marked dirty by the previous round's
+    rewrites.  Rules mark the blocks they touched (``add``) and the
+    blocks whose predecessor sets changed (``add_pred_change`` — every
+    rule guarded by predecessor-set shape may have unblocked there).
+
+    Membership is tested at visit time, so a block marked early in a
+    round is still visited by that round's later rules — exactly when
+    the rescan engine would reach it.  simplifycfg never creates blocks,
+    so marked ids cannot alias a new block within one run.
+    """
+
+    __slots__ = ("ids",)
+
+    def __init__(self):
+        self.ids = set()
+
+    def add(self, block):
+        if block.parent is not None:
+            self.ids.add(id(block))
+
+    def add_pred_change(self, block):
+        # Queries predecessors live (not through the engine's preds
+        # map): this runs right AFTER a CFG edit, when the map is
+        # stale — e.g. skip-forwarding must mark the rewired
+        # predecessors the old map has never seen.  Edits are rare
+        # relative to guard queries, so the O(function) scan here costs
+        # about as much as the one map rebuild the edit triggers anyway.
+        if block.parent is None:
+            return
+        self.ids.add(id(block))
+        for pred in block.predecessors():
+            self.ids.add(id(pred))
+
+
+def delete_dead_worklist(function, seeds=None):
+    """Worklist-driven trivially-dead-instruction elimination.
+
+    Erases exactly the same set as
+    :func:`repro.passes.utils.delete_dead_instructions` (the transitive
+    closure of trivially dead instructions is order-independent) without
+    rescanning the function once per dead chain.  ``seeds`` restricts
+    the initial candidates; by default the whole function seeds once.
+    """
+    if seeds is None:
+        worklist = [inst for block in function.blocks
+                    for inst in block.instructions]
+    else:
+        worklist = list(seeds)
+    changed = False
+    while worklist:
+        inst = worklist.pop()
+        if inst.parent is None or not is_trivially_dead(inst):
+            continue
+        operands = [op for op in inst.operands
+                    if isinstance(op, Instruction)]
+        inst.erase_from_parent()
+        worklist.extend(operands)
+        changed = True
+    return changed

@@ -1,8 +1,17 @@
 """Workload registry: named suites of mini-C programs."""
 
+import hashlib
+
 from repro.lang import compile_source
 from repro.workloads.beebs import BEEBS_SOURCES
+from repro.workloads.multifn import MULTIFN_SOURCES
 from repro.workloads.parsec import PARSEC_SOURCES
+
+#: Compiled-module templates keyed by (name, source digest).  The
+#: frontend is deterministic and workloads are compiled thousands of
+#: times per search, so ``Workload.compile`` parses once and hands out
+#: faithful clones (identical names and fingerprints) afterwards.
+_TEMPLATES = {}
 
 
 class Workload:
@@ -14,8 +23,22 @@ class Workload:
         self.source = source
 
     def compile(self):
-        """Fresh IR module (workloads are reusable; modules are not)."""
-        return compile_source(self.source, module_name=self.name)
+        """Fresh IR module (workloads are reusable; modules are not).
+
+        The first call compiles the source; later calls clone the
+        cached template (``repro.passes.cloning.clone_module``), which
+        is several times cheaper than re-running the frontend and
+        prints/fingerprints identically.
+        """
+        from repro.passes.cloning import clone_module
+
+        key = (self.name,
+               hashlib.sha256(self.source.encode("utf-8")).hexdigest())
+        template = _TEMPLATES.get(key)
+        if template is None:
+            template = compile_source(self.source, module_name=self.name)
+            _TEMPLATES[key] = template
+        return clone_module(template)
 
     def __repr__(self):
         return f"<Workload {self.suite}/{self.name}>"
@@ -24,6 +47,7 @@ class Workload:
 _SUITES = {
     "parsec": PARSEC_SOURCES,
     "beebs": BEEBS_SOURCES,
+    "multi": MULTIFN_SOURCES,
 }
 
 

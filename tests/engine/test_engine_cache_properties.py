@@ -216,3 +216,56 @@ def test_function_fingerprints_in_payload_match_module():
     expected = {function.name: function_fingerprint(function)
                 for function in module.defined_functions()}
     assert fresh.function_fingerprints == expected
+
+
+# -- function-granular result-index composition (ISSUE 3) ------------------
+
+def test_sequences_reaching_same_code_share_one_profile(workload):
+    """Two different sequences whose optimized modules are
+    per-function identical must simulate once: the second evaluation
+    composes its payload from the result index."""
+    engine = EvaluationEngine(Platform("riscv"))
+    first = engine.evaluate(workload, ("mem2reg", "dce"))
+    # Appending a phase that cannot change this program reaches the
+    # same optimized code through a different (sequence-keyed) point.
+    second = engine.evaluate(workload, ("mem2reg", "dce", "dce"))
+    assert first.key != second.key
+    assert not second.cached  # new point...
+    assert engine.compose_stats["hits"] == 1  # ...but composed profile
+    assert second.result_fingerprint == first.result_fingerprint
+    assert second.function_fingerprints == first.function_fingerprints
+    assert second.metrics() == first.metrics()
+    assert second.output == first.output
+    assert list(second.features) == list(first.features)
+    assert second.sequence == ("mem2reg", "dce", "dce")
+
+
+def test_composed_payload_identical_to_uncomposed_engine(workload):
+    """Composition is invisible: an engine with the result index off
+    produces byte-identical measurements for the same point."""
+    sequence = ("mem2reg", "instcombine", "instcombine")
+    composed = EvaluationEngine(Platform("riscv"))
+    composed.evaluate(workload, ("mem2reg", "instcombine"))
+    via_index = composed.evaluate(workload, sequence)
+    assert composed.compose_stats["hits"] == 1
+    plain = EvaluationEngine(Platform("riscv"), compose=False)
+    direct = plain.evaluate(workload, sequence)
+    assert via_index.metrics() == direct.metrics()
+    assert via_index.result_fingerprint == direct.result_fingerprint
+    assert via_index.output == direct.output
+    assert list(via_index.features) == list(direct.features)
+
+
+def test_profile_module_feeds_sequence_evaluations(workload):
+    """Deployment-check profiles land in the same result index, so a
+    later sequence evaluation reaching that code composes from them."""
+    from repro.passes import AnalysisManager, PassManager
+
+    engine = EvaluationEngine(Platform("riscv"))
+    module = workload.compile()
+    am = AnalysisManager()
+    PassManager().run(module, ["mem2reg", "gvn"], am=am)
+    profiled = engine.profile_module(module, am=am)
+    result = engine.evaluate(workload, ("mem2reg", "gvn"))
+    assert engine.compose_stats == {"hits": 1, "misses": 0}
+    assert result.metrics() == profiled.metrics()

@@ -102,7 +102,9 @@ def test_duplicate_points_evaluated_once_per_batch():
     # One fresh evaluation, three batch-level hits — identical rows.
     assert [r.cached for r in results] == [False, True, True, True]
     assert len({r.result_fingerprint for r in results}) == 1
-    assert engine.cache.stats.stores == 1
+    # One simulation: the point entry plus its result-index entry.
+    assert engine.compose_stats == {"hits": 0, "misses": 1}
+    assert engine.cache.stats.stores == 2
 
 
 def test_fuel_is_part_of_the_cache_key():

@@ -165,8 +165,10 @@ def test_random_search_with_estimator_validates_top(workload):
                                  validate_top=2)
     sequence, value = searcher.search(workload, platform)
     assert estimator.calls == 1          # one matrix call for 8 trials
-    # Only baseline + top candidates were actually profiled.
-    assert engine.cache.stats.stores <= 1 + 2
+    # Only baseline + top candidates were actually profiled (each
+    # profile stores a point entry plus its result-index entry).
+    assert engine.compose_stats["misses"] <= 1 + 2
+    assert engine.cache.stats.stores <= 2 * (1 + 2)
     assert value > 0
 
 

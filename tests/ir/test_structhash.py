@@ -1,0 +1,148 @@
+"""Property tests for the structural fingerprint (ISSUE 3).
+
+The structural hash replaced the print-then-hash fingerprint; its
+contract is *collision-wise equality* with the legacy text fingerprint:
+on any pair of functions, the structural fingerprints are equal exactly
+when the canonical printed texts are equal.  Verified here over the
+expression-fuzz corpus and pass-mutated workload variants, alongside
+the invariants the PSS relies on (rename-invariance, attribute
+sensitivity, no mutation).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ir.printer import (
+    function_fingerprint,
+    function_text_fingerprint,
+    module_to_text,
+)
+from repro.lang import compile_source
+from repro.passes import PassManager, available_phases
+from repro.workloads import load_suite
+from tests.mlcomp.test_expression_fuzz import expressions
+
+PHASES = available_phases()
+
+
+def _expression_source(expr):
+    return f"""
+    int main() {{
+      int result = {expr.text};
+      print_int(result);
+      return result % 251;
+    }}
+    """
+
+
+def _distinction_classes(functions):
+    """Group functions by text fingerprint and by structural
+    fingerprint; the two partitions must coincide."""
+    by_text = {}
+    by_struct = {}
+    for function in functions:
+        struct = function_fingerprint(function)
+        text = function_text_fingerprint(function)
+        by_text.setdefault(text, set()).add(struct)
+        by_struct.setdefault(struct, set()).add(text)
+    return by_text, by_struct
+
+
+def assert_collision_parity(functions):
+    by_text, by_struct = _distinction_classes(functions)
+    # text-equal -> struct-equal (no spurious distinctions) and
+    # struct-equal -> text-equal (no lost distinctions).
+    assert all(len(structs) == 1 for structs in by_text.values())
+    assert all(len(texts) == 1 for texts in by_struct.values())
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(expr=expressions(),
+       phases=st.lists(st.sampled_from(PHASES), min_size=0, max_size=4))
+def test_collision_parity_on_mutated_expressions(expr, phases):
+    if not expr.valid:
+        return
+    variants = []
+    for pipeline in ((), ("mem2reg",), tuple(phases)):
+        module = compile_source(_expression_source(expr))
+        if pipeline:
+            PassManager().run(module, list(pipeline))
+        variants.extend(module.defined_functions())
+    assert_collision_parity(variants)
+
+
+def test_collision_parity_across_workload_variants():
+    """All functions of all suites under several pipelines, hashed into
+    one population: every distinction the text fingerprint draws, the
+    structural hash draws, and none more."""
+    variants = []
+    for suite in ("beebs", "parsec", "multi"):
+        for workload in load_suite(suite):
+            for pipeline in ((), ("mem2reg", "instcombine",
+                                  "simplifycfg"),
+                             ("inline", "mem2reg", "ipsccp", "gvn",
+                              "dce")):
+                module = workload.compile()
+                if pipeline:
+                    PassManager().run(module, list(pipeline))
+                variants.extend(module.defined_functions())
+    assert len(variants) > 100
+    assert_collision_parity(variants)
+
+
+def test_struct_hash_ignores_local_names_and_does_not_mutate():
+    module = compile_source("""
+    int helper(int x) { return x * 3 + 1; }
+    int main() { print_int(helper(13)); return 0; }
+    """)
+    main = module.get_function("main")
+    before_text = module_to_text(module)
+    fingerprint = function_fingerprint(main)
+    # Hashing must not rename or otherwise mutate the function.
+    assert module_to_text(module) == before_text
+    # Renaming locals is invisible to the structural hash.
+    main.rename_locals()
+    assert function_fingerprint(main) == fingerprint
+    for inst in main.instructions():
+        if inst.name:
+            inst.name = f"weird.{inst.name}"
+    assert function_fingerprint(main) == fingerprint
+
+
+def test_struct_hash_attribute_and_content_sensitivity():
+    module = compile_source("int main() { return 41; }")
+    main = module.get_function("main")
+    base = function_fingerprint(main)
+    main.attributes.add("slp-enabled")
+    tagged = function_fingerprint(main)
+    assert tagged != base
+    main.attributes.discard("slp-enabled")
+    assert function_fingerprint(main) == base
+
+    other = compile_source("int main() { return 42; }")
+    assert function_fingerprint(other.get_function("main")) != base
+
+
+def test_struct_hash_stable_across_processes():
+    """Fingerprints are content addresses in the on-disk evaluation
+    cache, so they must not depend on interpreter hash salt."""
+    import subprocess
+    import sys
+
+    script = (
+        "import sys; sys.path.insert(0, 'src')\n"
+        "from repro.lang import compile_source\n"
+        "from repro.ir.printer import function_fingerprint\n"
+        "m = compile_source('int main() { return 7; }')\n"
+        "print(function_fingerprint(m.get_function('main')))\n"
+    )
+    runs = {
+        subprocess.run([sys.executable, "-c", script],
+                       capture_output=True, text=True, check=True,
+                       cwd=__file__.rsplit("/tests/", 1)[0],
+                       env={"PYTHONHASHSEED": str(seed)},
+                       ).stdout.strip()
+        for seed in (0, 1)
+    }
+    assert len(runs) == 1

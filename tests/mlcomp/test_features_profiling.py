@@ -56,9 +56,14 @@ def test_platform_features_target_specific(smoke_module, x86, riscv):
 
 
 def test_workload_suites_complete():
-    assert suite_names() == ["beebs", "parsec"]
+    assert suite_names() == ["beebs", "multi", "parsec"]
     assert len(load_suite("parsec")) == 10
     assert len(load_suite("beebs")) == 20
+    assert len(load_suite("multi")) == 4
+    # The multi suite exists to give function granularity something to
+    # bite on; every program must actually be call-graph-rich.
+    for workload in load_suite("multi"):
+        assert len(workload.compile().defined_functions()) >= 6
     with pytest.raises(KeyError):
         load_suite("spec2006")
 

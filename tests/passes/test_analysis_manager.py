@@ -89,10 +89,18 @@ def test_disabled_manager_recomputes(module):
 def test_module_fingerprint_with_manager_matches_plain(module):
     am = AnalysisManager()
     assert module_fingerprint(module, am) == module_fingerprint(module)
-    # Warm second call: same value, served from cache.
-    hits = am.stats.hits
+    # Warm second call: same value, served from the composed-digest
+    # memo without touching the per-function entries.
+    assert am.cached_module_fingerprint(module) is not None
+    misses = am.stats.misses
     assert module_fingerprint(module, am) == module_fingerprint(module)
-    assert am.stats.hits > hits
+    assert am.stats.misses == misses
+    # Invalidation drops the memo; recomputation composes from the
+    # per-function cache again.
+    main = _main(module)
+    am.invalidate(main)
+    assert am.cached_module_fingerprint(module) is None
+    assert module_fingerprint(module, am) == module_fingerprint(module)
 
 
 def test_function_fingerprint_includes_attributes(module):
@@ -193,3 +201,40 @@ def test_loop_pass_reports_preheader_only_mutation():
     # Either nothing at all happened, or the report matches the
     # fingerprint ground truth.
     assert activity == [fp_after != fp_before]
+
+
+def test_verify_does_not_corrupt_activity_detection(module):
+    """Regression: the verify loop's per-function fingerprint must not
+    clobber run_with_fingerprints' module-level activity baseline.  A
+    pass reporting a change that is canonically cosmetic must read as
+    inactive with and without verification."""
+    from repro.passes.base import FunctionPass
+
+    class CosmeticRename(FunctionPass):
+        pass_name = "test-cosmetic-rename"
+
+        def run_on_function(self, function, am=None):
+            for inst in function.instructions():
+                if inst.name:
+                    inst.name = f"renamed.{inst.name}"
+            return True  # reports a change; fingerprints disagree
+
+    # Sanity: the rename really is canonically invisible.
+    target = compile_source(SMOKE_SOURCE)
+    am = AnalysisManager()
+    PassManager().run(target, ["mem2reg"], am=am)
+    fingerprint = module_fingerprint(target, am)
+    assert CosmeticRename().run_with_changes(target, am)
+    assert module_fingerprint(target, am) == fingerprint
+
+    from repro.passes import base as base_mod
+
+    base_mod.PASS_REGISTRY["test-cosmetic-rename"] = CosmeticRename
+    try:
+        for verify in (False, True):
+            target = compile_source(SMOKE_SOURCE)
+            activity = PassManager(verify=verify).run_with_fingerprints(
+                target, ["mem2reg", "test-cosmetic-rename"])
+            assert activity[1] is False, (verify, activity)
+    finally:
+        del base_mod.PASS_REGISTRY["test-cosmetic-rename"]

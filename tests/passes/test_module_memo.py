@@ -1,0 +1,110 @@
+"""Module-pass outcome memo (ISSUE 3): inline/ipsccp/globalopt replay.
+
+The module transform cache memoizes module-pass outcomes by module
+content digest: a known-inactive state skips the pass body, a captured
+active state replays the recorded per-function bodies.  These tests pin
+the lifecycle (miss -> seen-active -> capture -> replay), the digest's
+sensitivity to callee purity, and replay identity against fresh runs.
+"""
+
+import pytest
+
+from repro.ir import run_module
+from repro.ir.printer import module_fingerprint
+from repro.lang import compile_source
+from repro.passes import AnalysisManager, PassManager, create_pass
+from repro.passes.transform_cache import (
+    MODULE_TRANSFORM_CACHE,
+    module_pass_digest,
+)
+
+CALL_HEAVY = """
+int square(int x) { return x * x; }
+int twice(int x) { return square(x) + square(x); }
+int main() {
+  int acc = 0;
+  for (int i = 0; i < 6; i++) { acc += twice(i); }
+  print_int(acc);
+  return acc % 251;
+}
+"""
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    MODULE_TRANSFORM_CACHE.clear()
+    yield
+    MODULE_TRANSFORM_CACHE.clear()
+
+
+def _run(phase, source=CALL_HEAVY, pre=("mem2reg",)):
+    module = compile_source(source)
+    am = AnalysisManager()
+    if pre:
+        PassManager().run(module, list(pre), am=am)
+    changed = create_pass(phase).run(module, am)
+    return module, changed
+
+
+def test_active_outcome_lifecycle_and_replay_identity():
+    stats = MODULE_TRANSFORM_CACHE.stats
+    base = stats.materialized
+    reference, changed_ref = _run("inline")
+    assert changed_ref
+    assert stats.materialized == base  # first encounter only marks
+    _run("inline")  # second encounter captures the snapshot
+    before = stats.materialized
+    replayed, changed = _run("inline")
+    assert stats.materialized == before + 1
+    assert changed == changed_ref
+    assert module_fingerprint(replayed) == module_fingerprint(reference)
+    assert run_module(replayed).observable() == \
+        run_module(reference).observable()
+
+
+def test_inactive_outcome_skips_pass_body():
+    stats = MODULE_TRANSFORM_CACHE.stats
+    # globalopt has nothing to do on this module.
+    _, changed = _run("globalopt", source="int main() { return 3; }",
+                      pre=())
+    assert not changed
+    hits = stats.inactive_hits
+    _, changed = _run("globalopt", source="int main() { return 3; }",
+                      pre=())
+    assert not changed
+    assert stats.inactive_hits == hits + 1
+
+
+def test_replay_feeds_downstream_passes_identically():
+    """A full pipeline whose module passes replay from the memo ends
+    bit-identical to an uncached pipeline."""
+    sequence = ["inline", "mem2reg", "ipsccp", "globalopt",
+                "instcombine", "simplifycfg", "gvn", "dce"]
+    runs = []
+    for _ in range(3):
+        module = compile_source(CALL_HEAVY)
+        activity = PassManager(verify=True).run_with_fingerprints(
+            module, sequence)
+        runs.append((activity, module_fingerprint(module),
+                     run_module(module).observable()))
+    assert runs[0] == runs[1] == runs[2]
+    assert MODULE_TRANSFORM_CACHE.stats.materialized > 0 or \
+        MODULE_TRANSFORM_CACHE.stats.inactive_hits > 0
+
+
+def test_digest_sensitive_to_callee_purity():
+    module_a = compile_source(CALL_HEAVY)
+    module_b = compile_source(CALL_HEAVY)
+    am = AnalysisManager()
+    am_b = AnalysisManager()
+    module_b.get_function("square").is_pure = True
+    assert module_pass_digest(module_a, am) != \
+        module_pass_digest(module_b, am_b)
+
+
+def test_disabled_manager_bypasses_memo():
+    stats = MODULE_TRANSFORM_CACHE.stats
+    misses = stats.misses
+    module = compile_source(CALL_HEAVY)
+    create_pass("inline").run(module, AnalysisManager(enabled=False))
+    assert stats.misses == misses  # never consulted

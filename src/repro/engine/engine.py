@@ -17,6 +17,7 @@ all route through here, so repeated points are paid for once.
 """
 
 import hashlib
+import threading
 import time
 import weakref
 from concurrent.futures import ThreadPoolExecutor
@@ -102,6 +103,9 @@ class EvaluationEngine:
         #: point (or PSS deployment check) produced the same code.
         self.compose = compose
         self.compose_stats = {"hits": 0, "misses": 0}
+        # _evaluate_miss runs on the thread pool too; counter updates
+        # are read-modify-write and must not interleave.
+        self._compose_lock = threading.Lock()
         if cache is False:
             self.cache = None
         else:
@@ -194,7 +198,8 @@ class EvaluationEngine:
         result_key = self.result_key_for(result_fingerprint, fuel)
         stored = self.cache.get(result_key)
         if stored is not None:
-            self.compose_stats["hits"] += 1
+            with self._compose_lock:
+                self.compose_stats["hits"] += 1
             payload = dict(stored)
             payload.update({
                 "fingerprint": fingerprint,
@@ -204,7 +209,8 @@ class EvaluationEngine:
                 "measurement_seed": spec["measurement_seed"],
             })
             return payload
-        self.compose_stats["misses"] += 1
+        with self._compose_lock:
+            self.compose_stats["misses"] += 1
         payload = profile_optimized(spec, module, fingerprint,
                                     result_fingerprint,
                                     function_fingerprints)
@@ -253,19 +259,15 @@ class EvaluationEngine:
                 pending[key] = (self._spec(workload, sequence, fuel),
                                 [index])
         specs = [spec for spec, _ in pending.values()]
-        if self.evaluator.mode == "serial" and self.cache is not None \
-                and self.compose:
-            # Serial misses go through the in-process result-index path
-            # (identical payloads; parallel modes keep the pool).
-            outcomes = []
-            for spec in specs:
-                try:
-                    outcomes.append((self._evaluate_miss(spec, fuel),
-                                     None))
-                except Exception as error:  # noqa: BLE001 - collected
-                    outcomes.append((None, (spec["name"],
-                                            tuple(spec["sequence"]),
-                                            repr(error))))
+        if self.evaluator.mode in ("serial", "thread") and \
+                self.cache is not None and self.compose:
+            # Serial and thread misses go through the in-process
+            # result-index path (identical payloads — thread workers
+            # share the lock-protected cache and the process-global
+            # content memos, exactly like today's thread-mode
+            # evaluate_point calls; the process pool keeps end-to-end
+            # evaluation since it cannot see this process's index).
+            outcomes = self._run_composed(specs, fuel)
         else:
             outcomes = self.evaluator.run(specs)
         for (key, (spec, indices)), (payload, error) in zip(
@@ -286,6 +288,22 @@ class EvaluationEngine:
                 results[index] = EvalResult(payload, key,
                                             cached=position > 0)
         return results
+
+    def _run_composed(self, specs, fuel):
+        """Run miss specs through :meth:`_evaluate_miss` — inline for
+        the serial mode, on the thread pool otherwise — returning
+        ``(payload, error)`` pairs in input order (the evaluator-run
+        contract).  Pool dispatch is :meth:`map`'s, so the composed
+        path and ad-hoc batches share one sizing rule."""
+
+        def guarded(spec):
+            try:
+                return self._evaluate_miss(spec, fuel), None
+            except Exception as error:  # noqa: BLE001 - collected
+                return None, (spec["name"], tuple(spec["sequence"]),
+                              repr(error))
+
+        return self.map(guarded, specs)
 
     def profile_module(self, module, fuel=None, am=None):
         """Profile an already-optimized module, content-addressed by its
@@ -423,7 +441,7 @@ class EvaluationEngine:
         items = list(items)
         if self.evaluator.mode == "serial" or len(items) <= 1:
             return [fn(item) for item in items]
-        workers = self.evaluator.workers or min(8, len(items))
+        workers = self.evaluator.pool_size(len(items))
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(fn, items))
 

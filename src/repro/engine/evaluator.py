@@ -142,6 +142,12 @@ class PointEvaluator:
         self.mode = mode
         self.workers = max(1, int(workers)) if workers else None
 
+    def pool_size(self, n_items):
+        """Worker count for a batch of ``n_items`` (configured width,
+        else capped at 8) — the one sizing rule every pool that stands
+        in for this evaluator must share."""
+        return self.workers or min(8, n_items)
+
     def run(self, specs):
         """Evaluate all specs; returns ``(payload, error)`` pairs in the
         same order as the input (error is None on success)."""
@@ -152,6 +158,5 @@ class PointEvaluator:
             return [_guarded_evaluate(spec) for spec in specs]
         executor_cls = (ThreadPoolExecutor if self.mode == "thread"
                         else ProcessPoolExecutor)
-        workers = self.workers or min(8, len(specs))
-        with executor_cls(max_workers=workers) as pool:
+        with executor_cls(max_workers=self.pool_size(len(specs))) as pool:
             return list(pool.map(_guarded_evaluate, specs))

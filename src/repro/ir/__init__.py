@@ -50,8 +50,15 @@ from repro.ir.instructions import (
 from repro.ir.basicblock import BasicBlock
 from repro.ir.function import Function, Module
 from repro.ir.builder import IRBuilder
-from repro.ir.cfg import DominatorTree, Loop, LoopInfo, reverse_postorder
+from repro.ir.cfg import (
+    DominatorTree,
+    Loop,
+    LoopInfo,
+    reverse_postorder,
+    split_edge,
+)
 from repro.ir.verifier import (
+    check_lcssa,
     verify_function,
     verify_function_bookkeeping,
     verify_module,
@@ -74,7 +81,8 @@ __all__ = [
     "SelectInst", "CastInst",
     "BasicBlock", "Function", "Module", "IRBuilder",
     "DominatorTree", "LoopInfo", "Loop", "reverse_postorder",
-    "verify_function", "verify_function_bookkeeping",
+    "split_edge",
+    "check_lcssa", "verify_function", "verify_function_bookkeeping",
     "verify_module",
     "function_to_text", "module_to_text", "module_fingerprint",
     "Interpreter", "ExecutionResult", "run_module",

@@ -35,6 +35,30 @@ def unique_predecessors_map(function):
     return preds
 
 
+def split_edge(pred, succ, name=None):
+    """Insert a fresh block on the CFG edge ``pred -> succ``.
+
+    The new block is placed right after ``pred`` in the function's
+    block order, ends in an unconditional branch to ``succ``, and
+    ``succ``'s phis are retargeted to it.  When ``pred`` reaches
+    ``succ`` through both arms of a ``condbr`` the two edges are
+    subdivided together (phis report such a predecessor once, so a
+    single landing block keeps their incoming lists consistent).
+    Returns the new block.
+    """
+    from repro.ir.basicblock import BasicBlock
+    from repro.ir.instructions import BranchInst
+
+    function = pred.parent
+    block = BasicBlock(name or function.next_name("split"), function)
+    function.blocks.insert(function.blocks.index(pred) + 1, block)
+    pred.terminator().replace_successor(succ, block)
+    block.append(BranchInst(succ))
+    for phi in succ.phis():
+        phi.replace_incoming_block(pred, block)
+    return block
+
+
 def reverse_postorder(function):
     """Blocks in reverse postorder from the entry (unreachable excluded)."""
     entry = function.entry
@@ -176,17 +200,46 @@ class Loop:
         return [b for b in function.blocks if b in self.blocks]
 
     def exit_blocks(self):
-        """Blocks outside the loop targeted from inside."""
+        """Blocks outside the loop targeted from inside.
+
+        Deterministically ordered: exiting blocks are visited in the
+        function's block order (``blocks`` is a set; iterating it
+        directly would follow object addresses, which vary
+        run-to-run — multi-exit fixups must be a pure function of the
+        input program)."""
         exits = []
-        for block in self.blocks:
+        for block in self.ordered_blocks():
             for succ in block.successors():
                 if succ not in self.blocks and succ not in exits:
                     exits.append(succ)
         return exits
 
     def exiting_blocks(self):
-        return [b for b in self.blocks
+        """In-loop blocks with an edge out of the loop, in the
+        function's (deterministic) block order."""
+        return [b for b in self.ordered_blocks()
                 if any(s not in self.blocks for s in b.successors())]
+
+    def exit_edges(self):
+        """Ordered ``(exiting_block, exit_block)`` pairs, one per
+        distinct CFG edge out of the loop."""
+        edges = []
+        for block in self.exiting_blocks():
+            seen = set()
+            for succ in block.successors():
+                if succ not in self.blocks and id(succ) not in seen:
+                    seen.add(id(succ))
+                    edges.append((block, succ))
+        return edges
+
+    def has_dedicated_exits(self):
+        """True when every exit block's predecessors are all inside the
+        loop (the LoopSimplify invariant multi-exit fixups rely on)."""
+        for exit_block in self.exit_blocks():
+            for pred in exit_block.predecessors():
+                if pred not in self.blocks:
+                    return False
+        return True
 
     def latches(self):
         return [p for p in self.header.predecessors() if p in self.blocks]

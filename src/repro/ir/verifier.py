@@ -15,6 +15,7 @@ pass reuses it.
 from repro.errors import VerificationError
 from repro.ir.cfg import (
     DominatorTree,
+    LoopInfo,
     predecessors_map,
     reachable_blocks,
 )
@@ -23,13 +24,13 @@ from repro.ir.values import Argument, Constant, GlobalVariable
 from repro.ir.function import Function
 
 
-def verify_module(module, am=None):
+def verify_module(module, am=None, lcssa=False):
     for function in module.functions.values():
         if not function.is_declaration():
-            verify_function(function, am)
+            verify_function(function, am, lcssa=lcssa)
 
 
-def verify_function(function, am=None):
+def verify_function(function, am=None, lcssa=False):
     if not function.blocks:
         return
     preds = predecessors_map(function)
@@ -42,6 +43,8 @@ def verify_function(function, am=None):
     if am is not None:
         am.put("domtree", function, dom)
     _check_dominance(function, dom)
+    if lcssa:
+        check_lcssa(function, dom)
 
 
 def verify_function_bookkeeping(function):
@@ -137,6 +140,43 @@ def _check_use_lists(function):
                 if (inst, index) not in op.uses:
                     _fail(function,
                           f"use list of {op!r} missing ({inst!r}, {index})")
+
+
+def check_lcssa(function, dom=None, loops=None):
+    """LCSSA check mode: every value defined inside a loop and used
+    outside it must flow through a phi in one of the loop's (dedicated)
+    exit blocks.
+
+    Run by the canonicalization tests (not by default verification —
+    most pipeline states legitimately leave LCSSA form; the loop-pass
+    family re-establishes it on demand).
+    """
+    if not function.blocks:
+        return
+    if dom is None:
+        dom = DominatorTree(function)
+    if loops is None:
+        loops = LoopInfo(function, domtree=dom)
+    reachable = reachable_blocks(function)
+    for loop in loops.loops:
+        exit_blocks = set(map(id, loop.exit_blocks()))
+        for block in loop.ordered_blocks():
+            if block not in reachable:
+                continue
+            for inst in block.instructions:
+                for user, _ in inst.uses:
+                    parent = user.parent
+                    if parent is None or parent in loop.blocks:
+                        continue
+                    if isinstance(user, PhiInst) and \
+                            id(parent) in exit_blocks:
+                        continue
+                    if parent not in reachable:
+                        continue
+                    _fail(function,
+                          f"loop value {inst!r} (header "
+                          f"{loop.header.name}) used outside the loop "
+                          f"by {user!r} without an exit phi")
 
 
 def _check_dominance(function, dom):

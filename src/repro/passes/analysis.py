@@ -21,9 +21,13 @@ from repro.ir.cfg import DominatorTree, LoopInfo
 
 
 #: Every analysis the manager knows how to compute.
-ALL_ANALYSES = frozenset({"domtree", "loops", "loopivs", "fingerprint"})
+ALL_ANALYSES = frozenset({"domtree", "loops", "loopivs", "loopcanon",
+                          "fingerprint"})
 
 #: Preserved by passes that change instructions but never the CFG.
+#: (``loopcanon`` — the canonical-form verdict memo — is NOT implied:
+#: a value-only rewrite can fold an LCSSA phi away, so only passes
+#: that provably maintain the form declare it preserved.)
 PRESERVE_CFG = frozenset({"domtree", "loops"})
 
 #: Preserved by nothing-changed / attribute-only situations.
@@ -60,6 +64,32 @@ class LoopIVAnalysis:
         if hit is None:
             result = constant_trip_count(loop, preheader,
                                          max_count=max_count)
+            hit = (loop, preheader, result)
+            self._trips[key] = hit
+        return hit[2]
+
+    def exit_plan(self, loop, preheader, dom, max_iterations=4096):
+        """Memoized multi-exit trip simulation (see
+        :func:`repro.passes.loop_canon.simulate_exits`)."""
+        from repro.passes.loop_canon import simulate_exits
+        key = ("plan", id(loop), id(preheader), max_iterations)
+        hit = self._trips.get(key)
+        if hit is None:
+            result = simulate_exits(loop, preheader, dom,
+                                    max_iterations=max_iterations)
+            hit = (loop, preheader, result)
+            self._trips[key] = hit
+        return hit[2]
+
+    def counted_bound(self, loop, preheader, dom, max_iterations=4096):
+        """Memoized counted-exit trip bound (see
+        :func:`repro.passes.loop_canon.counted_exit_bound`)."""
+        from repro.passes.loop_canon import counted_exit_bound
+        key = ("bound", id(loop), id(preheader), max_iterations)
+        hit = self._trips.get(key)
+        if hit is None:
+            result = counted_exit_bound(loop, preheader, dom,
+                                        max_iterations=max_iterations)
             hit = (loop, preheader, result)
             self._trips[key] = hit
         return hit[2]
@@ -128,6 +158,9 @@ class AnalysisManager:
             return LoopInfo(function, domtree=self.domtree(function))
         if name == "loopivs":
             return LoopIVAnalysis(function)
+        if name == "loopcanon":
+            from repro.passes.loop_canon import LoopCanonInfo
+            return LoopCanonInfo(function)
         if name == "fingerprint":
             from repro.ir.printer import function_fingerprint
             return function_fingerprint(function)
@@ -182,6 +215,9 @@ class AnalysisManager:
 
     def loopivs(self, function):
         return self.get("loopivs", function)
+
+    def loopcanon(self, function):
+        return self.get("loopcanon", function)
 
     def fingerprint(self, function):
         return self.get("fingerprint", function)

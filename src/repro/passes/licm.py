@@ -4,13 +4,23 @@ Hoists pure loop-invariant instructions into the preheader.  Loads of
 loop-invariant addresses are hoisted when no instruction in the loop may
 write the loaded cell and the load executes on every iteration (its block
 dominates every latch) — hoisting a conditional load could introduce a trap
-or read an uninitialized cell, so those stay put.
+or read an uninitialized cell, so those stay put.  Hoisting is
+exit-shape-independent, so multi-exit loops get the full treatment.
 
 Analyses come from the analysis manager: the loop nest is fetched once,
 and the dominator tree is only rebuilt after a preheader insertion
 changed the CFG (dominance between in-loop blocks is invariant under
 that edge subdivision, so per-loop rebuilds are unnecessary).
+
+The fixpoint body is worklist-driven (PR-3 infrastructure): instead of
+rescanning the whole loop until quiescence, each hoist re-examines only
+the users it may have enabled — scheduled by original program position
+so the hoist *sequence* (and therefore the preheader layout) is
+bit-identical to the seed's rescan engine, which is preserved under
+``analysis_cache=False`` as the measured legacy baseline.
 """
+
+import heapq
 
 from repro.ir import LoadInst
 from repro.passes.analysis import (
@@ -26,6 +36,7 @@ from repro.passes.loop_utils import (
     loops_of,
 )
 from repro.passes.utils import instruction_may_write, is_pure
+from repro.passes.worklist import use_worklist
 
 
 @register_pass("licm")
@@ -55,7 +66,10 @@ class LICM(FunctionPass):
     def preserved_for(self, function):
         if self._created_preheader:
             return PRESERVE_NONE
-        return PRESERVE_CFG
+        # Hoisting out of a loop cannot break simplified/LCSSA form
+        # (exit phis keep reading the now-invariant value), so the
+        # canonical-form verdicts survive pure-hoist runs.
+        return PRESERVE_CFG | frozenset({"loopcanon"})
 
     def _run_on_loop(self, function, loop, am):
         preheader, created = ensure_preheader_tracked(function, loop)
@@ -69,6 +83,11 @@ class LICM(FunctionPass):
                 am.invalidate(function, PRESERVE_NONE)
         dom = domtree_of(function, am)
         latches = loop.latches()
+        if use_worklist(am):
+            return self._hoist_worklist(loop, preheader, dom,
+                                        latches), created
+        # Legacy engine (the seed's rescan fixpoint), kept as the
+        # benchmark baseline under ``analysis_cache=False``.
         changed = False
         progress = True
         while progress:
@@ -90,6 +109,59 @@ class LICM(FunctionPass):
                         progress = changed = True
         return changed, created
 
+    def _hoist_worklist(self, loop, preheader, dom, latches):
+        """Position-scheduled hoisting, bit-identical to the rescan
+        engine: eligibility is monotone (a hoist can only *enable*
+        users), so processing candidates in program order — re-queueing
+        a hoist's in-loop users ahead of the cursor into the current
+        sweep and the rest into the next one — replays the exact hoist
+        sequence the rescan rounds produce, without the quadratic
+        full-loop rescans."""
+        candidates = [inst for block in loop.ordered_blocks()
+                      for inst in block.instructions]
+        position = {id(inst): i for i, inst in enumerate(candidates)}
+        heap = list(range(len(candidates)))
+        queued = set(heap)
+        deferred = set()
+        changed = False
+        while heap or deferred:
+            if not heap:
+                # Sweep exhausted: deferred enablees (users at positions
+                # the cursor already passed) form the next sweep, in
+                # program order — exactly the rescan engine's next round.
+                heap = sorted(deferred)
+                queued = set(heap)
+                deferred = set()
+            index = heapq.heappop(heap)
+            queued.discard(index)
+            inst = candidates[index]
+            if inst.parent is None or inst.parent not in loop.blocks:
+                continue
+            if not invariant_operands(inst, loop):
+                continue
+            if is_pure(inst) and not isinstance(inst, LoadInst):
+                pass  # speculatively hoistable: pure and cannot trap
+            elif isinstance(inst, LoadInst) and \
+                    self._can_hoist_load(inst, loop, dom, latches):
+                pass
+            else:
+                continue
+            self._hoist(inst, preheader)
+            changed = True
+            for user, _ in inst.uses:
+                user_index = position.get(id(user))
+                if user_index is None or user_index in queued:
+                    continue
+                if user.parent is None or \
+                        user.parent not in loop.blocks:
+                    continue
+                if user_index > index:
+                    heapq.heappush(heap, user_index)
+                    queued.add(user_index)
+                else:
+                    deferred.add(user_index)
+        return changed
+
     @staticmethod
     def _hoist(inst, preheader):
         inst.parent.instructions.remove(inst)
@@ -102,8 +174,16 @@ class LICM(FunctionPass):
         # Must execute every iteration: its block dominates all latches.
         if not all(dom.dominates(load.parent, latch) for latch in latches):
             return False
-        # And dominate the header's exit edges... dominating latches is the
-        # standard guaranteed-to-execute criterion for this CFG family.
+        # In a multi-exit loop an early exit can fire before the load's
+        # block on the very first iteration, so dominating the latches
+        # is not "guaranteed to execute" there: the load must also
+        # dominate every exiting block (any exit taken then proves the
+        # load already ran).  Single-exiting loops keep the latch-only
+        # criterion (the seed's behaviour for this CFG family).
+        exiting = loop.exiting_blocks()
+        if len(exiting) > 1 and not all(
+                dom.dominates(load.parent, block) for block in exiting):
+            return False
         for block in loop.blocks:
             for inst in block.instructions:
                 if instruction_may_write(inst, load.pointer):

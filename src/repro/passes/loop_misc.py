@@ -15,22 +15,43 @@ from repro.ir import (
     StoreInst,
 )
 from repro.ir.types import I64
-from repro.passes.analysis import PRESERVE_CFG, loopivs_of
+from repro.passes.analysis import PRESERVE_CFG, domtree_of, loopivs_of
 from repro.passes.base import FunctionPass, register_pass
-from repro.passes.cloning import clone_region
+from repro.passes.cloning import clone_instruction, clone_region
+from repro.passes.loop_canon import (
+    ensure_canonical_loop,
+    fixup_exit_phis,
+    loop_is_lcssa,
+    loop_is_simplified,
+)
 from repro.passes.loop_utils import (
     ensure_preheader_tracked,
+    exit_phis_reference_loop,
     is_loop_invariant,
     loop_body_is_pure,
+    loop_values_escape,
     loops_of,
 )
 from repro.passes.utils import (
     delete_dead_instructions,
     instruction_may_write,
+    is_pure,
     must_alias,
     remove_block_from_phis,
     replace_and_erase,
 )
+
+
+def _drop_blocks(function, blocks):
+    """Detach and remove ``blocks`` (loop teardown: every instruction
+    drops its operand references so no use-list edges dangle)."""
+    for block in blocks:
+        for inst in list(block.instructions):
+            inst.drop_all_references()
+            inst.parent = None
+        block.instructions = []
+        block.parent = None
+        function.blocks.remove(block)
 
 
 @register_pass("loop-deletion")
@@ -55,6 +76,9 @@ class LoopDeletion(FunctionPass):
         preheader, created = ensure_preheader_tracked(function, loop)
         if preheader is None:
             return False, False
+        if len(loop.exiting_blocks()) != 1 or \
+                len(loop.exit_blocks()) != 1:
+            return self._delete_multi_exit(function, loop, am, created)
         trip_count, _ = loopivs_of(function, am).trip_count(loop, preheader)
         if trip_count is None:
             return False, created
@@ -64,29 +88,79 @@ class LoopDeletion(FunctionPass):
         if len(exit_blocks) != 1:
             return False, created
         exit_block = exit_blocks[0]
-        # No value computed inside may be used outside.
-        for block in loop.blocks:
-            for inst in block.instructions:
-                for user in inst.users:
-                    if user.parent not in loop.blocks:
-                        return False, created
-        # Exit phis with entries from loop blocks would lose a predecessor;
-        # they must have exactly the loop edge (single pred) to collapse.
-        for phi in exit_block.phis():
-            if any(b in loop.blocks for b in phi.incoming_blocks):
-                return False, created
+        # No value computed inside may be used outside, and exit phis
+        # with entries from loop blocks would lose a predecessor.
+        if loop_values_escape(loop) or \
+                exit_phis_reference_loop([exit_block], loop):
+            return False, created
         # Rewire the preheader straight to the exit, drop the loop blocks.
         term = preheader.terminator()
         term.erase_from_parent()
         preheader.append(BranchInst(exit_block))
-        for block in list(loop.blocks):
-            for inst in list(block.instructions):
-                inst.drop_all_references()
-                inst.parent = None
-            block.instructions = []
-            block.parent = None
-            function.blocks.remove(block)
+        _drop_blocks(function, list(loop.blocks))
         return True, created
+
+    def _delete_multi_exit(self, function, loop, am, created):
+        """Delete a pure, provably-finite early-exit loop when all its
+        (dedicated) exits trivially converge on one successor.
+
+        Which exit fires at runtime is then irrelevant: every exit
+        block is a phi-free lone branch to the same join, so the
+        preheader can jump straight there.  Finiteness follows from the
+        counted exit alone — early exits only leave *sooner*.
+        """
+        changed = created
+        changed |= ensure_canonical_loop(function, loop, am)
+        if not loop_is_simplified(loop):
+            return False, changed
+        preheader = loop.preheader()
+        dom = domtree_of(function, am)
+        if loopivs_of(function, am).counted_bound(loop, preheader,
+                                                  dom) is None:
+            return False, changed
+        if not loop_body_is_pure(loop):
+            return False, changed
+        if loop_values_escape(loop):
+            return False, changed
+        exit_blocks = loop.exit_blocks()
+        doomed = []
+        if len(exit_blocks) == 1:
+            # Several exiting edges, one exit block (the common
+            # post-simplifycfg ``break`` shape): whichever edge fires,
+            # control lands there — jump straight to it.
+            target = exit_blocks[0]
+            for phi in target.phis():
+                if any(b in loop.blocks for b in phi.incoming_blocks):
+                    return False, changed
+        else:
+            # Distinct exit blocks must trivially converge: each is a
+            # phi-free lone branch to one common join.
+            target = None
+            for exit_block in exit_blocks:
+                if any(p not in loop.blocks
+                       for p in exit_block.predecessors()):
+                    return False, changed
+                if len(exit_block.instructions) != 1 or \
+                        not isinstance(exit_block.terminator(),
+                                       BranchInst):
+                    return False, changed
+                succ = exit_block.terminator().target
+                if target is None:
+                    target = succ
+                elif target is not succ:
+                    return False, changed
+            if target is None or target in loop.blocks or \
+                    target is preheader or target in exit_blocks or \
+                    target.phis():
+                return False, changed
+            doomed = exit_blocks
+        term = preheader.terminator()
+        term.erase_from_parent()
+        preheader.append(BranchInst(target))
+        _drop_blocks(function, list(loop.blocks) + doomed)
+        if am is not None:
+            am.invalidate(function)
+        return True, True
 
 
 @register_pass("indvars")
@@ -172,6 +246,9 @@ class LoopIdiom(FunctionPass):
         return mutated
 
     def _match_memset(self, function, loop, am=None):
+        if len(loop.exiting_blocks()) != 1 or \
+                len(loop.exit_blocks()) != 1:
+            return self._match_memset_multi_exit(function, loop, am)
         # cond/body/step frontend shape or rotated 1–2 block shapes.
         if len(loop.blocks) > 3:
             return False, False
@@ -184,7 +261,9 @@ class LoopIdiom(FunctionPass):
         if iv.step != 1:
             return False, created
         # The body must be exactly: gep(base, iv) ; store C -> gep ; iv
-        # update ; compare ; branch.  Everything else disqualifies.
+        # update ; compare ; branch.  Everything else — calls, loads,
+        # and anything that may trap (a division by a non-constant
+        # elides its trap if the loop is deleted) — disqualifies.
         store = None
         for block in loop.blocks:
             for inst in block.instructions:
@@ -192,7 +271,9 @@ class LoopIdiom(FunctionPass):
                     if store is not None:
                         return False, created
                     store = inst
-                elif isinstance(inst, (CallInst, LoadInst)):
+                elif not (isinstance(inst, PhiInst)
+                          or inst.is_terminator()
+                          or is_pure(inst)):
                     return False, created
         if store is None:
             return False, created
@@ -214,14 +295,9 @@ class LoopIdiom(FunctionPass):
         exit_blocks = loop.exit_blocks()
         if len(exit_blocks) != 1:
             return False, created
-        for block in loop.blocks:
-            for inst in block.instructions:
-                for user in inst.users:
-                    if user.parent not in loop.blocks:
-                        return False, created
-        for phi in exit_blocks[0].phis():
-            if any(b in loop.blocks for b in phi.incoming_blocks):
-                return False, created
+        if loop_values_escape(loop) or \
+                exit_phis_reference_loop(exit_blocks, loop):
+            return False, created
         # Element size must be one cell (scalars only).
         if pointer.type.pointee.size_cells() != 1:
             return False, created
@@ -239,60 +315,222 @@ class LoopIdiom(FunctionPass):
         term = preheader.terminator()
         term.erase_from_parent()
         preheader.append(BranchInst(exit_block))
-        for block in list(loop.blocks):
-            for inst in list(block.instructions):
-                inst.drop_all_references()
-                inst.parent = None
-            block.instructions = []
-            block.parent = None
-            function.blocks.remove(block)
+        _drop_blocks(function, list(loop.blocks))
         return True, created
+
+    def _match_memset_multi_exit(self, function, loop, am):
+        """Memset recognition on early-exit counted loops.
+
+        When every exit condition is an IV-vs-constant compare, the
+        exact number of store executions follows from the per-exit
+        simulation (``for (i = 0; i < 64; i++) { if (i == 10) break;
+        a[i] = C; }`` memsets 10 cells).  The store must run on every
+        completed iteration (its block dominates the latch); the final,
+        partially-executed iteration contributes iff the store's block
+        dominates the firing exit.
+        """
+        # cond/body/store/step plus the frontend's unreachable filler
+        # blocks (simplifycfg may not have run yet).
+        if len(loop.blocks) > 6:
+            return False, False
+        changed = ensure_canonical_loop(function, loop, am)
+        if not loop_is_simplified(loop):
+            return False, changed
+        preheader = loop.preheader()
+        dom = domtree_of(function, am)
+        plan = loopivs_of(function, am).exit_plan(loop, preheader, dom)
+        if plan is None:
+            return False, changed
+        iv = plan.iv
+        if iv.step != 1 or not isinstance(iv.start, ConstantInt):
+            return False, changed
+        store = None
+        for block in loop.ordered_blocks():
+            for inst in block.instructions:
+                if isinstance(inst, StoreInst):
+                    if store is not None:
+                        return False, changed
+                    store = inst
+                elif not (isinstance(inst, PhiInst)
+                          or inst.is_terminator()
+                          or is_pure(inst)):
+                    # Calls, loads, potential traps: deleting the loop
+                    # would elide an observable effect.
+                    return False, changed
+        if store is None:
+            return False, changed
+        pointer = store.pointer
+        if not isinstance(pointer, GEPInst) or \
+                pointer.index is not iv.phi or \
+                not is_loop_invariant(pointer.base, loop):
+            return False, changed
+        value = store.value
+        if not value.is_constant() and \
+                not is_loop_invariant(value, loop):
+            return False, changed
+        latch = loop.latches()[0]
+        if not dom.dominates(store.parent, latch):
+            return False, changed
+        count = plan.executions_of(store.parent, dom)
+        if count <= 0:
+            return False, changed
+        # Loop results must not escape (exit phis included).
+        if loop_values_escape(loop) or \
+                exit_phis_reference_loop(loop.exit_blocks(), loop):
+            return False, changed
+        if pointer.type.pointee.size_cells() != 1:
+            return False, changed
+        target = plan.taken_target
+        if target.phis():
+            return False, changed
+        dest = GEPInst(pointer.base, iv.start)
+        dest.name = function.next_name("ms")
+        preheader.insert_before_terminator(dest)
+        memset = CallInst("memset", [dest, value,
+                                     ConstantInt(I64, count)])
+        preheader.insert_before_terminator(memset)
+        term = preheader.terminator()
+        term.erase_from_parent()
+        preheader.append(BranchInst(target))
+        # Non-taken dedicated exits lose their last predecessor; the
+        # backend emits every block in ``function.blocks``, so trivial
+        # (lone-branch, value-free) ones are dropped with the loop
+        # rather than left as dead code.  Non-trivial exits (early
+        # ``return`` bodies) stay for simplifycfg: dropping them could
+        # detach values their successors still reference.
+        doomed = []
+        for exit_block in loop.exit_blocks():
+            if exit_block is target or \
+                    len(exit_block.instructions) != 1 or \
+                    not isinstance(exit_block.terminator(), BranchInst):
+                continue
+            remove_block_from_phis(exit_block,
+                                   exit_block.terminator().target)
+            doomed.append(exit_block)
+        _drop_blocks(function, list(loop.blocks) + doomed)
+        if am is not None:
+            am.invalidate(function)
+        return True, True
 
 
 @register_pass("loop-sink")
 class LoopSink(FunctionPass):
     """Sink pure loop computations used only outside the loop into the
-    (unique) exit block — they then execute once instead of per-iteration.
+    exit block(s) — they then execute once instead of per-iteration.
+
+    Single-exit loops with a private exit take the direct move; loops
+    with several exits (or a shared exit block) are put into LCSSA
+    form first, after which every outside use reads an exit phi and
+    the computation can be rematerialized per using exit.
     """
 
     # Moves pure instructions between existing blocks: the CFG, the IV
-    # chains, and the loop nest all survive.
-    preserved_analyses = PRESERVE_CFG | frozenset({"loopivs"})
+    # chains, the loop nest and the canonical loop forms all survive —
+    # unless the multi-exit path had to canonicalize first (tracked
+    # per-run, reported via ``preserved_for``).
+    preserved_analyses = PRESERVE_CFG | frozenset({"loopivs",
+                                                   "loopcanon"})
+
+    def __init__(self):
+        self._canonicalized = False   # sticky: drives preserved_for
+        self._sweep_dirty = False     # per-loop: drives sweep restarts
+
+    def preserved_for(self, function):
+        from repro.passes.analysis import PRESERVE_NONE
+        if self._canonicalized:
+            return PRESERVE_NONE
+        return self.preserved_analyses
 
     def run_on_function(self, function, am=None):
+        # Canonicalization creates blocks, which stales the other Loop
+        # objects' membership sets — restart the sweep on fresh loop
+        # info after any structural change (idempotent, so this
+        # terminates).
         changed = False
-        info = loops_of(function, am)
-        for loop in info.loops:
-            exit_blocks = loop.exit_blocks()
-            if len(exit_blocks) != 1:
-                continue
-            exit_block = exit_blocks[0]
-            if len(exit_block.predecessors()) != 1:
-                continue
-            from repro.passes.utils import is_pure
-            for block in loop.ordered_blocks():
-                for inst in list(block.instructions):
-                    if isinstance(inst, PhiInst) or inst.is_terminator():
-                        continue
-                    if not is_pure(inst):
-                        continue
-                    users = inst.users
-                    if not users:
-                        continue
-                    if any(u.parent in loop.blocks for u in users):
-                        continue
-                    # All operands must dominate the exit: loop-invariant
-                    # operands do; in-loop operands do not in general
-                    # (values from the last iteration are only available
-                    # if defined in a block dominating the exit edge) —
-                    # restrict to invariant operands.
-                    if not all(is_loop_invariant(op, loop)
-                               for op in inst.operands):
-                        continue
-                    block.instructions.remove(inst)
-                    index = exit_block.first_non_phi_index()
-                    exit_block.insert(index, inst)
-                    changed = True
+        self._canonicalized = False
+        for _ in range(64):
+            info = loops_of(function, am)
+            restart = False
+            for loop in info.loops:
+                exit_blocks = loop.exit_blocks()
+                if len(exit_blocks) == 1 and \
+                        len(exit_blocks[0].predecessors()) == 1:
+                    changed |= self._sink_single_exit(loop,
+                                                      exit_blocks[0])
+                    continue
+                self._sweep_dirty = False
+                changed |= self._sink_multi_exit(function, loop, am)
+                if self._sweep_dirty:
+                    restart = True
+                    break
+            if not restart:
+                break
+        return changed
+
+    @staticmethod
+    def _sinkable(inst, loop):
+        if isinstance(inst, PhiInst) or inst.is_terminator():
+            return False
+        if not is_pure(inst):
+            return False
+        users = inst.users
+        if not users:
+            return False
+        if any(u.parent in loop.blocks for u in users):
+            return False
+        # All operands must dominate the exit: loop-invariant
+        # operands do; in-loop operands do not in general
+        # (values from the last iteration are only available
+        # if defined in a block dominating the exit edge) —
+        # restrict to invariant operands.
+        return all(is_loop_invariant(op, loop)
+                   for op in inst.operands)
+
+    def _sink_single_exit(self, loop, exit_block):
+        changed = False
+        for block in loop.ordered_blocks():
+            for inst in list(block.instructions):
+                if not self._sinkable(inst, loop):
+                    continue
+                block.instructions.remove(inst)
+                index = exit_block.first_non_phi_index()
+                exit_block.insert(index, inst)
+                changed = True
+        return changed
+
+    def _sink_multi_exit(self, function, loop, am):
+        changed = ensure_canonical_loop(function, loop, am, lcssa=True)
+        if changed:
+            self._canonicalized = True
+            self._sweep_dirty = True
+        if not (loop_is_simplified(loop) and loop_is_lcssa(loop)):
+            return changed
+        exit_ids = {id(b) for b in loop.exit_blocks()}
+        for block in loop.ordered_blocks():
+            for inst in list(block.instructions):
+                if not self._sinkable(inst, loop):
+                    continue
+                # Under LCSSA every outside user is an exit phi; the
+                # computation sinks only when each using phi merges
+                # nothing but this instruction.
+                users = inst.users
+                if not all(isinstance(u, PhiInst)
+                           and id(u.parent) in exit_ids
+                           and all(v is inst for v in u.operands)
+                           for u in users):
+                    continue
+                block.instructions.remove(inst)
+                for position, phi in enumerate(users):
+                    if position == 0:
+                        replacement = inst
+                    else:
+                        replacement = clone_instruction(inst, {}, {},
+                                                        function)
+                    target = phi.parent
+                    target.insert(target.first_non_phi_index(),
+                                  replacement)
+                    replace_and_erase(phi, replacement)
+                changed = True
         return changed
 
 
@@ -302,8 +540,9 @@ class LoopLoadElim(FunctionPass):
     same address as an earlier store in the same block takes the stored
     value directly."""
 
-    # Value replacements only.
-    preserved_analyses = PRESERVE_CFG
+    # Value replacements only; loop structure and canonical forms
+    # survive (a forwarded exit-phi operand stays loop-defined).
+    preserved_analyses = PRESERVE_CFG | frozenset({"loopcanon"})
 
     def run_on_function(self, function, am=None):
         changed = False
@@ -428,13 +667,13 @@ class LoopUnswitch(FunctionPass):
         info = loops_of(function, am)
         mutated = False
         for loop in info.innermost_loops():
-            unswitched, created = self._unswitch(function, loop)
+            unswitched, created = self._unswitch(function, loop, am)
             mutated |= created
             if unswitched:
                 return True
         return mutated
 
-    def _unswitch(self, function, loop):
+    def _unswitch(self, function, loop, am=None):
         if sum(len(b.instructions) for b in loop.blocks) > \
                 self.MAX_LOOP_SIZE:
             return False, False
@@ -456,12 +695,19 @@ class LoopUnswitch(FunctionPass):
             break
         if candidate is None:
             return False, created
-        # Exactly one exit block keeps the exit-phi fixup (LCSSA-style
-        # merge of the two loop versions) tractable.
         exit_blocks = loop.exit_blocks()
         if len(exit_blocks) != 1:
-            return False, created
+            # Early-exit loops version on canonical form: with every
+            # escaping value routed through exit phis (LCSSA), the
+            # two-version merge is a per-exit phi extension.
+            created |= ensure_canonical_loop(function, loop, am,
+                                            lcssa=True)
+            if not (loop_is_simplified(loop) and loop_is_lcssa(loop)):
+                return False, created
+            preheader = loop.preheader()
+            exit_blocks = loop.exit_blocks()
         exit_block = exit_blocks[0]
+        exit_ids = {id(b) for b in exit_blocks}
         orig_exit_preds = [p for p in exit_block.predecessors()
                            if p in loop.blocks]
 
@@ -470,13 +716,11 @@ class LoopUnswitch(FunctionPass):
         clone_block_ids = {id(b) for b in block_map.values()}
 
         # Existing exit phis gain entries for the cloned exiting edges.
-        for phi in exit_block.phis():
-            for value, pred in list(phi.incoming()):
-                if pred in loop.blocks:
-                    phi.add_incoming(value_map.get(id(value), value),
-                                     block_map[id(pred)])
+        fixup_exit_phis(loop, value_map, block_map)
         # In-loop values used outside the loop merge through fresh exit
-        # phis (both versions produce a candidate value).
+        # phis (both versions produce a candidate value).  Under LCSSA
+        # (the multi-exit case) every outside user already reads an
+        # exit phi, so this loop finds nothing there.
         for block in blocks:
             for inst in list(block.instructions):
                 if inst.type.is_void():
@@ -487,7 +731,7 @@ class LoopUnswitch(FunctionPass):
                     and user.parent not in loop.blocks
                     and id(user.parent) not in clone_block_ids
                     and not (isinstance(user, PhiInst)
-                             and user.parent is exit_block)]
+                             and id(user.parent) in exit_ids)]
                 if not outside_users:
                     continue
                 merge = PhiInst(inst.type, function.next_name("unswx"))

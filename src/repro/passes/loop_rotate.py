@@ -9,14 +9,29 @@ Implementation: for a while-shaped loop
 the header test instructions are cloned into the preheader, the preheader
 branches on the cloned condition (guard), and the latch jumps to a copy of
 the test instead of the header.
+
+Multi-exit loops (``break``/early-``return`` shapes) rotate too: the
+loop is first put into canonical form (LoopSimplify + LCSSA, see
+:mod:`repro.passes.loop_canon`), the header's exit edge gets a private
+landing block, and after rotation every *other* exit block's phis are
+remapped onto the current-iteration values materialized in the new loop
+top — the per-exit fixup that the old single-exit-only implementation
+could not express (it funneled every escaping value through the one
+exit block, which miscompiled ``break`` shapes — the qurt/isqrt bug).
 """
 
 from repro.ir import (
     BranchInst,
     CondBranchInst,
     PhiInst,
+    split_edge,
 )
 from repro.passes.base import FunctionPass, register_pass
+from repro.passes.loop_canon import (
+    ensure_canonical_loop,
+    loop_is_lcssa,
+    loop_is_simplified,
+)
 from repro.passes.loop_utils import ensure_preheader_tracked, loops_of
 from repro.passes.utils import is_pure
 
@@ -77,22 +92,43 @@ def _clone_instruction(inst, operand_map, function):
 class LoopRotate(FunctionPass):
     MAX_HEADER_SIZE = 8
 
+    def __init__(self):
+        self._structure_dirty = False
+
     def run_on_function(self, function, am=None):
+        # Single-exit rotation only rewrites existing blocks, so one
+        # sweep over a loop forest stays self-consistent.  The
+        # multi-exit path *creates* blocks (split exits, merged
+        # latches), which invalidates the sibling/enclosing Loop
+        # objects' membership sets — the sweep restarts on fresh loop
+        # info after any such structural change (rotated loops become
+        # bottom-tested and are skipped, so this terminates).
         changed = False
-        info = loops_of(function, am)
-        for loop in sorted(info.loops, key=lambda lp: -lp.depth):
-            changed |= self._rotate(function, loop)
+        for _ in range(64):
+            info = loops_of(function, am)
+            self._structure_dirty = False
+            restart = False
+            for loop in sorted(info.loops, key=lambda lp: -lp.depth):
+                changed |= self._rotate(function, loop, am)
+                if self._structure_dirty:
+                    restart = True
+                    break
+            if not restart:
+                break
         return changed
 
-    def _rotate(self, function, loop):
+    def _rotate(self, function, loop, am=None):
         header = loop.header
         term = header.terminator()
         if not isinstance(term, CondBranchInst):
-            return False  # already rotated or multi-exit shape
+            return False  # already rotated or headerless-test shape
         in_true = term.true_target in loop.blocks
         in_false = term.false_target in loop.blocks
         if in_true == in_false:
             return False  # both or neither: not a top-tested exit
+        exit_block = term.false_target if in_true else term.true_target
+        if set(map(id, loop.exit_blocks())) != {id(exit_block)}:
+            return self._rotate_multi_exit(function, loop, am)
         # Validate everything BEFORE the first mutation (including the
         # preheader) so a bail-out below never leaves a half-rotated
         # loop behind while reporting "no change".
@@ -104,19 +140,11 @@ class LoopRotate(FunctionPass):
             return False  # single-block loop is already bottom-tested
         # The latch must fall through to the header unconditionally; a
         # conditionally-exiting latch means the loop is already
-        # bottom-tested (multi-exit shapes are left alone).
+        # bottom-tested.
         if not isinstance(latch.terminator(), BranchInst):
             return False
         body_entry = term.true_target if in_true else term.false_target
-        exit_block = term.false_target if in_true else term.true_target
         if exit_block in loop.blocks or body_entry is header:
-            return False
-        # The header's test must be the ONLY exit: the LCSSA-style exit
-        # fixup below funnels every escaping value through ``exit_block``,
-        # which is wrong (and produces non-dominating phis) for uses
-        # reached through a second exit such as a ``break``/``return``
-        # inside the body.
-        if set(map(id, loop.exit_blocks())) != {id(exit_block)}:
             return False
         # The header must contain only phis + a small pure test sequence.
         phis = header.phis()
@@ -132,10 +160,98 @@ class LoopRotate(FunctionPass):
             return False
         if body_entry.phis() or len(body_entry.predecessors()) != 1:
             return False
-        preheader, _created = ensure_preheader_tracked(function, loop)
+        preheader, created = ensure_preheader_tracked(function, loop)
         if preheader is None:
             return False
+        if created:
+            # The fresh preheader joins every ENCLOSING loop's body but
+            # not their (already-computed) block sets — the sweep must
+            # re-derive the forest before touching another loop, or a
+            # stale outer loop would misclassify the new block as an
+            # extra exit and wrongly take the multi-exit path.
+            self._structure_dirty = True
+        self._do_rotate(function, loop, term, in_true, phis, tail,
+                        body_entry, exit_block, latch, preheader,
+                        multi_exit=False)
+        if am is not None:
+            # Mid-run consumers (the restart's loops_of, the multi-exit
+            # path's domtree_of) must not read pre-rotation analyses.
+            am.invalidate(function)
+        return True
 
+    def _rotate_multi_exit(self, function, loop, am):
+        """Rotation of loops with early exits (break/early-return).
+
+        Canonical form makes the per-exit fixups expressible: dedicated
+        exits + a single backedge (LoopSimplify), every escaping value
+        routed through exit phis (LCSSA), and a private landing block
+        for the header's own exit edge.  After the shared rotation
+        steps, the other exit blocks' phis are remapped onto the
+        current-iteration values in the new loop top — they referenced
+        header-defined values that no longer dominate those edges.
+
+        Any mutation here (canonicalization included) marks the loop
+        forest dirty so the caller re-derives it before touching
+        another loop.
+        """
+        changed = ensure_canonical_loop(function, loop, am)
+        if changed:
+            self._structure_dirty = True
+        if not loop_is_simplified(loop):
+            return changed
+        header = loop.header
+        term = header.terminator()
+        in_true = term.true_target in loop.blocks
+        # Canonicalization may have redirected the exit edge onto a
+        # split landing block; recompute the shape from the terminator.
+        body_entry = term.true_target if in_true else term.false_target
+        exit_block = term.false_target if in_true else term.true_target
+        if exit_block in loop.blocks or body_entry is header:
+            return changed
+        latches = loop.latches()
+        if len(latches) != 1:
+            return changed
+        latch = latches[0]
+        if latch is header or not isinstance(latch.terminator(),
+                                             BranchInst):
+            return changed
+        phis = header.phis()
+        tail = header.instructions[len(phis):-1]
+        if len(tail) > self.MAX_HEADER_SIZE:
+            return changed
+        for inst in tail:
+            if not is_pure(inst) or not _can_clone(inst):
+                return changed
+        if body_entry.phis() or len(body_entry.predecessors()) != 1:
+            return changed
+        # The header's exit edge needs a private landing block: the
+        # guard and the rotated latch will both target it.
+        if exit_block.predecessors() != [header]:
+            exit_block = split_edge(header, exit_block,
+                                    name=function.next_name("rotexit"))
+            changed = True
+            self._structure_dirty = True
+            if am is not None:
+                am.invalidate(function)
+        changed |= ensure_canonical_loop(function, loop, am, lcssa=True)
+        if changed:
+            self._structure_dirty = True
+        if not loop_is_lcssa(loop):
+            return changed
+        preheader = loop.preheader()
+        if preheader is None:
+            return changed
+        self._do_rotate(function, loop, term, in_true, phis, tail,
+                        body_entry, exit_block, latch, preheader,
+                        multi_exit=True)
+        self._structure_dirty = True
+        if am is not None:
+            am.invalidate(function)
+        return True
+
+    def _do_rotate(self, function, loop, term, in_true, phis, tail,
+                   body_entry, exit_block, latch, preheader, multi_exit):
+        header = loop.header
         # 1. Clone the test chain into the preheader as the entry guard
         #    (header phis resolve to their initial values).
         guard_map = {}
@@ -240,6 +356,24 @@ class LoopRotate(FunctionPass):
                                           latch)
                     else:
                         inst.add_incoming(value, pred)
+        if multi_exit:
+            # Per-exit LCSSA fixup: the other exit blocks' phis read
+            # header-defined values (old phis / tail) whose defs no
+            # longer dominate those exit edges — the guard path enters
+            # the body without executing the old header.  The
+            # body_entry versions carry the current iteration's values
+            # and dominate every body block, so each in-loop entry is
+            # remapped through ``body_map``.
+            for other_exit in loop.exit_blocks():
+                if other_exit is exit_block:
+                    continue
+                for phi in other_exit.phis():
+                    for index, (value, pred) in \
+                            enumerate(list(phi.incoming())):
+                        if pred in loop.blocks and \
+                                id(value) in body_map:
+                            phi.set_operand(index, body_map[id(value)])
+            return
         exit_fix = {}
         latch_side = dict(latch_map)
         for phi in phis:
@@ -265,4 +399,3 @@ class LoopRotate(FunctionPass):
                     exit_fix[key] = merge
                 if user is not exit_fix[key]:
                     user.set_operand(index, exit_fix[key])
-        return True

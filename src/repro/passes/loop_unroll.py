@@ -5,6 +5,18 @@ body laid out sequentially.  Partial unrolling is intentionally handled by
 ``loop-vectorize`` (interleaved unroll); this phase performs the classic
 "small loop disappears" transformation, which interacts strongly with
 sccp/instcombine (everything becomes straight-line constant math).
+
+Multi-exit loops unroll too, on canonical form (LoopSimplify + LCSSA):
+
+- when *every* exit condition is an IV-vs-constant compare, the exact
+  per-iteration branch decisions are simulated up front
+  (``loop_canon.simulate_exits``) and every exit test straightens — the
+  early-exit trip count can be far below the counted bound
+  (``for (i = 0; i < 1000; i++) { if (i == 5) break; ... }`` unrolls to
+  six iterations);
+- otherwise the *counted* exit alone bounds the iteration space and the
+  data-dependent early exits stay live in every copy, with the exit
+  phis extended per copy.
 """
 
 from repro.ir import (
@@ -13,9 +25,14 @@ from repro.ir import (
     Instruction,
     PhiInst,
 )
-from repro.passes.analysis import loopivs_of
+from repro.passes.analysis import domtree_of, loopivs_of
 from repro.passes.base import FunctionPass, register_pass
 from repro.passes.cloning import clone_region
+from repro.passes.loop_canon import (
+    ensure_canonical_loop,
+    loop_is_lcssa,
+    loop_is_simplified,
+)
 from repro.passes.loop_utils import ensure_preheader_tracked, loops_of
 from repro.passes.utils import remove_block_from_phis
 
@@ -42,6 +59,9 @@ class LoopUnroll(FunctionPass):
         preheader, created = ensure_preheader_tracked(function, loop)
         if preheader is None:
             return False, False
+        if len(loop.exiting_blocks()) != 1 or \
+                len(loop.exit_blocks()) != 1:
+            return self._unroll_multi_exit(function, loop, am, created)
         trip_count, iv = loopivs_of(function, am).trip_count(
             loop, preheader, self.MAX_TRIP_COUNT)
         if trip_count is None or trip_count == 0:
@@ -170,6 +190,146 @@ class LoopUnroll(FunctionPass):
         # known taken: the trip count is exact).
         self._straighten_exits(loop, copies, exit_block, trip_count)
         return True, created
+
+    def _unroll_multi_exit(self, function, loop, am, created):
+        """Full unrolling of early-exit loops on canonical form.
+
+        Returns ``(unrolled, changed)``; ``changed`` covers the
+        canonicalization edits even when unrolling then bails.
+        """
+        changed = created
+        changed |= ensure_canonical_loop(function, loop, am, lcssa=True)
+        if not (loop_is_simplified(loop) and loop_is_lcssa(loop)):
+            return False, changed
+        preheader = loop.preheader()
+        if preheader is None:
+            return False, changed
+        ivs = loopivs_of(function, am)
+        dom = domtree_of(function, am)
+        plan = ivs.exit_plan(loop, preheader, dom,
+                             max_iterations=self.MAX_TRIP_COUNT)
+        counted_block = None
+        if plan is not None:
+            n_copies = plan.n_entered
+        else:
+            # Data-dependent early exits: the counted exit alone bounds
+            # the iteration space; the early exits stay live per copy.
+            bound = ivs.counted_bound(loop, preheader, dom,
+                                      max_iterations=self.MAX_TRIP_COUNT)
+            if bound is None:
+                return False, changed
+            n_copies, _iv, counted_block = bound
+        if n_copies > self.MAX_TRIP_COUNT:
+            return False, changed
+        body_size = sum(len(b.instructions) for b in loop.blocks)
+        if body_size > self.MAX_BODY_INSTRUCTIONS:
+            return False, changed
+
+        header = loop.header
+        latch = loop.latches()[0]
+        header_phis = header.phis()
+        exit_blocks = loop.exit_blocks()
+        # Per-exit-block original in-loop phi entries, captured before
+        # any rewiring (the rebuild below re-derives every entry from
+        # these plus the per-copy value maps).
+        original_entries = {}
+        for exit_block in exit_blocks:
+            original_entries[id(exit_block)] = [
+                (phi, list(phi.incoming())) for phi in exit_block.phis()]
+
+        blocks = loop.ordered_blocks()
+        copies = []
+        for iteration in range(1, n_copies):
+            copies.append(clone_region(blocks, function, f"it{iteration}"))
+
+        def latch_value(phi, vmap):
+            original = phi.incoming_value_for(latch)
+            return vmap.get(id(original), original)
+
+        # Wire iterations together: iteration k's header phis become the
+        # (k-1)-th iteration's latch values; the (k-1)-th latch's
+        # *backedge* is redirected to k's header copy.  Unlike the
+        # single-exit path the terminator is redirected, not replaced —
+        # a conditionally-exiting latch keeps its live early exit.
+        for iteration, (value_map, block_map) in enumerate(copies,
+                                                           start=1):
+            cloned_header = block_map[id(header)]
+            prev_map = {} if iteration == 1 else copies[iteration - 2][0]
+            for phi in header_phis:
+                cloned_phi = value_map[id(phi)]
+                incoming = latch_value(phi, prev_map)
+                cloned_phi.replace_all_uses_with(incoming)
+                cloned_phi.erase_from_parent()
+                value_map[id(phi)] = incoming
+            if iteration == 1:
+                prev_latch, prev_header = latch, header
+            else:
+                prev_latch = copies[iteration - 2][1][id(latch)]
+                prev_header = copies[iteration - 2][1][id(header)]
+            prev_latch.terminator().replace_successor(prev_header,
+                                                      cloned_header)
+
+        def copy_block(block, iteration):
+            if iteration == 0:
+                return block
+            return copies[iteration - 1][1][id(block)]
+
+        def copy_value(value, iteration):
+            if iteration == 0:
+                return value  # header phis resolve via the final RAUW
+            return copies[iteration - 1][0].get(id(value), value)
+
+        # Straighten the decided exit tests.  In a copy, the in-loop
+        # successor is a clone block, so membership is tested against
+        # the (stable) exit-block set.
+        exit_ids = {id(b) for b in exit_blocks}
+
+        def straighten(block, fired):
+            term = block.terminator()
+            if not isinstance(term, CondBranchInst):
+                return  # rewired to the next copy already
+            targets = [s for s in term.successors()
+                       if (id(s) in exit_ids) == fired]
+            if len(targets) != 1:
+                return
+            term.erase_from_parent()
+            block.append(BranchInst(targets[0]))
+
+        if plan is not None:
+            for iteration, record in enumerate(plan.iterations):
+                for exiting, fired in record:
+                    straighten(copy_block(exiting, iteration), fired)
+        else:
+            for iteration in range(n_copies):
+                straighten(copy_block(counted_block, iteration),
+                           iteration == n_copies - 1)
+
+        # Rebuild every exit block's phis from the surviving edges:
+        # for each original in-loop entry (value, pred), each copy of
+        # ``pred`` that still targets the exit contributes the copy's
+        # value.  LCSSA guarantees downstream uses read only these phis.
+        for exit_block in exit_blocks:
+            for phi, entries in original_entries[id(exit_block)]:
+                phi.drop_all_references()
+                phi.incoming_blocks = []
+                for value, pred in entries:
+                    if pred not in loop.blocks:
+                        phi.add_incoming(value, pred)
+                        continue
+                    for iteration in range(n_copies):
+                        source = copy_block(pred, iteration)
+                        if exit_block in source.successors():
+                            phi.add_incoming(
+                                copy_value(value, iteration), source)
+
+        # Original header phis collapse to their initial values for
+        # iteration 0 (this also resolves the iteration-0 exit-phi
+        # entries added above).
+        for phi in header_phis:
+            initial = phi.incoming_value_for(preheader)
+            phi.replace_all_uses_with(initial)
+            phi.erase_from_parent()
+        return True, True
 
     @staticmethod
     def _is_clone_user(user, copies):

@@ -214,6 +214,28 @@ def loops_of(function, am=None):
     return LoopInfo(function)
 
 
+def loop_values_escape(loop):
+    """True when any value computed inside ``loop`` is used outside it
+    (the safety bail shared by loop-deletion and loop-idiom: a deleted
+    loop must leave no dangling consumers)."""
+    for block in loop.ordered_blocks():
+        for inst in block.instructions:
+            for user in inst.users:
+                if user.parent not in loop.blocks:
+                    return True
+    return False
+
+
+def exit_phis_reference_loop(exit_blocks, loop):
+    """True when a phi in any of ``exit_blocks`` carries an entry from
+    a loop block — deleting the loop would orphan that entry."""
+    for exit_block in exit_blocks:
+        for phi in exit_block.phis():
+            if any(b in loop.blocks for b in phi.incoming_blocks):
+                return True
+    return False
+
+
 def loop_body_is_pure(loop):
     """No stores/calls and no instructions that may trap."""
     for block in loop.blocks:

@@ -1,0 +1,155 @@
+"""Early-exit workloads: loops whose control leaves through ``break``,
+early ``return``, or several ``return`` statements.
+
+This is the loop family the pass pipeline silently forfeited before the
+canonicalization subsystem (``passes/loop_canon.py``): every loop pass
+bailed on loops with more than one exit, so a policy trained on the
+other suites never saw rotation/unroll/licm/idiom fire on a ``break``
+shape.  These programs make multi-exit loops first-class training and
+evaluation citizens — and double as the differential corpus for the
+multi-exit transformations (``tests/passes/test_multi_exit_loops.py``,
+``benchmarks/test_loop_canon.py``).
+
+Deterministic and checksum-printing, like the other suites.
+"""
+
+# The original miscompile reproducer (PR 2): Newton iteration whose
+# early `return` inside the counted loop produced invalid IR under the
+# seed's loop-rotate.  Kept here verbatim-shaped so the regression stays
+# in the training distribution.
+NEWTON_SQRT = r"""
+int isqrt(int x) {
+  if (x < 2) return x;
+  int guess = x / 2;
+  for (int i = 0; i < 12; i++) {
+    int next = (guess + x / guess) / 2;
+    if (next >= guess) return guess;
+    guess = next;
+  }
+  return guess;
+}
+
+int main() {
+  int total = 0;
+  for (int v = 1; v < 60; v++) {
+    total += isqrt(v * v * 3 + v);
+  }
+  print_int(total);
+  return total % 251;
+}
+"""
+
+# Linear search with break: the classic single-`break` loop shape, plus
+# an IV-bounded break whose exact trip count is statically decidable.
+SEARCH_BREAK = r"""
+int data[48];
+
+int find(int needle) {
+  int pos = 0 - 1;
+  for (int i = 0; i < 48; i++) {
+    if (data[i] == needle) { pos = i; break; }
+  }
+  return pos;
+}
+
+int main() {
+  for (int i = 0; i < 48; i++) { data[i] = (i * 37 + 11) % 97; }
+  int hits = 0;
+  for (int n = 0; n < 97; n += 5) {
+    int where = find(n);
+    if (where >= 0) hits += where;
+  }
+  for (int i = 0; i < 48; i++) {
+    if (i == 17) break;
+    data[i] = 0;
+  }
+  int residue = 0;
+  for (int i = 0; i < 48; i++) residue += data[i];
+  print_int(hits); print_int(residue);
+  return (hits + residue) % 251;
+}
+"""
+
+# Multi-`return` classifier: several early returns from one loop, each
+# through a different exit edge.
+CLASSIFY_RETURNS = r"""
+int classify(int x) {
+  for (int i = 1; i < 10; i++) {
+    if (x < i * i) return i;
+    if (x == i * 7) return 50 + i;
+    if (x % (i + 13) == 0) return 90 + i;
+  }
+  return 0 - 1;
+}
+
+int main() {
+  int acc = 0;
+  for (int v = 0; v < 120; v++) {
+    acc += classify(v);
+  }
+  print_int(acc);
+  return acc % 251;
+}
+"""
+
+# Accumulating while-loop with a data-dependent break in the middle of
+# the body (values escape through both exits).
+THRESHOLD_SUM = r"""
+int main() {
+  int total = 0;
+  int steps = 0;
+  int j = 1;
+  while (j < 4000) {
+    total += j % 23;
+    if (total > 700) break;
+    j = j + j % 7 + 1;
+    steps += 1;
+  }
+  print_int(total); print_int(steps); print_int(j);
+  return (total + steps + j) % 251;
+}
+"""
+
+# Nested loops where the inner loop breaks out on a product bound; the
+# outer loop's trip depends on the inner exit taken.
+NESTED_BREAK = r"""
+int main() {
+  int acc = 0;
+  for (int j = 0; j < 9; j++) {
+    for (int k = 0; k < 14; k++) {
+      if (k * j > 30) break;
+      acc += k + j * 2;
+    }
+    if (acc > 900) break;
+  }
+  print_int(acc);
+  return acc % 251;
+}
+"""
+
+# Saturating memset-like fill with an IV break: loop-idiom's multi-exit
+# memset recognition target (stores exactly 21 cells of 64).
+PARTIAL_FILL = r"""
+int buffer[64];
+
+int main() {
+  for (int i = 0; i < 64; i++) { buffer[i] = 5; }
+  for (int i = 0; i < 64; i++) {
+    if (i == 21) break;
+    buffer[i] = 0;
+  }
+  int sum = 0;
+  for (int i = 0; i < 64; i++) sum += buffer[i];
+  print_int(sum);
+  return sum % 251;
+}
+"""
+
+EARLYEXIT_SOURCES = {
+    "newton_sqrt": NEWTON_SQRT,
+    "search_break": SEARCH_BREAK,
+    "classify_returns": CLASSIFY_RETURNS,
+    "threshold_sum": THRESHOLD_SUM,
+    "nested_break": NESTED_BREAK,
+    "partial_fill": PARTIAL_FILL,
+}

@@ -4,6 +4,7 @@ import hashlib
 
 from repro.lang import compile_source
 from repro.workloads.beebs import BEEBS_SOURCES
+from repro.workloads.earlyexit import EARLYEXIT_SOURCES
 from repro.workloads.multifn import MULTIFN_SOURCES
 from repro.workloads.parsec import PARSEC_SOURCES
 
@@ -48,6 +49,7 @@ _SUITES = {
     "parsec": PARSEC_SOURCES,
     "beebs": BEEBS_SOURCES,
     "multi": MULTIFN_SOURCES,
+    "earlyexit": EARLYEXIT_SOURCES,
 }
 
 

@@ -107,6 +107,37 @@ def test_duplicate_points_evaluated_once_per_batch():
     assert engine.cache.stats.stores == 2
 
 
+def test_thread_mode_composes_from_result_index():
+    """The function-granular result index serves thread-pool misses
+    too (ROADMAP follow-up): a new sequence reaching already-measured
+    code composes its payload instead of re-simulating, and the rows
+    stay bit-identical to the serial engine's."""
+    workload = load_suite("beebs")[0]
+    serial = EvaluationEngine(Platform("riscv", measurement_seed=7))
+    threaded = EvaluationEngine(Platform("riscv", measurement_seed=7),
+                                mode="thread", workers=3)
+    # Prime both engines with a sequence, then evaluate distinct
+    # orderings that produce identical optimized code.
+    first = ("mem2reg", "instcombine")
+    second = ("mem2reg", "instcombine", "instcombine")
+    for engine in (serial, threaded):
+        engine.evaluate_batch([(workload, first)])
+        results = engine.evaluate_batch([(workload, second)])
+        assert results[0].cached is False
+        assert engine.compose_stats["hits"] == 1, engine
+    assert _rows(serial.evaluate_batch([(workload, second)])) == \
+        _rows(threaded.evaluate_batch([(workload, second)]))
+
+
+def test_thread_mode_composed_batch_matches_serial_rows():
+    points = _points()
+    serial = EvaluationEngine(Platform("x86", measurement_seed=5))
+    threaded = EvaluationEngine(Platform("x86", measurement_seed=5),
+                                mode="thread", workers=4)
+    assert _rows(serial.evaluate_batch(points)) == \
+        _rows(threaded.evaluate_batch(points))
+
+
 def test_fuel_is_part_of_the_cache_key():
     workload = load_suite("beebs")[0]
     engine = EvaluationEngine(Platform("riscv"))

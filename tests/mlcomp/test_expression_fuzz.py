@@ -68,6 +68,62 @@ def expressions(draw, depth=0):
     return _Expr(f"({lhs.text} {op} {rhs.text})", value, True)
 
 
+@st.composite
+def early_exit_loop_sources(draw):
+    """Random multi-exit loop programs: a counted loop with optional
+    IV-based and accumulator-based ``break``s (the loop family the
+    canonicalized loop passes must handle — see
+    ``tests/passes/test_multi_exit_loops.py``).  Rendered to mini-C only; the
+    un-optimized interpreter run is the reference."""
+    bound = draw(st.integers(1, 40))
+    step = draw(st.integers(1, 3))
+    start = draw(st.integers(0, 3))
+    scale = draw(st.integers(1, 9))
+    offset = draw(st.integers(-5, 5))
+    breaks = []
+    if draw(st.booleans()):
+        at = draw(st.integers(0, 45))
+        breaks.append(f"if (i == {at}) break;")
+    if draw(st.booleans()):
+        threshold = draw(st.integers(0, 400))
+        breaks.append(f"if (total > {threshold}) break;")
+    if draw(st.booleans()):
+        divisor = draw(st.integers(2, 7))
+        breaks.append(f"if (i > 4 && i % {divisor} == 0) break;")
+    head = breaks[: len(breaks) // 2 + len(breaks) % 2]
+    tail = breaks[len(head):]
+    body = "\n        ".join(
+        head + [f"total += i * {scale} + {offset};"] + tail)
+    return f"""
+    int main() {{
+      int total = 0;
+      for (int i = {start}; i < {bound}; i += {step}) {{
+        {body}
+      }}
+      print_int(total);
+      return ((total % 251) + 251) % 251;
+    }}
+    """
+
+
+@settings(max_examples=40, deadline=None)
+@given(source=early_exit_loop_sources())
+def test_early_exit_loop_three_way_agreement(source):
+    """Early-exit fuzz programs agree between the interpreter, the -O2
+    pipeline (multi-exit loop passes included), and the simulator."""
+    reference = run_module(compile_source(source))
+    module = compile_source(source)
+    PassManager(verify=True).run(module, STANDARD_LEVELS["-O2"])
+    optimized = run_module(module)
+    assert optimized.observable() == reference.observable()
+
+    isa = get_isa("riscv")
+    program = compile_module(module, isa)
+    simulated = Simulator(program, isa).run()
+    assert simulated.output == reference.output
+    assert simulated.return_value == reference.return_value
+
+
 @settings(max_examples=60, deadline=None)
 @given(expr=expressions())
 def test_expression_three_way_agreement(expr):

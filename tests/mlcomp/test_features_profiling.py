@@ -56,10 +56,20 @@ def test_platform_features_target_specific(smoke_module, x86, riscv):
 
 
 def test_workload_suites_complete():
-    assert suite_names() == ["beebs", "multi", "parsec"]
+    assert suite_names() == ["beebs", "earlyexit", "multi", "parsec"]
     assert len(load_suite("parsec")) == 10
     assert len(load_suite("beebs")) == 20
     assert len(load_suite("multi")) == 4
+    assert len(load_suite("earlyexit")) == 6
+    # The earlyexit suite exists so multi-exit loops are first-class:
+    # every program must actually contain one.
+    from repro.ir import LoopInfo
+    for workload in load_suite("earlyexit"):
+        module = workload.compile()
+        assert any(
+            len(loop.exit_blocks()) > 1
+            for function in module.defined_functions()
+            for loop in LoopInfo(function).loops), workload.name
     # The multi suite exists to give function granularity something to
     # bite on; every program must actually be call-graph-rich.
     for workload in load_suite("multi"):

@@ -1,4 +1,23 @@
-"""Basic blocks and their CFG neighbourhood queries."""
+"""Basic blocks and their CFG neighbourhood queries.
+
+The CFG is **maintained by the IR layer**: every block carries an
+edge-count-aware predecessor map (``_preds``) that is updated by the
+terminator mutation hooks (the ``BranchInst``/``CondBranchInst`` target
+setters and ``replace_successor``) and by the attach/detach API below
+(``append``/``insert``/``set_terminator``/``remove_instruction``/
+``remove_from_parent``/``Function.remove_block``).  ``predecessors()``
+therefore costs O(preds) instead of the historical O(|function.blocks|)
+scan per query, and the answer is identical: predecessors are reported
+in function block order, a ``condbr`` with both arms on one target
+counted once.
+
+Contract for pass authors: never splice ``block.instructions`` or
+``function.blocks`` around a terminator by hand — route the mutation
+through this API so the maintained reverse edges and the block-position
+index stay true.  The verifier cross-checks both against a from-scratch
+recompute (``repro.ir.verifier._check_cfg_links``), so a bypassed edit
+fails verification immediately instead of miscompiling later.
+"""
 
 from repro.ir.instructions import PhiInst
 
@@ -8,16 +27,24 @@ class BasicBlock:
         self.name = name
         self.parent = parent  # Function
         self.instructions = []
+        # Maintained reverse CFG edges: {pred BasicBlock: edge count}.
+        # An edge is one terminator successor slot, so a condbr with
+        # both arms on this block contributes a count of 2.
+        self._preds = {}
 
     # -- structure ---------------------------------------------------------
     def append(self, instruction):
         instruction.parent = self
         self.instructions.append(instruction)
+        if instruction._terminator:
+            self._connect_terminator(instruction)
         return instruction
 
     def insert(self, index, instruction):
         instruction.parent = self
         self.instructions.insert(index, instruction)
+        if instruction._terminator:
+            self._connect_terminator(instruction)
         return instruction
 
     def insert_before_terminator(self, instruction):
@@ -25,6 +52,55 @@ class BasicBlock:
         if term is None:
             return self.append(instruction)
         return self.insert(self.instructions.index(term), instruction)
+
+    def set_terminator(self, instruction):
+        """Replace (or install) the block terminator.
+
+        The old terminator (if any) is erased and the new one appended
+        in one step, so the maintained predecessor links of the old and
+        new successors can never be observed half-updated.
+        """
+        old = self.terminator()
+        if old is not None:
+            old.erase_from_parent()
+        return self.append(instruction)
+
+    def remove_instruction(self, instruction):
+        """Detach ``instruction`` from this block (operand references
+        are kept — use :meth:`Instruction.erase_from_parent` to drop
+        them too).  Terminator removal disconnects the maintained
+        predecessor links of its successors."""
+        if instruction._terminator:
+            self._disconnect_terminator(instruction)
+        self.instructions.remove(instruction)
+        instruction.parent = None
+
+    def take_instructions_from(self, source, start=0):
+        """Move ``source.instructions[start:]`` (terminator included)
+        to the end of this block in one splice — O(moved), where the
+        per-instruction ``remove_instruction``/``append`` dance would
+        be O(moved^2) list churn.  The moved terminator's maintained
+        edges switch from ``source`` to this block in the same step."""
+        moved = source.instructions[start:]
+        del source.instructions[start:]
+        for inst in moved:
+            if inst._terminator:
+                source._disconnect_terminator(inst)
+            inst.parent = self
+        self.instructions.extend(moved)
+        for inst in moved:
+            if inst._terminator:
+                self._connect_terminator(inst)
+
+    def clear_instructions(self):
+        """Detach every instruction, dropping operand references and
+        disconnecting terminator edges (block teardown)."""
+        for inst in self.instructions:
+            if inst._terminator:
+                self._disconnect_terminator(inst)
+            inst.drop_all_references()
+            inst.parent = None
+        self.instructions = []
 
     def terminator(self):
         instructions = self.instructions
@@ -49,29 +125,86 @@ class BasicBlock:
                 return i
         return len(self.instructions)
 
-    # -- CFG -----------------------------------------------------------------
+    # -- block placement ---------------------------------------------------
+    def insert_after(self, other):
+        """Place this block immediately after ``other`` in ``other``'s
+        function block order (moving it when already placed)."""
+        self._place(other, 1)
+
+    def insert_before(self, other):
+        """Place this block immediately before ``other`` in ``other``'s
+        function block order (moving it when already placed)."""
+        self._place(other, 0)
+
+    def _place(self, other, offset):
+        function = other.parent
+        if self.parent is not None and self.parent is not function:
+            raise ValueError("cannot move a block between functions")
+        blocks = function.blocks
+        if self.parent is function:
+            blocks.remove(self)
+        self.parent = function
+        blocks.insert(blocks.index(other) + offset, self)
+        function._invalidate_positions()
+
+    def remove_from_parent(self):
+        """Detach the block, dropping all instruction operands,
+        disconnecting its outgoing maintained edges, and scrubbing its
+        entries from former successors' phis
+        (see :meth:`Function.remove_block`)."""
+        if self.parent is not None:
+            self.parent.remove_block(self)
+        else:
+            self.clear_instructions()
+
+    # -- CFG ---------------------------------------------------------------
     def successors(self):
         term = self.terminator()
         return [] if term is None else term.successors()
 
     def predecessors(self):
-        if self.parent is None:
+        """Predecessor blocks in function block order, each reported
+        once (a condbr with two identical arms counts as one
+        predecessor) — O(preds) from the maintained links."""
+        parent = self.parent
+        preds = self._preds
+        if parent is None or not preds:
             return []
-        preds = []
-        for block in self.parent.blocks:
-            if self in block.successors():
-                preds.append(block)
-        return preds
+        positions = parent.block_positions()
+        result = [p for p in preds if id(p) in positions]
+        if len(result) > 1:
+            result.sort(key=lambda p: positions[id(p)])
+        return result
 
-    def remove_from_parent(self):
-        """Detach the block, dropping all instruction operands."""
-        for inst in list(self.instructions):
-            inst.drop_all_references()
-            inst.parent = None
-        self.instructions = []
-        if self.parent is not None:
-            self.parent.blocks.remove(self)
-            self.parent = None
+    def pred_edge_count(self, pred):
+        """Number of distinct CFG edges ``pred -> self`` (0, 1, or 2)."""
+        return self._preds.get(pred, 0)
+
+    # -- maintained-edge plumbing ------------------------------------------
+    def _connect_terminator(self, instruction):
+        for succ in instruction.successors():
+            succ._add_pred(self)
+
+    def _disconnect_terminator(self, instruction):
+        for succ in instruction.successors():
+            succ._remove_pred(self)
+
+    def _add_pred(self, pred):
+        preds = self._preds
+        preds[pred] = preds.get(pred, 0) + 1
+
+    def _remove_pred(self, pred):
+        preds = self._preds
+        count = preds.get(pred)
+        if count is None:
+            raise ValueError(
+                f"CFG edge bookkeeping: {pred.name} -> {self.name} is "
+                f"not a maintained edge (terminator mutated outside the "
+                f"IR mutation API?)")
+        if count == 1:
+            del preds[pred]
+        else:
+            preds[pred] = count - 1
 
     def __repr__(self):
         return f"<BasicBlock {self.name} ({len(self.instructions)} insts)>"

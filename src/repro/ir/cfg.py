@@ -10,6 +10,34 @@ def successors_map(function):
 
 
 def predecessors_map(function):
+    """{block: per-edge predecessor list} read from the IR-maintained
+    reverse links: entries come in function block order, a predecessor
+    reaching the block through both arms of one ``condbr`` appearing
+    once per edge — bit-identical to the historical from-scratch
+    successor scan (kept as :func:`recompute_predecessors_map` for the
+    verifier's cross-check), at O(V + E) without touching terminators.
+    """
+    positions = function.block_positions()
+    preds = {}
+    for block in function.blocks:
+        entry = []
+        maintained = block._preds
+        if maintained:
+            ordered = sorted(
+                (positions[id(pred)], pred, count)
+                for pred, count in maintained.items()
+                if id(pred) in positions)
+            for _position, pred, count in ordered:
+                entry.extend([pred] * count)
+        preds[block] = entry
+    return preds
+
+
+def recompute_predecessors_map(function):
+    """The from-scratch successor scan (one per-edge entry, function
+    block order).  Only the verifier's cross-check and the differential
+    tests should use this — everything else reads the maintained links
+    through :func:`predecessors_map`."""
     preds = {block: [] for block in function.blocks}
     for block in function.blocks:
         for succ in block.successors():
@@ -21,17 +49,15 @@ def predecessors_map(function):
 def unique_predecessors_map(function):
     """{block: ordered deduped predecessor list} for every block —
     entry-equal to ``block.predecessors()`` (which reports a ``condbr``
-    with two identical targets once), at one CFG walk for the whole
-    function instead of one per query."""
-    preds = {block: [] for block in function.blocks}
+    with two identical targets once), read from the maintained links.
+    """
+    positions = function.block_positions()
+    preds = {}
     for block in function.blocks:
-        successors = block.successors()
-        if len(successors) == 2 and successors[0] is successors[1]:
-            successors = successors[:1]
-        for succ in successors:
-            entry = preds.get(succ)
-            if entry is not None:
-                entry.append(block)
+        entry = [p for p in block._preds if id(p) in positions]
+        if len(entry) > 1:
+            entry.sort(key=lambda p: positions[id(p)])
+        preds[block] = entry
     return preds
 
 
@@ -50,8 +76,8 @@ def split_edge(pred, succ, name=None):
     from repro.ir.instructions import BranchInst
 
     function = pred.parent
-    block = BasicBlock(name or function.next_name("split"), function)
-    function.blocks.insert(function.blocks.index(pred) + 1, block)
+    block = BasicBlock(name or function.next_name("split"))
+    block.insert_after(pred)
     pred.terminator().replace_successor(succ, block)
     block.append(BranchInst(succ))
     for phi in succ.phis():
@@ -147,11 +173,26 @@ class DominatorTree:
     def strictly_dominates(self, a, b):
         return a is not b and self.dominates(a, b)
 
-    def instruction_dominates(self, inst, other):
-        """True if the definition ``inst`` dominates the use site ``other``."""
+    def instruction_dominates(self, inst, other, positions=None):
+        """True if the definition ``inst`` dominates the use site
+        ``other``.
+
+        Same-block queries are a single pass over the block (the
+        historical double ``list.index`` walked it twice); pass an
+        :class:`InstructionPositions` memo to make repeated same-block
+        queries O(1) amortized (verifier sweeps, gvn leader checks,
+        LCSSA formation)."""
         if inst.parent is other.parent:
-            block = inst.parent.instructions
-            return block.index(inst) < block.index(other)
+            if inst is other:
+                return False
+            if positions is not None:
+                return positions.index_of(inst) < positions.index_of(other)
+            for candidate in inst.parent.instructions:
+                if candidate is inst:
+                    return True
+                if candidate is other:
+                    return False
+            raise ValueError("instructions missing from their block")
         return self.strictly_dominates(inst.parent, other.parent)
 
     def dominance_frontiers(self):
@@ -167,6 +208,33 @@ class DominatorTree:
                     frontiers[runner].add(block)
                     runner = self.idom.get(runner)
         return frontiers
+
+
+class InstructionPositions:
+    """Memoized per-block instruction positions for repeated same-block
+    dominance queries (verifier operand sweeps, gvn leader checks,
+    licm-style worklists).
+
+    A block's memo is rebuilt whenever its instruction count changes;
+    pure erasures between queries preserve relative order, so cached
+    indices stay comparison-correct until the length check fires.
+    Callers interleaving insertions *and* removals that cancel out must
+    drop the memo themselves (no pass does today)."""
+
+    __slots__ = ("_by_block",)
+
+    def __init__(self):
+        self._by_block = {}
+
+    def index_of(self, inst):
+        block = inst.parent
+        memo = self._by_block.get(id(block))
+        if memo is None or memo[0] is not block or \
+                len(memo[1]) != len(block.instructions):
+            table = {id(i): k for k, i in enumerate(block.instructions)}
+            memo = (block, table)
+            self._by_block[id(block)] = memo
+        return memo[1][id(inst)]
 
 
 class Loop:
@@ -195,9 +263,22 @@ class Loop:
         order.  ``blocks`` is a set: iterating it directly follows
         object addresses, which vary run-to-run — transformation passes
         must use this accessor so their output is a pure function of the
-        input program."""
-        function = self.header.parent
-        return [b for b in function.blocks if b in self.blocks]
+        input program.
+
+        Adaptive cost: a small loop in a big function position-sorts
+        its members via the function-maintained block-position index
+        (O(|loop| log |loop|), historically an O(|function.blocks|)
+        scan per query); a loop covering a sizable fraction of the
+        function keeps the scan, whose per-block constant is lower.
+        Both paths produce the identical list."""
+        blocks = self.blocks
+        function_blocks = self.header.parent.blocks
+        if len(blocks) * 4 >= len(function_blocks):
+            return [b for b in function_blocks if b in blocks]
+        positions = self.header.parent.block_positions()
+        present = [b for b in blocks if id(b) in positions]
+        present.sort(key=lambda b: positions[id(b)])
+        return present
 
     def exit_blocks(self):
         """Blocks outside the loop targeted from inside.

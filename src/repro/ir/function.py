@@ -14,6 +14,9 @@ class Function(Value):
         for i, ptype in enumerate(ftype.params):
             self.args.append(Argument(ptype, f"arg{i}", self, i))
         self._name_counter = 0
+        # Lazily rebuilt {id(block): index} for the current block
+        # order; every structural mutation below invalidates it.
+        self._positions = None
         # Attributes discovered by analyses/passes.
         self.is_pure = False          # no memory access, no IO
         self.accesses_memory = True   # may read or write memory
@@ -30,7 +33,66 @@ class Function(Value):
     def append_block(self, name=""):
         block = BasicBlock(name or self.next_name("bb"), self)
         self.blocks.append(block)
+        if self._positions is not None:
+            self._positions[id(block)] = len(self.blocks) - 1
         return block
+
+    def block_positions(self):
+        """{id(block): index} for the current block order.
+
+        Rebuilt lazily (O(V)) after a structural mutation and shared by
+        every positional query until the next one, so query-heavy
+        phases (``Loop.ordered_blocks``, ``Block.predecessors``) pay
+        O(queried blocks) instead of O(V) per query."""
+        positions = self._positions
+        if positions is None or len(positions) != len(self.blocks):
+            positions = {id(b): i for i, b in enumerate(self.blocks)}
+            self._positions = positions
+        return positions
+
+    def _invalidate_positions(self):
+        self._positions = None
+
+    def remove_block(self, block):
+        """Detach ``block`` from the function.
+
+        The single exit point for block removal: drops the block's
+        instruction operand references, disconnects its outgoing
+        maintained CFG edges, scrubs its entries from former
+        successors' phi incoming lists, and unregisters it from the
+        block-position index — so reverse edges and phi incoming lists
+        can never diverge."""
+        if block.parent is not self:
+            raise ValueError(f"{block!r} is not attached to @{self.name}")
+        term = block.terminator()
+        successors = []
+        if term is not None:
+            for succ in term.successors():
+                if succ not in successors:
+                    successors.append(succ)
+        block.clear_instructions()
+        for succ in successors:
+            for phi in succ.phis():
+                phi.remove_incoming(block)
+        self.blocks.remove(block)
+        block.parent = None
+        self._invalidate_positions()
+
+    def set_blocks(self, new_blocks):
+        """Replace the whole body (transform-cache materialization):
+        every old block is detached with its operand references and
+        maintained edges dropped, then ``new_blocks`` is installed."""
+        for block in self.blocks:
+            block.clear_instructions()
+            block.parent = None
+        self.blocks = list(new_blocks)
+        for block in self.blocks:
+            block.parent = self
+        self._invalidate_positions()
+
+    def clear_body(self):
+        """Drop every block (function deletion / globaldce)."""
+        self.set_blocks([])
 
     def next_name(self, prefix="v"):
         self._name_counter += 1

@@ -86,8 +86,7 @@ class Instruction(Value):
         """Remove this instruction from its block and drop its operands."""
         self.drop_all_references()
         if self.parent is not None:
-            self.parent.instructions.remove(self)
-            self.parent = None
+            self.parent.remove_instruction(self)
 
     # -- classification ----------------------------------------------------
     def is_terminator(self):
@@ -284,19 +283,37 @@ class PhiInst(Instruction):
                                 for b in self.incoming_blocks]
 
 
+def _retarget(inst, old, new):
+    """Swap one terminator successor slot, maintaining the targets'
+    predecessor links when the terminator sits in a block."""
+    block = inst.parent
+    if block is not None and old is not new:
+        old._remove_pred(block)
+        new._add_pred(block)
+
+
 class BranchInst(Instruction):
     _terminator = True
     opcode = "br"
 
     def __init__(self, target):
         super().__init__(VOID, [])
-        self.target = target
+        self._target = target
+
+    @property
+    def target(self):
+        return self._target
+
+    @target.setter
+    def target(self, new):
+        _retarget(self, self._target, new)
+        self._target = new
 
     def successors(self):
-        return [self.target]
+        return [self._target]
 
     def replace_successor(self, old, new):
-        if self.target is old:
+        if self._target is old:
             self.target = new
 
 
@@ -308,20 +325,38 @@ class CondBranchInst(Instruction):
         if condition.type != I1:
             raise TypeError("condbr condition must be i1")
         super().__init__(VOID, [condition])
-        self.true_target = true_target
-        self.false_target = false_target
+        self._true_target = true_target
+        self._false_target = false_target
 
     @property
     def condition(self):
         return self.operands[0]
 
+    @property
+    def true_target(self):
+        return self._true_target
+
+    @true_target.setter
+    def true_target(self, new):
+        _retarget(self, self._true_target, new)
+        self._true_target = new
+
+    @property
+    def false_target(self):
+        return self._false_target
+
+    @false_target.setter
+    def false_target(self, new):
+        _retarget(self, self._false_target, new)
+        self._false_target = new
+
     def successors(self):
-        return [self.true_target, self.false_target]
+        return [self._true_target, self._false_target]
 
     def replace_successor(self, old, new):
-        if self.true_target is old:
+        if self._true_target is old:
             self.true_target = new
-        if self.false_target is old:
+        if self._false_target is old:
             self.false_target = new
 
 

@@ -15,6 +15,7 @@ pass reuses it.
 from repro.errors import VerificationError
 from repro.ir.cfg import (
     DominatorTree,
+    InstructionPositions,
     LoopInfo,
     predecessors_map,
     reachable_blocks,
@@ -33,9 +34,10 @@ def verify_module(module, am=None, lcssa=False):
 def verify_function(function, am=None, lcssa=False):
     if not function.blocks:
         return
-    preds = predecessors_map(function)
     _check_terminators(function)
     _check_parent_links(function)
+    _check_cfg_links(function)
+    preds = predecessors_map(function)
     _check_operand_scope(function)
     _check_phis(function, preds)
     _check_use_lists(function)
@@ -49,15 +51,17 @@ def verify_function(function, am=None, lcssa=False):
 
 def verify_function_bookkeeping(function):
     """Only the checks that are NOT a function of printed content:
-    def-use registration and parent links.  A function whose canonical
-    fingerprint already verified (``passes.base.VERIFIED_CONTENTS``)
-    skips the content-determined checks but must still prove its
-    bookkeeping — a fingerprint-identical body can carry a stale use
-    list or parent pointer, and the worklist engines and DCE trust
-    both."""
+    def-use registration, parent links, and the maintained CFG state.
+    A function whose canonical fingerprint already verified
+    (``passes.base.VERIFIED_CONTENTS``) skips the content-determined
+    checks but must still prove its bookkeeping — a
+    fingerprint-identical body can carry a stale use list, parent
+    pointer, or predecessor link, and the worklist engines, DCE, and
+    every CFG query trust them."""
     if not function.blocks:
         return
     _check_parent_links(function)
+    _check_cfg_links(function)
     _check_use_lists(function)
 
 
@@ -78,6 +82,52 @@ def _check_terminators(function):
             if succ not in function.blocks:
                 _fail(function,
                       f"block {block.name} branches to a detached block")
+
+
+def _check_cfg_links(function):
+    """Cross-check the IR-maintained CFG state against a from-scratch
+    recompute: every block's maintained predecessor links (with edge
+    counts) must equal the successor-derived edges, and a served
+    block-position index must match the actual block order.  This turns
+    the silent-stale-link bug class (the PR-2 exit-phi corruption, the
+    PR-4 stale loop membership) into an immediate verification error
+    naming the diverging block."""
+    recomputed = {id(b): {} for b in function.blocks}
+    for block in function.blocks:
+        for succ in block.successors():
+            entry = recomputed.get(id(succ))
+            if entry is None:
+                continue  # detached target: _check_terminators reports it
+            entry[id(block)] = entry.get(id(block), 0) + 1
+    for block in function.blocks:
+        maintained = {}
+        for pred, count in block._preds.items():
+            if pred.parent is not function:
+                _fail(function,
+                      f"block {block.name} keeps a maintained "
+                      f"predecessor link from detached block {pred.name}")
+            if count <= 0:
+                _fail(function,
+                      f"non-positive maintained edge count "
+                      f"{pred.name} -> {block.name}")
+            maintained[id(pred)] = count
+        expected = recomputed[id(block)]
+        if maintained != expected:
+            names = {id(b): b.name for b in function.blocks}
+            def _render(counts, names=names):
+                return sorted((names.get(key, "<detached>"), count)
+                              for key, count in counts.items())
+            _fail(function,
+                  f"maintained predecessor links of {block.name} diverge "
+                  f"from the CFG: maintained={_render(maintained)} "
+                  f"recomputed={_render(expected)}")
+    cached = function._positions
+    if cached is not None and len(cached) == len(function.blocks):
+        for index, block in enumerate(function.blocks):
+            if cached.get(id(block)) != index:
+                _fail(function,
+                      f"stale block-position index at {block.name} "
+                      f"(cached {cached.get(id(block))}, actual {index})")
 
 
 def _check_parent_links(function):
@@ -181,6 +231,10 @@ def check_lcssa(function, dom=None, loops=None):
 
 def _check_dominance(function, dom):
     reachable = reachable_blocks(function)
+    # The operand sweep issues many same-block dominance queries per
+    # block; memoized instruction positions make each O(1) (the blocks
+    # do not mutate during verification).
+    positions = InstructionPositions()
     for block in function.blocks:
         if block not in reachable:
             continue
@@ -195,7 +249,8 @@ def _check_dominance(function, dom):
                                   "phi incoming from unreachable def: "
                                   f"{inst!r}")
                         term = pred.terminator()
-                        if not dom.instruction_dominates(value, term) and \
+                        if not dom.instruction_dominates(
+                                value, term, positions) and \
                                 value is not inst:
                             _fail(function,
                                   f"phi incoming {value!r} does not "
@@ -205,6 +260,6 @@ def _check_dominance(function, dom):
                 if isinstance(op, Instruction):
                     if op.parent not in reachable:
                         continue
-                    if not dom.instruction_dominates(op, inst):
+                    if not dom.instruction_dominates(op, inst, positions):
                         _fail(function,
                               f"{op!r} does not dominate its use {inst!r}")

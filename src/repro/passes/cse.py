@@ -120,7 +120,7 @@ class GVN(FunctionPass):
     preserved_analyses = PRESERVE_CFG
 
     def run_on_function(self, function, am=None):
-        from repro.ir.cfg import reverse_postorder
+        from repro.ir.cfg import InstructionPositions, reverse_postorder
 
         dom = domtree_of(function, am)
         changed = False
@@ -130,6 +130,10 @@ class GVN(FunctionPass):
             iterate = False
             rounds += 1
             leaders = {}
+            # Same-block leader checks share memoized instruction
+            # positions; erasures change the block length, which the
+            # memo detects and rebuilds on.
+            positions = InstructionPositions()
             for block in reverse_postorder(function):
                 for inst in list(block.instructions):
                     if isinstance(inst, PhiInst):
@@ -146,7 +150,8 @@ class GVN(FunctionPass):
                         continue
                     leader = leaders.get(key)
                     if leader is not None and leader.parent is not None and \
-                            dom.instruction_dominates(leader, inst):
+                            dom.instruction_dominates(leader, inst,
+                                                      positions):
                         replace_and_erase(inst, leader)
                         changed = iterate = True
                         continue

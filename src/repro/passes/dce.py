@@ -79,8 +79,7 @@ class ADCE(FunctionPass):
                     for user, index in list(inst.uses):
                         from repro.ir import UndefValue
                         user.set_operand(index, UndefValue(inst.type))
-                    block.instructions.remove(inst)
-                    inst.parent = None
+                    block.remove_instruction(inst)
                     changed = True
         return changed
 

@@ -79,14 +79,13 @@ class Inliner(Pass):
     def _inline_site(caller, call):
         callee = call.callee
         block = call.parent
-        # 1. Split the calling block at the call site.
+        # 1. Split the calling block at the call site.  The tail
+        #    (terminator included) moves in one splice; the successors'
+        #    maintained incoming edge switches from ``block`` to
+        #    ``continuation`` with the terminator.
         index = block.instructions.index(call)
         continuation = caller.append_block(caller.next_name("inl.cont"))
-        tail = block.instructions[index + 1:]
-        block.instructions = block.instructions[:index + 1]
-        for inst in tail:
-            inst.parent = continuation
-            continuation.instructions.append(inst)
+        continuation.take_instructions_from(block, index + 1)
         # Phi users in successors must now name the continuation block.
         for succ in continuation.successors():
             for phi in succ.phis():
@@ -109,8 +108,7 @@ class Inliner(Pass):
             term = clone_block.terminator()
             if isinstance(term, RetInst):
                 return_sites.append((clone_block, term.value))
-                term.erase_from_parent()
-                clone_block.append(BranchInst(continuation))
+                clone_block.set_terminator(BranchInst(continuation))
         if not call.type.is_void():
             if len(return_sites) == 1:
                 call.replace_all_uses_with(return_sites[0][1])
@@ -310,11 +308,7 @@ class GlobalDCE(Pass):
                         worklist.append(inst.callee.name)
         for name in list(module.functions):
             if name not in reachable:
-                function = module.functions[name]
-                for block in list(function.blocks):
-                    for inst in list(block.instructions):
-                        inst.drop_all_references()
-                function.blocks = []
+                module.functions[name].clear_body()
                 module.remove_function(name)
                 changed = True
         for name, gv in list(module.globals.items()):

@@ -164,7 +164,7 @@ class LICM(FunctionPass):
 
     @staticmethod
     def _hoist(inst, preheader):
-        inst.parent.instructions.remove(inst)
+        inst.parent.remove_instruction(inst)
         preheader.insert_before_terminator(inst)
 
     @staticmethod

@@ -51,7 +51,7 @@ from repro.ir import (
 from repro.ir.cfg import DominatorTree
 from repro.passes.loop_utils import (
     ensure_preheader_tracked,
-    find_induction_variable,
+    find_induction_variables,
 )
 
 _COMPARE = {
@@ -180,9 +180,8 @@ def _merge_latches(function, loop, latches):
     header = loop.header
     latch = function.append_block(function.next_name("latch"))
     # Place after the last latch: keeps the layout roughly topological.
-    function.blocks.remove(latch)
-    function.blocks.insert(
-        max(function.blocks.index(b) for b in latches) + 1, latch)
+    positions = function.block_positions()
+    latch.insert_after(max(latches, key=lambda b: positions[id(b)]))
     for phi in header.phis():
         merged = PhiInst(phi.type, function.next_name("lt"))
         latch.insert(len(latch.phis()), merged)
@@ -212,6 +211,11 @@ def form_lcssa(function, loop, dom=None):
     exit_blocks = [b for b in loop.exit_blocks() if b in reachable]
     exit_ids = {id(b) for b in exit_blocks}
     reach_cache = {}
+    # Coverage tests below issue repeated same-block dominance queries
+    # against in-loop terminators; phi insertion happens in the exit
+    # blocks, whose length change the memo detects.
+    from repro.ir.cfg import InstructionPositions
+    positions = InstructionPositions()
     changed = False
     for block in loop.ordered_blocks():
         if block not in reachable:
@@ -230,12 +234,12 @@ def form_lcssa(function, loop, dom=None):
                 continue
             changed |= _rewrite_through_exit_phis(
                 function, loop, inst, outside, dom, exit_blocks,
-                reach_cache)
+                reach_cache, positions)
     return changed
 
 
 def _rewrite_through_exit_phis(function, loop, inst, uses, dom,
-                               exit_blocks, reach_cache):
+                               exit_blocks, reach_cache, positions=None):
     """Route ``uses`` (outside the loop) of loop-defined ``inst``
     through fresh per-exit phis, adding join phis where a use is
     reachable from several exits.
@@ -252,7 +256,8 @@ def _rewrite_through_exit_phis(function, loop, inst, uses, dom,
         preds = exit_block.predecessors()
         if preds and all(p in loop.blocks
                          and dom.instruction_dominates(inst,
-                                                       p.terminator())
+                                                       p.terminator(),
+                                                       positions)
                          for p in preds):
             covered.append(exit_block)
         else:
@@ -424,13 +429,20 @@ class ExitPlan:
     dominance order, truncated at the first fired exit; the final
     iteration ends with the taken exit.  ``taken_block``/
     ``taken_target`` name the exit edge the loop leaves through.
+    ``ivs`` lists every counter governing an exit test (two-counter
+    loops carry one entry per independent counter); ``iv`` is the
+    first of them.
     """
 
-    def __init__(self, iterations, taken_block, taken_target, iv):
+    def __init__(self, iterations, taken_block, taken_target, ivs):
         self.iterations = iterations
         self.taken_block = taken_block
         self.taken_target = taken_target
-        self.iv = iv
+        self.ivs = list(ivs)
+
+    @property
+    def iv(self):
+        return self.ivs[0]
 
     @property
     def n_entered(self):
@@ -450,9 +462,16 @@ class ExitPlan:
         return count
 
 
-def _exit_condition_spec(loop, iv, exiting):
-    """(offset, predicate, bound, exit_on_true, target) for an exiting
-    block whose test is an IV-vs-constant compare, else None."""
+def _exit_condition_spec(loop, ivs, exiting):
+    """(iv, offset, predicate, bound, exit_on_true, target) for an
+    exiting block whose test compares one of ``ivs`` against a
+    constant, else None.
+
+    Two-counter loops (``for (i...; j...)`` shapes) carry several
+    canonical IVs; each exit test may be governed by any of them, so
+    the candidate set spans every IV's phi (iteration-start value) and
+    update (post-increment; SSA dominance guarantees the update ran).
+    """
     term = exiting.terminator()
     if not isinstance(term, CondBranchInst):
         return None
@@ -465,36 +484,44 @@ def _exit_condition_spec(loop, iv, exiting):
     if not isinstance(condition, ICmpInst):
         return None
     lhs, rhs = condition.operands
-    # The compare reads the IV phi (iteration-start value) or its
-    # update (post-increment; SSA dominance guarantees the update ran).
-    candidates = {id(iv.phi): 0, id(iv.update): iv.step}
+    candidates = {}
+    for iv in ivs:
+        candidates[id(iv.phi)] = (iv, 0)
+        candidates[id(iv.update)] = (iv, iv.step)
     if id(lhs) in candidates and isinstance(rhs, ConstantInt):
-        offset = candidates[id(lhs)]
+        iv, offset = candidates[id(lhs)]
         predicate = condition.predicate
         bound = rhs.value
     elif id(rhs) in candidates and isinstance(lhs, ConstantInt):
         from repro.ir.instructions import ICMP_SWAP
-        offset = candidates[id(rhs)]
+        iv, offset = candidates[id(rhs)]
         predicate = ICMP_SWAP[condition.predicate]
         bound = lhs.value
     else:
         return None
-    return offset, predicate, bound, not in_true, target
+    return iv, offset, predicate, bound, not in_true, target
+
+
+def _constant_start_ivs(loop, preheader):
+    return [iv for iv in find_induction_variables(loop, preheader)
+            if isinstance(iv.start, ConstantInt)]
 
 
 def simulate_exits(loop, preheader, dom, max_iterations=4096):
     """Exact multi-exit trip simulation, or None.
 
-    Requires: a canonical IV with constant start, every exiting block
+    Requires: canonical IVs with constant starts, every exiting block
     dominating the (single) latch — each completed iteration then runs
     every exit test, in dominance order — and every exit condition an
     IV-vs-constant compare, so each test's outcome is a pure function
-    of the iteration number.
+    of the iteration number.  Loops governed by *several* independent
+    IVs simulate too: all counters step in lockstep once per completed
+    iteration, and each exit test reads its own counter.
     """
     from repro.ir.types import I64
 
-    iv = find_induction_variable(loop, preheader)
-    if iv is None or not isinstance(iv.start, ConstantInt):
+    ivs = _constant_start_ivs(loop, preheader)
+    if not ivs:
         return None
     latch = loop.latches()[0]
     exiting = loop.exiting_blocks()
@@ -507,19 +534,23 @@ def simulate_exits(loop, preheader, dom, max_iterations=4096):
     # total, and rpo position respects it.
     exiting.sort(key=lambda b: dom._index[b])
     specs = []
+    used_ivs = []
     for block in exiting:
-        spec = _exit_condition_spec(loop, iv, block)
+        spec = _exit_condition_spec(loop, ivs, block)
         if spec is None:
             return None
         specs.append((block, spec))
-    value = iv.start.value
+        if spec[0] not in used_ivs:
+            used_ivs.append(spec[0])
+    values = {id(iv.phi): iv.start.value for iv in used_ivs}
     iterations = []
     while True:
         record = []
         fired = None
-        for block, (offset, predicate, bound, exit_on_true, target) \
-                in specs:
-            outcome = _COMPARE[predicate](I64.wrap(value + offset), bound)
+        for block, (iv, offset, predicate, bound, exit_on_true,
+                    target) in specs:
+            outcome = _COMPARE[predicate](
+                I64.wrap(values[id(iv.phi)] + offset), bound)
             takes_exit = outcome == exit_on_true
             record.append((block, takes_exit))
             if takes_exit:
@@ -527,8 +558,11 @@ def simulate_exits(loop, preheader, dom, max_iterations=4096):
                 break
         iterations.append(record)
         if fired is not None:
-            return ExitPlan(iterations, fired[0], fired[1], iv)
-        value = I64.wrap(value + iv.step)
+            # ``fired`` implies at least one spec, so ``used_ivs`` is
+            # never empty here.
+            return ExitPlan(iterations, fired[0], fired[1], used_ivs)
+        for iv in used_ivs:
+            values[id(iv.phi)] = I64.wrap(values[id(iv.phi)] + iv.step)
         if len(iterations) > max_iterations:
             return None
 
@@ -539,26 +573,27 @@ def counted_exit_bound(loop, preheader, dom, max_iterations=4096):
 
     A counted exit is an exiting block that dominates the single latch
     (so every completed iteration runs its test) with an
-    IV-vs-constant condition; the iteration count at which it fires —
-    computed by ignoring every other exit — bounds the loop, since the
-    ignored exits only leave *sooner*.  The tightest bound over all
-    counted exits wins.  Returns ``(n_entered, iv, exiting_block)`` or
-    None.
+    IV-vs-constant condition over *any* of the loop's canonical IVs;
+    the iteration count at which it fires — computed by ignoring every
+    other exit — bounds the loop, since the ignored exits only leave
+    *sooner*.  The tightest bound over all counted exits wins.
+    Returns ``(n_entered, iv, exiting_block)`` or None, with ``iv``
+    the counter governing the winning exit.
     """
     from repro.ir.types import I64
 
-    iv = find_induction_variable(loop, preheader)
-    if iv is None or not isinstance(iv.start, ConstantInt):
+    ivs = _constant_start_ivs(loop, preheader)
+    if not ivs:
         return None
     latch = loop.latches()[0]
     best = None
     for block in loop.exiting_blocks():
         if not dom.dominates(block, latch):
             continue
-        spec = _exit_condition_spec(loop, iv, block)
+        spec = _exit_condition_spec(loop, ivs, block)
         if spec is None:
             continue
-        offset, predicate, bound, exit_on_true, _target = spec
+        iv, offset, predicate, bound, exit_on_true, _target = spec
         value = iv.start.value
         entered = 0
         fired = None

@@ -43,15 +43,12 @@ from repro.passes.utils import (
 
 
 def _drop_blocks(function, blocks):
-    """Detach and remove ``blocks`` (loop teardown: every instruction
-    drops its operand references so no use-list edges dangle)."""
+    """Detach and remove ``blocks`` through
+    :meth:`repro.ir.function.Function.remove_block` (loop teardown:
+    operand references drop, maintained CFG edges disconnect, and any
+    former successor's phi incoming lists are scrubbed in one step)."""
     for block in blocks:
-        for inst in list(block.instructions):
-            inst.drop_all_references()
-            inst.parent = None
-        block.instructions = []
-        block.parent = None
-        function.blocks.remove(block)
+        function.remove_block(block)
 
 
 @register_pass("loop-deletion")
@@ -94,9 +91,7 @@ class LoopDeletion(FunctionPass):
                 exit_phis_reference_loop([exit_block], loop):
             return False, created
         # Rewire the preheader straight to the exit, drop the loop blocks.
-        term = preheader.terminator()
-        term.erase_from_parent()
-        preheader.append(BranchInst(exit_block))
+        preheader.set_terminator(BranchInst(exit_block))
         _drop_blocks(function, list(loop.blocks))
         return True, created
 
@@ -154,9 +149,7 @@ class LoopDeletion(FunctionPass):
                     target.phis():
                 return False, changed
             doomed = exit_blocks
-        term = preheader.terminator()
-        term.erase_from_parent()
-        preheader.append(BranchInst(target))
+        preheader.set_terminator(BranchInst(target))
         _drop_blocks(function, list(loop.blocks) + doomed)
         if am is not None:
             am.invalidate(function)
@@ -312,9 +305,7 @@ class LoopIdiom(FunctionPass):
         preheader.insert_before_terminator(memset)
         # Delete the loop (same mechanics as loop-deletion).
         exit_block = exit_blocks[0]
-        term = preheader.terminator()
-        term.erase_from_parent()
-        preheader.append(BranchInst(exit_block))
+        preheader.set_terminator(BranchInst(exit_block))
         _drop_blocks(function, list(loop.blocks))
         return True, created
 
@@ -341,9 +332,6 @@ class LoopIdiom(FunctionPass):
         plan = loopivs_of(function, am).exit_plan(loop, preheader, dom)
         if plan is None:
             return False, changed
-        iv = plan.iv
-        if iv.step != 1 or not isinstance(iv.start, ConstantInt):
-            return False, changed
         store = None
         for block in loop.ordered_blocks():
             for inst in block.instructions:
@@ -361,8 +349,13 @@ class LoopIdiom(FunctionPass):
             return False, changed
         pointer = store.pointer
         if not isinstance(pointer, GEPInst) or \
-                pointer.index is not iv.phi or \
                 not is_loop_invariant(pointer.base, loop):
+            return False, changed
+        # The store may be indexed by any of the loop's simulated
+        # counters (two-IV loops): pick the one the GEP reads.
+        iv = next((v for v in plan.ivs if v.phi is pointer.index), None)
+        if iv is None or iv.step != 1 or \
+                not isinstance(iv.start, ConstantInt):
             return False, changed
         value = store.value
         if not value.is_constant() and \
@@ -389,9 +382,7 @@ class LoopIdiom(FunctionPass):
         memset = CallInst("memset", [dest, value,
                                      ConstantInt(I64, count)])
         preheader.insert_before_terminator(memset)
-        term = preheader.terminator()
-        term.erase_from_parent()
-        preheader.append(BranchInst(target))
+        preheader.set_terminator(BranchInst(target))
         # Non-taken dedicated exits lose their last predecessor; the
         # backend emits every block in ``function.blocks``, so trivial
         # (lone-branch, value-free) ones are dropped with the loop
@@ -492,7 +483,7 @@ class LoopSink(FunctionPass):
             for inst in list(block.instructions):
                 if not self._sinkable(inst, loop):
                     continue
-                block.instructions.remove(inst)
+                block.remove_instruction(inst)
                 index = exit_block.first_non_phi_index()
                 exit_block.insert(index, inst)
                 changed = True
@@ -519,7 +510,7 @@ class LoopSink(FunctionPass):
                            and all(v is inst for v in u.operands)
                            for u in users):
                     continue
-                block.instructions.remove(inst)
+                block.remove_instruction(inst)
                 for position, phi in enumerate(users):
                     if position == 0:
                         replacement = inst
@@ -744,13 +735,11 @@ class LoopUnswitch(FunctionPass):
                     user.set_operand(index, merge)
         # Preheader now branches on the invariant condition between the
         # two versions.
-        term = preheader.terminator()
         condition = candidate.condition
         true_header = loop.header
         false_header = block_map[id(loop.header)]
-        term.erase_from_parent()
-        preheader.append(CondBranchInst(condition, true_header,
-                                        false_header))
+        preheader.set_terminator(CondBranchInst(condition, true_header,
+                                                false_header))
         # Cloned header phis: entries from the preheader survive; entries
         # from cloned latches already remapped by clone_region.
         # In the "true" version the branch always goes to true_target; in
@@ -771,8 +760,7 @@ class LoopUnswitch(FunctionPass):
             else:
                 dead = candidate.false_target
                 taken = candidate.true_target
-            term_inst.erase_from_parent()
-            block.append(BranchInst(taken))
+            block.set_terminator(BranchInst(taken))
             remove_block_from_phis(block, dead)
         delete_dead_instructions(function)
         return True, created

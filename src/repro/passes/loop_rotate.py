@@ -257,16 +257,15 @@ class LoopRotate(FunctionPass):
         guard_map = {}
         for phi in phis:
             guard_map[id(phi)] = phi.incoming_value_for(preheader)
-        pre_term = preheader.terminator()
         for inst in tail:
             clone = _clone_instruction(inst, guard_map, function)
             preheader.insert_before_terminator(clone)
             guard_map[id(inst)] = clone
         guard_cond = guard_map[id(term.condition)]
-        pre_term.erase_from_parent()
-        preheader.append(CondBranchInst(guard_cond, body_entry, exit_block)
-                         if in_true else
-                         CondBranchInst(guard_cond, exit_block, body_entry))
+        preheader.set_terminator(
+            CondBranchInst(guard_cond, body_entry, exit_block)
+            if in_true else
+            CondBranchInst(guard_cond, exit_block, body_entry))
 
         # 2. body_entry becomes the new loop top: merge phis join the
         #    guard path (initial values) with the back edge (header phi),
@@ -323,16 +322,14 @@ class LoopRotate(FunctionPass):
             latch.insert_before_terminator(clone)
             latch_map[id(inst)] = clone
         latch_cond = latch_map[id(term.condition)]
-        latch.terminator().erase_from_parent()
-        latch.append(CondBranchInst(latch_cond, header, exit_block)
-                     if in_true else
-                     CondBranchInst(latch_cond, exit_block, header))
+        latch.set_terminator(CondBranchInst(latch_cond, header, exit_block)
+                             if in_true else
+                             CondBranchInst(latch_cond, exit_block, header))
 
         # 4. The old header now unconditionally re-enters the body; its
         #    phi incoming values on the back edge are remapped to the
         #    body versions so they dominate the latch edge.
-        term.erase_from_parent()
-        header.append(BranchInst(body_entry))
+        header.set_terminator(BranchInst(body_entry))
         for phi in phis:
             for index, (value, pred) in enumerate(list(phi.incoming())):
                 if pred is latch:

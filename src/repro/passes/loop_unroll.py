@@ -127,11 +127,9 @@ class LoopUnroll(FunctionPass):
                 value_map[id(phi)] = incoming
             prev_latch = latch if iteration == 1 else \
                 copies[iteration - 2][1][id(latch)]
-            term = prev_latch.terminator()
-            term.erase_from_parent()
             # Exit-phi entries for the original latch are remapped (not
             # removed) after wiring, so they keep carrying the edge value.
-            prev_latch.append(BranchInst(cloned_header))
+            prev_latch.set_terminator(BranchInst(cloned_header))
 
         final_map = copies[-1][0] if trip_count > 1 else {}
         final_latch = latch if trip_count == 1 else copies[-1][1][id(latch)]
@@ -182,9 +180,7 @@ class LoopUnroll(FunctionPass):
             phi.erase_from_parent()
 
         # Final latch leaves the loop unconditionally.
-        term = final_latch.terminator()
-        term.erase_from_parent()
-        final_latch.append(BranchInst(exit_block))
+        final_latch.set_terminator(BranchInst(exit_block))
 
         # Straighten every remaining per-iteration exit test (they are all
         # known taken: the trip count is exact).
@@ -292,8 +288,7 @@ class LoopUnroll(FunctionPass):
                        if (id(s) in exit_ids) == fired]
             if len(targets) != 1:
                 return
-            term.erase_from_parent()
-            block.append(BranchInst(targets[0]))
+            block.set_terminator(BranchInst(targets[0]))
 
         if plan is not None:
             for iteration, record in enumerate(plan.iterations):
@@ -351,6 +346,5 @@ class LoopUnroll(FunctionPass):
                 internal = [s for s in term.successors()
                             if s is not exit_block]
                 if len(internal) == 1:
-                    term.erase_from_parent()
-                    block.append(BranchInst(internal[0]))
+                    block.set_terminator(BranchInst(internal[0]))
                     remove_block_from_phis(block, exit_block)

@@ -44,8 +44,7 @@ def ensure_preheader(function, loop):
         return None
     preheader = function.append_block(function.next_name("preheader"))
     # Keep block order roughly topological: place before the header.
-    function.blocks.remove(preheader)
-    function.blocks.insert(function.blocks.index(header), preheader)
+    preheader.insert_before(header)
     for pred in outside:
         pred.terminator().replace_successor(header, preheader)
     # Split phi incoming values: out-of-loop entries move to new phis in
@@ -103,12 +102,17 @@ def _look_through_copies(value, depth=4):
     return value
 
 
-def find_induction_variable(loop, preheader):
-    """Find a canonical IV of the loop, or None."""
+def find_induction_variables(loop, preheader):
+    """Every canonical IV of the loop, in header-phi order.
+
+    Two-counter loops (``for (i...; j...)`` shapes) carry one entry
+    per independent counter; :func:`find_induction_variable` returns
+    the first (the loop's primary IV)."""
     latches = loop.latches()
     if len(latches) != 1:
-        return None
+        return []
     latch = latches[0]
+    result = []
     for phi in loop.header.phis():
         try:
             start = phi.incoming_value_for(preheader)
@@ -129,8 +133,14 @@ def find_induction_variable(loop, preheader):
             continue
         if not is_loop_invariant(start, loop):
             continue
-        return InductionVariable(phi, start, step, update)
-    return None
+        result.append(InductionVariable(phi, start, step, update))
+    return result
+
+
+def find_induction_variable(loop, preheader):
+    """Find the loop's primary canonical IV, or None."""
+    ivs = find_induction_variables(loop, preheader)
+    return ivs[0] if ivs else None
 
 
 def constant_trip_count(loop, preheader, max_count=4096):

@@ -13,7 +13,7 @@ from repro.ir import (
     StoreInst,
     UndefValue,
 )
-from repro.ir.cfg import reachable_blocks, unique_predecessors_map
+from repro.ir.cfg import reachable_blocks
 from repro.passes.analysis import PRESERVE_CFG, domtree_of
 from repro.passes.base import FunctionPass, register_pass
 
@@ -113,13 +113,12 @@ class Mem2Reg(FunctionPass):
         # 2b. Edges from unreachable predecessors (e.g. frontend 'dead'
         #     blocks after break/return) are never renamed; give their phi
         #     entries an undef value so the phi covers every CFG edge.
-        all_preds = unique_predecessors_map(function)
+        #     (``predecessors()`` reads the maintained links: O(preds).)
         for phi, alloca in phi_owner.items():
             if phi.parent is None:
                 continue
             covered = set(map(id, phi.incoming_blocks))
-            for pred in all_preds.get(phi.parent,
-                                      phi.parent.predecessors()):
+            for pred in phi.parent.predecessors():
                 if id(pred) not in covered:
                     phi.add_incoming(undef[alloca], pred)
 

@@ -146,8 +146,7 @@ class TailCallElim(FunctionPass):
         # Build a new header: old entry becomes the loop body target.
         old_entry = function.entry
         new_entry = function.append_block("tce.entry")
-        function.blocks.remove(new_entry)
-        function.blocks.insert(0, new_entry)
+        new_entry.insert_before(old_entry)
         new_entry.append(BranchInst(old_entry))
         phis = []
         for arg in function.args:
@@ -163,7 +162,7 @@ class TailCallElim(FunctionPass):
                 phi.add_incoming(actual, block)
             term.erase_from_parent()
             call.erase_from_parent()
-            block.append(BranchInst(old_entry))
+            block.set_terminator(BranchInst(old_entry))
         return True
 
 

@@ -9,11 +9,15 @@ Two execution engines share the per-block rewrite rules:
 - the **dirty-block engine** (default): keeps the seed's round
   structure but each round only visits blocks marked by the previous
   round's rewrites (the touched block, blocks whose predecessor sets
-  changed, users of collapsed phis), with one predecessors map serving
-  every guard query instead of an O(function) scan per query;
+  changed, users of collapsed phis);
 - the **rescan engine** (``PassManager(analysis_cache=False)``): the
   seed's ``while progress: apply every rule to every block`` loop, kept
   as the measured legacy cost-model baseline.
+
+Every guard query reads the IR-maintained predecessor links
+(``Block.predecessors()`` is O(preds)), so neither engine rebuilds a
+predecessors map after CFG edits — the per-round O(V+E) rebuild this
+pass historically paid is gone with the stale-map hazard it carried.
 
 Both engines apply the same rules in the same order and are
 bit-identical on the differential corpus
@@ -25,24 +29,13 @@ from repro.ir import (
     CondBranchInst,
     SelectInst,
 )
-from repro.ir.cfg import reachable_blocks, unique_predecessors_map
+from repro.ir.cfg import reachable_blocks
 from repro.passes.base import FunctionPass, register_pass
 from repro.passes.utils import (
     constant_fold_terminator,
     remove_block_from_phis,
 )
 from repro.passes.worklist import CFGWorklist, use_worklist
-
-
-_build_preds_map = unique_predecessors_map
-
-
-def _preds_of(block, preds_map):
-    if preds_map is not None:
-        hit = preds_map.get(block)
-        if hit is not None:
-            return hit
-    return block.predecessors()
 
 
 @register_pass("simplifycfg")
@@ -67,18 +60,6 @@ class SimplifyCFG(FunctionPass):
         """
         changed = False
         dirty = None  # marked ids from the previous round; None = all
-        # One predecessors map serves every rule's guard queries; it is
-        # rebuilt only after a rewrite edits CFG edges (rules query all
-        # their guards before mutating, so within one application the
-        # map is never stale).
-        preds_state = {"map": _build_preds_map(function), "stale": False}
-
-        def preds_map():
-            if preds_state["stale"]:
-                preds_state["map"] = _build_preds_map(function)
-                preds_state["stale"] = False
-            return preds_state["map"]
-
         while True:
             marks = CFGWorklist()
             if dirty is not None and not dirty:
@@ -98,7 +79,6 @@ class SimplifyCFG(FunctionPass):
                 before = block.successors()
                 if constant_fold_terminator(block):
                     folded = True
-                    preds_state["stale"] = True
                     marks.add(block)
                     after = set(block.successors())
                     for succ in before:
@@ -111,18 +91,15 @@ class SimplifyCFG(FunctionPass):
             if folded or dirty is None:
                 if self._remove_unreachable(function, marks):
                     progress = True
-                    preds_state["stale"] = True
 
-            # 3. Collapse trivial phis to a cross-block fixpoint (phi
-            #    erasure never changes edges, so the map stays valid).
+            # 3. Collapse trivial phis to a cross-block fixpoint.
             collapsing = True
             while collapsing:
                 collapsing = False
                 for block in function.blocks:
                     if not is_dirty(block):
                         continue
-                    if self._collapse_phis_at(block, marks,
-                                              preds_map()):
+                    if self._collapse_phis_at(block, marks):
                         collapsing = True
                 progress |= collapsing
 
@@ -134,8 +111,7 @@ class SimplifyCFG(FunctionPass):
                 for block in list(function.blocks):
                     if block.parent is None or not is_dirty(block):
                         continue
-                    if self._merge_chain_at(block, marks, preds_map()):
-                        preds_state["stale"] = True
+                    if self._merge_chain_at(block, marks):
                         merging = True
                         progress = True
                         break
@@ -144,16 +120,14 @@ class SimplifyCFG(FunctionPass):
             for block in list(function.blocks):
                 if block.parent is None or not is_dirty(block):
                     continue
-                if self._skip_forwarding_at(block, marks, preds_map()):
-                    preds_state["stale"] = True
+                if self._skip_forwarding_at(block, marks):
                     progress = True
 
             # 6. If-convert empty diamonds (one sweep per round).
             for block in list(function.blocks):
                 if block.parent is None or not is_dirty(block):
                     continue
-                if self._diamond_at(block, marks, preds_map()):
-                    preds_state["stale"] = True
+                if self._diamond_at(block, marks):
                     progress = True
 
             changed |= progress
@@ -211,10 +185,10 @@ class SimplifyCFG(FunctionPass):
 
     # -- per-block rules (shared by both engines) -------------------------
     @staticmethod
-    def _collapse_phis_at(block, worklist=None, preds_map=None):
+    def _collapse_phis_at(block, worklist=None):
         """Collapse trivial phis of one block."""
         changed = False
-        preds = _preds_of(block, preds_map)
+        preds = block.predecessors()
         for phi in list(block.phis()):
             value = None
             if len(preds) == 1 and len(phi.operands) == 1:
@@ -249,7 +223,7 @@ class SimplifyCFG(FunctionPass):
         return changed
 
     @staticmethod
-    def _merge_chain_at(block, worklist=None, preds_map=None):
+    def _merge_chain_at(block, worklist=None):
         """Merge ``block -> succ`` when block's only successor is succ
         and succ's only predecessor is block."""
         function = block.parent
@@ -261,7 +235,7 @@ class SimplifyCFG(FunctionPass):
         succ = term.target
         if succ is block or succ is function.entry:
             return False
-        if len(_preds_of(succ, preds_map)) != 1:
+        if len(succ.predecessors()) != 1:
             return False
         # Fold phis in succ (single predecessor).
         for phi in list(succ.phis()):
@@ -269,14 +243,14 @@ class SimplifyCFG(FunctionPass):
             phi.erase_from_parent()
         term.erase_from_parent()
         after_blocks = succ.successors()
-        for inst in list(succ.instructions):
-            succ.instructions.remove(inst)
-            block.append(inst)
+        # Move succ's body (terminator included) into block; the
+        # after-blocks' maintained predecessor switches from succ to
+        # block as the terminator moves.
+        block.take_instructions_from(succ)
         for after in after_blocks:
             for phi in after.phis():
                 phi.replace_incoming_block(succ, block)
-        succ.parent = None
-        function.blocks.remove(succ)
+        function.remove_block(succ)
         if worklist is not None:
             worklist.add(block)  # may merge again / expose a diamond
             for after in after_blocks:
@@ -297,7 +271,7 @@ class SimplifyCFG(FunctionPass):
         return changed
 
     @staticmethod
-    def _skip_forwarding_at(block, worklist=None, preds_map=None):
+    def _skip_forwarding_at(block, worklist=None):
         """Rewire predecessors around ``block`` when it is an empty
         block that just ``br``'s on."""
         function = block.parent
@@ -317,10 +291,10 @@ class SimplifyCFG(FunctionPass):
         # predecessor P of block, target must not already have P as a
         # predecessor (else phi would need two entries with possibly
         # different values), unless target has no phis.
-        preds = _preds_of(block, preds_map)
+        preds = block.predecessors()
         if not preds:
             return False
-        target_preds = _preds_of(target, preds_map)
+        target_preds = target.predecessors()
         if target.phis():
             if any(p in target_preds for p in preds):
                 return False
@@ -355,7 +329,7 @@ class SimplifyCFG(FunctionPass):
         return changed
 
     @staticmethod
-    def _diamond_at(block, worklist=None, preds_map=None):
+    def _diamond_at(block, worklist=None):
         """If-convert a diamond/triangle branching at ``block`` whose
         arms are empty.
 
@@ -377,7 +351,7 @@ class SimplifyCFG(FunctionPass):
             return (len(candidate.instructions) == 1
                     and isinstance(candidate.terminator(), BranchInst)
                     and candidate.terminator().target is join
-                    and _preds_of(candidate, preds_map) == [block])
+                    and candidate.predecessors() == [block])
 
         join = None
         arm_true = arm_false = None
@@ -408,7 +382,7 @@ class SimplifyCFG(FunctionPass):
             return False
         if join is block or not join.phis():
             return False
-        join_preds = _preds_of(join, preds_map)
+        join_preds = join.predecessors()
         if sorted(map(id, join_preds)) != sorted(
                 map(id, {id(arm_true): arm_true,
                          id(arm_false): arm_false}.values())):
@@ -428,8 +402,7 @@ class SimplifyCFG(FunctionPass):
             insert_at += 1
             phi.replace_all_uses_with(select)
             phi.erase_from_parent()
-        term.erase_from_parent()
-        block.append(BranchInst(join))
+        block.set_terminator(BranchInst(join))
         for arm in (arm_true, arm_false):
             if arm is not block:
                 arm.remove_from_parent()

@@ -201,19 +201,12 @@ class FunctionSnapshot:
                 prepare=prepare, on_clone=on_clone)
         except Exception:  # pragma: no cover - abort leaves target intact
             for clone_block in block_map.values():
-                for inst in clone_block.instructions:
-                    inst.drop_all_references()
+                clone_block.clear_instructions()
             return None
 
     def _commit(self, function, new_blocks):
         """Detach the old body, install the built clone (cannot fail)."""
-        for block in function.blocks:
-            for inst in block.instructions:
-                inst.drop_all_references()
-                inst.parent = None
-            block.instructions = []
-            block.parent = None
-        function.blocks = new_blocks
+        function.set_blocks(new_blocks)
         function.attributes = set(self.shell.attributes)
 
 

@@ -310,9 +310,8 @@ def constant_fold_terminator(block):
         return False
     dead = (term.false_target if taken is term.true_target
             else term.true_target)
-    term.erase_from_parent()
     from repro.ir.instructions import BranchInst as _Br
-    block.append(_Br(taken))
+    block.set_terminator(_Br(taken))
     if dead is not taken:
         remove_block_from_phis(block, dead)
     return True

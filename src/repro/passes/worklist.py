@@ -113,12 +113,10 @@ class CFGWorklist:
             self.ids.add(id(block))
 
     def add_pred_change(self, block):
-        # Queries predecessors live (not through the engine's preds
-        # map): this runs right AFTER a CFG edit, when the map is
-        # stale — e.g. skip-forwarding must mark the rewired
-        # predecessors the old map has never seen.  Edits are rare
-        # relative to guard queries, so the O(function) scan here costs
-        # about as much as the one map rebuild the edit triggers anyway.
+        # Runs right AFTER a CFG edit; the IR-maintained links are
+        # already current (the mutation API updates them in the same
+        # step as the terminator edit), so this sees e.g. the rewired
+        # predecessors skip-forwarding just created, at O(preds).
         if block.parent is None:
             return
         self.ids.add(id(block))

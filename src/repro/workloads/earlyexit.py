@@ -145,6 +145,37 @@ int main() {
 }
 """
 
+# Two independent induction variables: the break is governed by a
+# second counter with its own start and step, so the exact early-exit
+# trip count needs the two-IV exit simulation (a single-IV analysis
+# only sees ``i`` and falls back to the data-dependent path).  The
+# second loop's break indexes the store by the secondary counter — the
+# partial-fill idiom on a two-counter loop.
+TWO_COUNTER = r"""
+int cells[40];
+
+int main() {
+  int acc = 0;
+  int j = 5;
+  for (int i = 0; i < 30; i++) {
+    if (j > 40) break;
+    acc += i * 3 + j;
+    j = j + 3;
+  }
+  int k = 0;
+  for (int i = 0; i < 40; i++) { cells[i] = 9; }
+  for (int i = 0; i < 99; i++) {
+    if (k > 13) break;
+    cells[k] = 0;
+    k = k + 1;
+  }
+  int sum = 0;
+  for (int i = 0; i < 40; i++) sum += cells[i];
+  print_int(acc); print_int(sum);
+  return (acc + sum) % 251;
+}
+"""
+
 EARLYEXIT_SOURCES = {
     "newton_sqrt": NEWTON_SQRT,
     "search_break": SEARCH_BREAK,
@@ -152,4 +183,5 @@ EARLYEXIT_SOURCES = {
     "threshold_sum": THRESHOLD_SUM,
     "nested_break": NESTED_BREAK,
     "partial_fill": PARTIAL_FILL,
+    "two_counter": TWO_COUNTER,
 }

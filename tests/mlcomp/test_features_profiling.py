@@ -60,7 +60,7 @@ def test_workload_suites_complete():
     assert len(load_suite("parsec")) == 10
     assert len(load_suite("beebs")) == 20
     assert len(load_suite("multi")) == 4
-    assert len(load_suite("earlyexit")) == 6
+    assert len(load_suite("earlyexit")) == 7
     # The earlyexit suite exists so multi-exit loops are first-class:
     # every program must actually contain one.
     from repro.ir import LoopInfo

@@ -177,6 +177,7 @@ class EvaluationEngine:
             "target": self.platform.target,
             "measurement_seed": self.measurement_seed,
             "fuel": fuel or self.fuel,
+            "sim_engine": self.platform.sim_engine,
         }
 
     # -- profiled evaluations --------------------------------------------
@@ -321,7 +322,8 @@ class EvaluationEngine:
                 return EvalResult(payload, key, cached=True)
         from repro.sim import Platform
         seed = point_measurement_seed(self.measurement_seed, fingerprint)
-        platform = Platform(self.platform.target, measurement_seed=seed)
+        platform = Platform(self.platform.target, measurement_seed=seed,
+                            sim_engine=self.platform.sim_engine)
         features = self._extract_features(module, platform, am)
         started = time.perf_counter()
         measurement = platform.profile(module, fuel=fuel or self.fuel)
@@ -448,11 +450,14 @@ class EvaluationEngine:
     # -- reporting --------------------------------------------------------
     def stats(self):
         """Hit/miss statistics for both cache tiers."""
+        from repro.sim import tape_cache_stats
+
         out = {"pe": self.pe_cache.stats.as_dict(),
                "mode": self.evaluator.mode,
                "compose": dict(self.compose_stats)}
         out["evaluations"] = (self.cache.stats.as_dict()
                               if self.cache is not None else None)
+        out["tape"] = tape_cache_stats()
         return out
 
     def __repr__(self):

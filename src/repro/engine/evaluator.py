@@ -79,7 +79,8 @@ def profile_optimized(spec, module, fingerprint, result_fingerprint,
 
     seed = point_measurement_seed(spec["measurement_seed"],
                                   result_fingerprint)
-    platform = Platform(spec["target"], measurement_seed=seed)
+    platform = Platform(spec["target"], measurement_seed=seed,
+                        sim_engine=spec.get("sim_engine"))
     features = extract_features(module, platform)
     started = time.perf_counter()
     measurement = platform.profile(module,

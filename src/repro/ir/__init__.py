@@ -5,6 +5,7 @@ Public surface: the type constructors, value/instruction classes,
 the reference interpreter.
 """
 
+from repro.ir import arith
 from repro.ir.types import (
     ArrayType,
     F64,
@@ -71,6 +72,7 @@ from repro.ir.printer import (
 from repro.ir.interpreter import ExecutionResult, Interpreter, run_module
 
 __all__ = [
+    "arith",
     "Type", "VoidType", "IntType", "FloatType", "PointerType", "ArrayType",
     "FunctionType", "VOID", "I1", "I8", "I32", "I64", "F64",
     "Value", "Constant", "ConstantInt", "ConstantFloat", "UndefValue",

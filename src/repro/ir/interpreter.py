@@ -9,9 +9,8 @@ Memory is cell-addressed: each scalar value occupies one cell, arrays
 occupy ``count`` consecutive cells.  Pointers are plain integer addresses.
 """
 
-import math
-
 from repro.errors import SimulationError
+from repro.ir import arith
 from repro.ir.instructions import (
     AllocaInst,
     BinaryInst,
@@ -199,65 +198,12 @@ class Interpreter:
         raise SimulationError(f"cannot interpret {inst!r}")
 
     # -- operators -----------------------------------------------------------
-    def _binop(self, opcode, a, b, type_):
-        if opcode == "add":
-            return type_.wrap(a + b)
-        if opcode == "sub":
-            return type_.wrap(a - b)
-        if opcode == "mul":
-            return type_.wrap(a * b)
-        if opcode == "sdiv":
-            if b == 0:
-                raise SimulationError("integer division by zero")
-            return type_.wrap(int(a / b))  # C-style truncation
-        if opcode == "srem":
-            if b == 0:
-                raise SimulationError("integer remainder by zero")
-            return type_.wrap(a - int(a / b) * b)
-        if opcode == "and":
-            return type_.wrap(a & b)
-        if opcode == "or":
-            return type_.wrap(a | b)
-        if opcode == "xor":
-            return type_.wrap(a ^ b)
-        if opcode == "shl":
-            return type_.wrap(a << (b & 63))
-        if opcode == "ashr":
-            return type_.wrap(a >> (b & 63))
-        if opcode == "lshr":
-            mask = (1 << type_.bits) - 1
-            return type_.wrap((a & mask) >> (b & 63))
-        if opcode == "fadd":
-            return a + b
-        if opcode == "fsub":
-            return a - b
-        if opcode == "fmul":
-            return a * b
-        if opcode == "fdiv":
-            if b == 0.0:
-                if a == 0.0 or math.isnan(a):
-                    return float("nan")
-                return math.copysign(float("inf"), a) * math.copysign(1.0, b)
-            return a / b
-        raise SimulationError(f"unknown binop {opcode}")
-
-    @staticmethod
-    def _icmp(predicate, a, b):
-        return {
-            "eq": a == b, "ne": a != b,
-            "slt": a < b, "sle": a <= b,
-            "sgt": a > b, "sge": a >= b,
-        }[predicate]
-
-    @staticmethod
-    def _fcmp(predicate, a, b):
-        if math.isnan(a) or math.isnan(b):
-            return False
-        return {
-            "oeq": a == b, "one": a != b,
-            "olt": a < b, "ole": a <= b,
-            "ogt": a > b, "oge": a >= b,
-        }[predicate]
+    # All value semantics live in repro.ir.arith (exact 64-bit integer
+    # division included) so the interpreter, simulators, and constant
+    # folding cannot drift apart.
+    _binop = staticmethod(arith.eval_binop)
+    _icmp = staticmethod(arith.icmp)
+    _fcmp = staticmethod(arith.fcmp)
 
     @staticmethod
     def _cast(inst, value):
@@ -272,9 +218,7 @@ class Interpreter:
         if opcode == "sitofp":
             return float(value)
         if opcode == "fptosi":
-            if math.isnan(value) or math.isinf(value):
-                return 0
-            return inst.type.wrap(int(value))
+            return arith.fptosi(value, inst.type)
         raise SimulationError(f"unknown cast {opcode}")
 
     def _intrinsic(self, name, args):
@@ -282,10 +226,7 @@ class Interpreter:
             self.output.append(("i", IntType(64).wrap(int(args[0]))))
             return None
         if name == "print_float":
-            value = args[0]
-            # Round for printing so that value-preserving float
-            # reassociations in passes do not flip differential tests.
-            self.output.append(("f", float(f"{value:.6g}")))
+            self.output.append(("f", arith.round_float_output(args[0])))
             return None
         if name == "imin":
             return min(args[0], args[1])

@@ -8,6 +8,7 @@ of the ``mem2reg`` phase, which is what makes phase ordering matter.
 
 from repro.errors import SemanticError
 from repro.ir import (
+    arith,
     ArrayType,
     ConstantFloat,
     ConstantInt,
@@ -130,10 +131,19 @@ class IRGenerator:
         if isinstance(expr, ast.Binary):
             lhs = self._const_eval(expr.lhs)
             rhs = self._const_eval(expr.rhs)
+            if expr.op == "/":
+                # Same exact truncating division the IR executes
+                # (repro.ir.arith), never a float round-trip.
+                if isinstance(lhs, float) or isinstance(rhs, float):
+                    if rhs == 0:
+                        _err(expr, "division by zero in constant "
+                                   "initializer")
+                    return lhs / rhs
+                if rhs == 0:
+                    _err(expr, "division by zero in constant initializer")
+                return arith.sdiv_trunc(lhs, rhs)
             ops = {"+": lambda a, b: a + b, "-": lambda a, b: a - b,
-                   "*": lambda a, b: a * b,
-                   "/": lambda a, b: a / b if isinstance(a, float) else
-                   int(a / b)}
+                   "*": lambda a, b: a * b}
             if expr.op in ops:
                 return ops[expr.op](lhs, rhs)
         _err(expr, "initializer is not a constant expression")

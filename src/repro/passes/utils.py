@@ -4,9 +4,9 @@ Includes: constant folding, trivial dead-code collection, a lightweight
 alias analysis (identified-object based), and CFG edit helpers.
 """
 
-import math
-
+from repro.errors import SimulationError
 from repro.ir import (
+    arith,
     AllocaInst,
     BinaryInst,
     CallInst,
@@ -30,66 +30,43 @@ from repro.ir.types import F64, I1
 # -- constant folding --------------------------------------------------------
 
 def fold_binary(opcode, lhs, rhs, type_):
-    """Fold a binary op over constants; returns a Constant or None."""
+    """Fold a binary op over constants; returns a Constant or None.
+
+    Folding evaluates through :mod:`repro.ir.arith`, the same exact
+    semantics the interpreter and simulators execute — a fold must
+    never be able to produce a value execution would not.
+    """
     if isinstance(lhs, ConstantInt) and isinstance(rhs, ConstantInt):
         a, b = lhs.value, rhs.value
-        if opcode == "add":
-            return ConstantInt(type_, a + b)
-        if opcode == "sub":
-            return ConstantInt(type_, a - b)
-        if opcode == "mul":
-            return ConstantInt(type_, a * b)
-        if opcode == "sdiv":
-            return None if b == 0 else ConstantInt(type_, int(a / b))
-        if opcode == "srem":
-            return None if b == 0 else ConstantInt(type_, a - int(a / b) * b)
-        if opcode == "and":
-            return ConstantInt(type_, a & b)
-        if opcode == "or":
-            return ConstantInt(type_, a | b)
-        if opcode == "xor":
-            return ConstantInt(type_, a ^ b)
-        if opcode == "shl":
-            return ConstantInt(type_, a << (b & 63))
-        if opcode == "ashr":
-            return ConstantInt(type_, a >> (b & 63))
-        if opcode == "lshr":
-            mask = (1 << type_.bits) - 1
-            return ConstantInt(type_, (a & mask) >> (b & 63))
-        return None
+        if opcode in ("sdiv", "srem") and b == 0:
+            return None  # division by zero traps at runtime; don't fold
+        try:
+            return ConstantInt(type_, arith.eval_int_binop(
+                opcode, a, b, type_))
+        except SimulationError:
+            return None
     if isinstance(lhs, ConstantFloat) and isinstance(rhs, ConstantFloat):
         a, b = lhs.value, rhs.value
+        if opcode == "fdiv" and b == 0.0:
+            return None  # preserve the runtime NaN/inf rules
         try:
-            if opcode == "fadd":
-                return ConstantFloat(F64, a + b)
-            if opcode == "fsub":
-                return ConstantFloat(F64, a - b)
-            if opcode == "fmul":
-                return ConstantFloat(F64, a * b)
-            if opcode == "fdiv" and b != 0.0:
-                return ConstantFloat(F64, a / b)
-        except OverflowError:
+            return ConstantFloat(F64, arith.eval_float_binop(opcode, a, b))
+        except (OverflowError, SimulationError):
             return None
     return None
 
 
 def fold_icmp(predicate, lhs, rhs):
     if isinstance(lhs, ConstantInt) and isinstance(rhs, ConstantInt):
-        a, b = lhs.value, rhs.value
-        result = {"eq": a == b, "ne": a != b, "slt": a < b, "sle": a <= b,
-                  "sgt": a > b, "sge": a >= b}[predicate]
-        return ConstantInt(I1, int(result))
+        return ConstantInt(I1, int(arith.icmp(predicate, lhs.value,
+                                              rhs.value)))
     return None
 
 
 def fold_fcmp(predicate, lhs, rhs):
     if isinstance(lhs, ConstantFloat) and isinstance(rhs, ConstantFloat):
-        a, b = lhs.value, rhs.value
-        if math.isnan(a) or math.isnan(b):
-            return ConstantInt(I1, 0)
-        result = {"oeq": a == b, "one": a != b, "olt": a < b, "ole": a <= b,
-                  "ogt": a > b, "oge": a >= b}[predicate]
-        return ConstantInt(I1, int(result))
+        return ConstantInt(I1, int(arith.fcmp(predicate, lhs.value,
+                                              rhs.value)))
     return None
 
 
@@ -106,10 +83,8 @@ def fold_cast(opcode, value, source_type, target_type):
         if opcode == "sitofp":
             return ConstantFloat(F64, float(v))
     if isinstance(value, ConstantFloat) and opcode == "fptosi":
-        v = value.value
-        if math.isnan(v) or math.isinf(v):
-            return ConstantInt(target_type, 0)
-        return ConstantInt(target_type, int(v))
+        return ConstantInt(target_type, arith.fptosi(value.value,
+                                                     target_type))
     return None
 
 

@@ -3,11 +3,24 @@
 from repro.sim.energy import EnergyModel, RaplCounter
 from repro.sim.machine import MachineResult, Simulator
 from repro.sim.pipeline import BranchPredictor, Cache, PipelineModel
-from repro.sim.platform import Measurement, Platform, default_platforms
+from repro.sim.platform import (
+    DEFAULT_SIM_ENGINE,
+    Measurement,
+    Platform,
+    default_platforms,
+)
+from repro.sim.tape import (
+    TapeSimulator,
+    clear_tape_cache,
+    program_fingerprint,
+    tape_cache_stats,
+)
 
 __all__ = [
-    "Simulator", "MachineResult",
+    "Simulator", "MachineResult", "TapeSimulator",
     "PipelineModel", "BranchPredictor", "Cache",
     "EnergyModel", "RaplCounter",
     "Platform", "Measurement", "default_platforms",
+    "DEFAULT_SIM_ENGINE",
+    "program_fingerprint", "tape_cache_stats", "clear_tape_cache",
 ]

@@ -6,8 +6,6 @@ this differentially), while the timing model (:mod:`repro.sim.pipeline`)
 and energy model (:mod:`repro.sim.energy`) observe the instruction stream.
 """
 
-import math
-
 from repro.errors import SimulationError
 from repro.backend.mir import (
     FImm,
@@ -16,15 +14,14 @@ from repro.backend.mir import (
     PhysReg,
     StackSlot,
 )
+from repro.ir import arith
 from repro.ir.intrinsics import evaluate_float_intrinsic
-from repro.ir.types import I64
 
 _STACK_BASE = 0x4000000
-_MASK = (1 << 64) - 1
 
 
 def _wrap(value):
-    return I64.wrap(int(value))
+    return arith.wrap64(int(value))
 
 
 class MachineState:
@@ -100,9 +97,18 @@ class Simulator:
         state = self.state
         state.sp -= mfunc.frame_slots
         frame_base = state.sp
+        try:
+            self._run_blocks(mfunc, frame_base, depth)
+        finally:
+            # Restore unconditionally: a SimulationError raised in a
+            # callee must not leave the stack pointer shifted for the
+            # caller's (or a reused Simulator's) next frame.
+            state.sp = frame_base + mfunc.frame_slots
+
+    def _run_blocks(self, mfunc, frame_base, depth):
+        state = self.state
         block = mfunc.blocks[0]
         index = 0
-        return_value = None
         while True:
             if index >= len(block.instructions):
                 raise SimulationError(
@@ -151,9 +157,6 @@ class Simulator:
 
             self._execute(instr, opcode, ops, state, frame_base, timing)
             index += 1
-
-        state.sp += mfunc.frame_slots
-        return return_value
 
     def _execute(self, instr, opcode, ops, state, frame_base, timing):
         if opcode == "li":
@@ -219,10 +222,8 @@ class Simulator:
         elif opcode == "cvtsi2sd":
             state.write(ops[0], float(state.read(ops[1], frame_base)))
         elif opcode == "cvtsd2si":
-            value = state.read(ops[1], frame_base)
-            if math.isnan(value) or math.isinf(value):
-                value = 0
-            state.write(ops[0], _wrap(int(value)))
+            state.write(ops[0],
+                        arith.fptosi(state.read(ops[1], frame_base)))
         elif opcode == "fneg":
             state.write(ops[0], -state.read(ops[1], frame_base))
         elif opcode == "print":
@@ -230,7 +231,7 @@ class Simulator:
             if ops[0] == "i":
                 state.output.append(("i", _wrap(value)))
             else:
-                state.output.append(("f", float(f"{value:.6g}")))
+                state.output.append(("f", arith.round_float_output(value)))
         elif opcode == "memset":
             dest = state.read(ops[0], frame_base)
             value = state.read(ops[1], frame_base)
@@ -264,56 +265,32 @@ class Simulator:
 
     @staticmethod
     def _evaluate_predicate(opcode, pred, a, b):
-        if opcode == "fbcc" and (math.isnan(a) or math.isnan(b)):
-            return False
-        table = {
-            "eq": a == b, "ne": a != b, "slt": a < b, "sle": a <= b,
-            "sgt": a > b, "sge": a >= b,
-            "oeq": a == b, "one": a != b, "olt": a < b, "ole": a <= b,
-            "ogt": a > b, "oge": a >= b,
-        }
-        return table[pred]
+        if opcode == "fbcc":
+            return arith.fcmp(pred, a, b)
+        return arith.icmp(pred, a, b)
 
 
-def _sdiv(a, b):
-    if b == 0:
-        raise SimulationError("integer division by zero")
-    return _wrap(int(a / b))
-
-
-def _srem(a, b):
-    if b == 0:
-        raise SimulationError("integer remainder by zero")
-    return _wrap(a - int(a / b) * b)
-
-
-def _fdiv(a, b):
-    if b == 0.0:
-        if a == 0.0 or math.isnan(a):
-            return float("nan")
-        return math.copysign(float("inf"), a) * math.copysign(1.0, b)
-    return a / b
-
-
+# Machine opcodes map onto the shared exact-64-bit semantics in
+# repro.ir.arith; div/rem in particular use exact integer truncation.
 _INT_BINOPS = {
     "add": lambda a, b: _wrap(a + b),
     "sub": lambda a, b: _wrap(a - b),
     "mul": lambda a, b: _wrap(a * b),
-    "div": _sdiv,
-    "rem": _srem,
+    "div": arith.sdiv64,
+    "rem": arith.srem64,
     "and": lambda a, b: _wrap(a & b),
     "or": lambda a, b: _wrap(a | b),
     "xor": lambda a, b: _wrap(a ^ b),
     "shl": lambda a, b: _wrap(a << (b & 63)),
     "sar": lambda a, b: _wrap(a >> (b & 63)),
-    "shr": lambda a, b: _wrap((a & _MASK) >> (b & 63)),
+    "shr": lambda a, b: _wrap((a & arith.MASK64) >> (b & 63)),
 }
 
 _FLOAT_BINOPS = {
     "fadd": lambda a, b: a + b,
     "fsub": lambda a, b: a - b,
     "fmul": lambda a, b: a * b,
-    "fdiv": _fdiv,
+    "fdiv": arith.fdiv,
 }
 
 

@@ -2,11 +2,22 @@
 that the profiling layer (paper Fig. 2 box 1) runs programs on.
 """
 
+import os
+
 from repro.backend.codegen import compile_module
 from repro.backend.isa import get_isa
 from repro.sim.energy import EnergyModel, RaplCounter
 from repro.sim.machine import Simulator
 from repro.sim.pipeline import PipelineModel
+from repro.sim.tape import TapeSimulator
+
+#: Which simulator backs ``Platform.execute``: ``"tape"`` (compiled,
+#: cached — the default) or ``"seed"`` (the reference interpreter-style
+#: simulator, kept as the differential baseline).  Overridable per
+#: process via ``REPRO_SIM_ENGINE`` for A/B debugging.
+DEFAULT_SIM_ENGINE = os.environ.get("REPRO_SIM_ENGINE", "tape")
+
+_SIM_ENGINES = {"tape": TapeSimulator, "seed": Simulator}
 
 
 class Measurement:
@@ -58,9 +69,15 @@ class Platform:
     METRIC_NAMES = ("exec_time_us", "energy_uj", "instructions",
                     "avg_power_w")
 
-    def __init__(self, target, measurement_seed=0):
+    def __init__(self, target, measurement_seed=0, sim_engine=None):
         self.target = target
         self.measurement_seed = measurement_seed
+        self.sim_engine = sim_engine if sim_engine is not None \
+            else DEFAULT_SIM_ENGINE
+        if self.sim_engine not in _SIM_ENGINES:
+            raise ValueError(
+                f"unknown sim engine {self.sim_engine!r}; "
+                f"available: {sorted(_SIM_ENGINES)}")
         self.isa = get_isa(target)
         self.energy_model = EnergyModel(self.isa)
         self.rapl = RaplCounter(measurement_seed) if target == "x86" \
@@ -72,7 +89,8 @@ class Platform:
     def execute(self, program, fuel=20_000_000):
         """Run a compiled program, returning a Measurement."""
         timing = PipelineModel(self.isa)
-        simulator = Simulator(program, self.isa, timing, fuel=fuel)
+        simulator = _SIM_ENGINES[self.sim_engine](
+            program, self.isa, timing, fuel=fuel)
         result = simulator.run()
         energy = self.energy_model.total_energy_pj(
             result.dynamic_histogram, timing)

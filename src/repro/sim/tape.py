@@ -1,0 +1,771 @@
+"""Tape-compiled machine simulator: the profile hot path.
+
+The seed :class:`~repro.sim.machine.Simulator` re-decodes every
+instruction on every execution — isinstance-chains over operand
+classes, dict lookups for registers, and one Python-level
+``PipelineModel`` hook call per instruction.  This module compiles a
+:class:`MachineProgram` **once** into a flat register-machine tape:
+
+- Operands are pre-resolved to dense register-file indices, frame-slot
+  offsets, and literal constants, so executing an instruction is a few
+  list subscripts instead of an isinstance chain.
+- Each basic block is split at control transfers (``bcc``/``fbcc``/
+  ``call``/``jmp``/``ret``) into *segments* — straight-line runs in
+  which every instruction executes exactly once.  A segment becomes one
+  generated Python function (a superinstruction): fuel accounting and
+  the dynamic histogram are batched per segment, and the pipeline
+  model's scoreboard update is inlined per instruction with
+  compile-time constants (latencies, issue width, icache set/tag).
+- I-cache accesses are coalesced per cache line *run* (consecutive
+  instructions on one line hit by construction), the 2-bit branch
+  predictor is inlined per branch site, and D-cache accesses go through
+  the real :class:`~repro.sim.pipeline.Cache` object so its LRU state
+  stays bit-identical with the seed simulator.
+
+Timing replication is exact, quirks included: ``operand_ready`` takes
+the destination register into account, branches and stores mark their
+*first source* operand ready (seed marks ``operands[0]``), and block
+ops touch the D-cache at the instruction's *code* address.  The energy
+model sums the dynamic histogram in insertion order, so segments update
+the histogram in first-occurrence order, which reproduces the seed's
+per-instruction insertion order.
+
+Compiled tapes are content-addressed by a program fingerprint and kept
+in a module-level LRU cache (one entry per (program, ISA, timed) —
+the same memo discipline as the pass-pipeline and evaluation caches),
+so a module profiled by any client never re-decodes.
+
+All value semantics come from :mod:`repro.ir.arith` — the tape engine
+is generated against the same exact 64-bit arithmetic the interpreter
+and the seed simulator execute.
+
+Divergence on *failing* runs only: fuel exhaustion and traps are
+checked per segment, so a run that raises ``SimulationError`` may stop
+with slightly different partial counters than the seed.  Successful
+runs are bit-identical in observables, instruction counts, cycles,
+cache/predictor state, and histogram order (the differential tests in
+``tests/sim/test_tape.py`` check exactly this).
+"""
+
+import hashlib
+import threading
+import time
+from types import SimpleNamespace
+
+from repro.backend.mir import FImm, GlobalRef, Imm, PhysReg, StackSlot
+from repro.errors import SimulationError
+from repro.ir import arith
+from repro.ir.intrinsics import evaluate_float_intrinsic
+from repro.sim.machine import _STACK_BASE, MachineResult
+
+_SPLIT = frozenset({"bcc", "fbcc", "call", "jmp", "ret"})
+
+_ICMP_PY = {"eq": "==", "ne": "!=", "slt": "<", "sle": "<=",
+            "sgt": ">", "sge": ">="}
+_FCMP_PY = {"oeq": "==", "one": "!=", "olt": "<", "ole": "<=",
+            "ogt": ">", "oge": ">="}
+
+_INT_OPS = {"add": "+", "sub": "-", "mul": "*", "and": "&",
+            "or": "|", "xor": "^"}
+_FLOAT_OPS = {"fadd": "+", "fsub": "-", "fmul": "*"}
+_FLOAT_UNARY = {"fsqrt": "sqrt", "fexp": "exp", "flog": "log",
+                "fsin": "sin", "fcos": "cos", "fabs": "fabs"}
+
+_MASK_LIT = "0xffffffffffffffff"
+_HALF_LIT = "0x8000000000000000"
+_TWO64_LIT = "0x10000000000000000"
+
+
+# -- content addressing ------------------------------------------------------
+
+def _operand_key(operand):
+    if isinstance(operand, str):
+        return f"s:{operand}"
+    return repr(operand)
+
+
+def _instr_key(instr):
+    key = (f"{instr.opcode}|{instr.pred or ''}|{instr.address}|"
+           + ",".join(_operand_key(o) for o in instr.operands))
+    if instr.lanes:
+        key += "|" + ";".join(f"{d.name}:{a.name}:{b.name}"
+                              for d, a, b in instr.lanes)
+    return key
+
+
+def program_fingerprint(program):
+    """Content hash of everything the tape compiler bakes into code."""
+    parts = [program.target_name]
+    for name, (address, cells) in sorted(program.global_layout.items()):
+        parts.append(f"g:{name}:{address}:{cells}")
+    for fname, mfunc in program.functions.items():
+        parts.append(f"f:{fname}:{mfunc.frame_slots}")
+        for block in mfunc.blocks:
+            parts.append(f"b:{block.label}")
+            parts.extend(_instr_key(i) for i in block.instructions)
+    digest = hashlib.blake2b("\n".join(parts).encode(), digest_size=16)
+    return digest.hexdigest()
+
+
+# -- tape cache --------------------------------------------------------------
+
+_CACHE_LOCK = threading.Lock()
+_TAPE_CACHE = {}       # (fingerprint, isa, timed) -> _CompiledTape
+_CACHE_CAPACITY = 128
+_STATS = {"hits": 0, "misses": 0, "compile_seconds": 0.0}
+
+
+def tape_cache_stats():
+    """Cache statistics for engine reporting (per-process)."""
+    with _CACHE_LOCK:
+        stats = dict(_STATS)
+        stats["entries"] = len(_TAPE_CACHE)
+        total = stats["hits"] + stats["misses"]
+        stats["hit_rate"] = stats["hits"] / total if total else 0.0
+    return stats
+
+
+def clear_tape_cache():
+    with _CACHE_LOCK:
+        _TAPE_CACHE.clear()
+        _STATS.update(hits=0, misses=0, compile_seconds=0.0)
+
+
+def _get_tape(program, isa, timed):
+    key = (program_fingerprint(program), isa.name, bool(timed))
+    with _CACHE_LOCK:
+        tape = _TAPE_CACHE.get(key)
+        if tape is not None:
+            _STATS["hits"] += 1
+            _TAPE_CACHE[key] = _TAPE_CACHE.pop(key)  # LRU refresh
+            return tape
+    started = time.perf_counter()
+    tape = _TapeCompiler(program, isa, timed).compile()
+    elapsed = time.perf_counter() - started
+    with _CACHE_LOCK:
+        _STATS["misses"] += 1
+        _STATS["compile_seconds"] += elapsed
+        _TAPE_CACHE[key] = tape
+        while len(_TAPE_CACHE) > _CACHE_CAPACITY:
+            _TAPE_CACHE.pop(next(iter(_TAPE_CACHE)))
+    return tape
+
+
+class _CompiledTape:
+    """A compiled program: the ``build`` factory plus dispatch metadata."""
+
+    __slots__ = ("build", "entries", "calls", "consts", "reg_names",
+                 "n_int", "ret_index", "timed", "source")
+
+    def __init__(self, build, entries, calls, consts, reg_names, n_int,
+                 ret_index, timed, source):
+        self.build = build
+        self.entries = entries      # function name -> (entry seg, slots)
+        self.calls = calls          # k -> (callee seg, slots, cont seg)
+        self.consts = consts
+        self.reg_names = reg_names
+        self.n_int = n_int
+        self.ret_index = ret_index
+        self.timed = timed
+        self.source = source
+
+
+# -- compiler ----------------------------------------------------------------
+
+class _TapeCompiler:
+    def __init__(self, program, isa, timed):
+        self.program = program
+        self.isa = isa
+        self.timed = timed
+        regs = isa.int_regs + isa.float_regs
+        self.reg_names = tuple(r.name for r in regs)
+        self.reg_index = {name: i for i, name in enumerate(self.reg_names)}
+        self.n_int = len(isa.int_regs)
+        self.consts = []
+        self._const_index = {}
+        self.calls = []
+        # Timing constants baked into the generated code.
+        self.INV_W = 1.0 / isa.issue_width
+        self.ILINE = isa.icache["line_bytes"]
+        self.ISETS = isa.icache["lines"]
+        self.IWAYS = 1 if isa.icache["lines"] < 128 else 2
+        self.ICMISS = isa.icache["miss"]
+        self.MISPRED = isa.branch_mispredict
+        self.CALLOVH = isa.call_overhead
+        ld_lat = isa.latency_table.get("ld", 1)
+        self.LDHIT = isa.dcache["hit"] + ld_lat - 1
+        self.LDMISS = isa.dcache["miss"] + ld_lat - 1
+        self.ST_EXTRA = isa.dcache["miss"] * 0.25
+        self.PER_CELL = 0.5 if isa.issue_width >= 4 else 2.0
+        self.DLINE = isa.dcache["line"]
+        # Per-segment icache line-run state.
+        self._line = None
+        self._tag = None
+        self._run = 0
+
+    # -- operand rendering --------------------------------------------------
+    def _const(self, value):
+        key = (type(value).__name__, repr(value))
+        index = self._const_index.get(key)
+        if index is None:
+            index = len(self.consts)
+            self.consts.append(value)
+            self._const_index[key] = index
+        return index
+
+    def _read(self, operand):
+        if isinstance(operand, PhysReg):
+            return f"r[{self.reg_index[operand.name]}]"
+        if isinstance(operand, Imm):
+            return repr(operand.value)
+        if isinstance(operand, FImm):
+            return f"K[{self._const(operand.value)}]"
+        if isinstance(operand, GlobalRef):
+            return repr(self.program.global_layout[operand.name][0])
+        if isinstance(operand, StackSlot):
+            return f"(fb + {operand.index})"
+        raise SimulationError(f"cannot compile operand {operand!r}")
+
+    def _lat(self, opcode):
+        return self.isa.latency_table.get(opcode, 1)
+
+    @staticmethod
+    def _operand_regs(instr, reg_index):
+        seen = []
+        for operand in instr.operands:
+            if isinstance(operand, PhysReg):
+                index = reg_index[operand.name]
+                if index not in seen:
+                    seen.append(index)
+        if instr.lanes:
+            for _, a, b in instr.lanes:
+                for lane_reg in (a, b):
+                    index = reg_index[lane_reg.name]
+                    if index not in seen:
+                        seen.append(index)
+        return seen
+
+    @staticmethod
+    def _dst_regs(instr, reg_index):
+        dsts = []
+        operands = instr.operands
+        if operands and isinstance(operands[0], PhysReg):
+            dsts.append(reg_index[operands[0].name])
+        if instr.lanes:
+            for dst, _, _ in instr.lanes:
+                dsts.append(reg_index[dst.name])
+        return dsts
+
+    # -- timing emission ----------------------------------------------------
+    def _fetch(self, w, instr):
+        """Inline i-cache access, coalescing same-line instruction runs."""
+        if not self.timed:
+            return
+        line = instr.address // self.ILINE
+        if line == self._line:
+            self._run += 1
+            return
+        self._flush_line(w)
+        set_index = line % self.ISETS
+        tag = line // self.ISETS
+        self._line, self._tag, self._run = line, tag, 1
+        w(f"ic_ = icd[{set_index}]")
+        w("ict += 1")
+        w(f"if {tag} in ic_:")
+        w("    ich += 1")
+        w(f"    ic_[{tag}] = ict")
+        w("else:")
+        w("    icm += 1")
+        if self.IWAYS == 1:
+            w("    if ic_:")
+            w("        ic_.clear()")
+        else:
+            w(f"    if len(ic_) >= {self.IWAYS}:")
+            w("        del ic_[min(ic_, key=ic_.get)]")
+        w(f"    ic_[{tag}] = ict")
+        w(f"    issue += {self.ICMISS}")
+
+    def _flush_line(self, w):
+        """Account the hits of the rest of a same-line instruction run."""
+        if self._line is not None and self._run > 1:
+            extra = self._run - 1
+            w(f"ict += {extra}")
+            w(f"ich += {extra}")
+            w(f"ic_[{self._tag}] = ict")
+        self._line, self._tag, self._run = None, None, 0
+
+    def _chain(self, w, instr, latency_expr):
+        """The seed ``_issue_instr`` scoreboard update, inlined."""
+        if not self.timed:
+            return
+        regs = self._operand_regs(instr, self.reg_index)
+        dsts = self._dst_regs(instr, self.reg_index)
+        if regs:
+            w(f"t_ = rd[{regs[0]}]")
+            for index in regs[1:]:
+                w(f"u_ = rd[{index}]")
+                w("if u_ > t_: t_ = u_")
+            w("if issue > t_: t_ = issue")
+            w("stl += t_ - issue")
+            for dst in dsts:
+                w(f"rd[{dst}] = t_ + {latency_expr}")
+            w(f"issue = t_ + {self.INV_W!r}")
+        else:
+            for dst in dsts:
+                w(f"rd[{dst}] = issue + {latency_expr}")
+            w(f"issue += {self.INV_W!r}")
+
+    # -- per-instruction emission -------------------------------------------
+    def _wrap_into(self, w, dst, expr):
+        w(f"v_ = ({expr}) & {_MASK_LIT}")
+        w(f"r[{dst}] = v_ - {_TWO64_LIT} if v_ >= {_HALF_LIT} else v_")
+
+    def _emit_exec(self, w, instr):
+        op = instr.opcode
+        ops = instr.operands
+        read = self._read
+        if op in ("li", "mv"):
+            w(f"r[{self.reg_index[ops[0].name]}] = {read(ops[1])}")
+        elif op == "lfi":
+            w(f"r[{self.reg_index[ops[0].name]}] = "
+              f"K[{self._const(ops[1].value)}]")
+        elif op == "frame_alloc":
+            w(f"r[{self.reg_index[ops[0].name]}] = fb + {ops[1].value}")
+        elif op == "lea":
+            w(f"r[{self.reg_index[ops[0].name]}] = {read(ops[1])} + "
+              f"{read(ops[2])} * {ops[3].value}")
+        elif op in _INT_OPS:
+            self._wrap_into(w, self.reg_index[ops[0].name],
+                            f"{read(ops[1])} {_INT_OPS[op]} {read(ops[2])}")
+        elif op == "shl":
+            self._wrap_into(w, self.reg_index[ops[0].name],
+                            f"{read(ops[1])} << ({read(ops[2])} & 63)")
+        elif op == "sar":
+            self._wrap_into(w, self.reg_index[ops[0].name],
+                            f"{read(ops[1])} >> ({read(ops[2])} & 63)")
+        elif op == "shr":
+            self._wrap_into(
+                w, self.reg_index[ops[0].name],
+                f"({read(ops[1])} & {_MASK_LIT}) >> ({read(ops[2])} & 63)")
+        elif op == "div":
+            w(f"r[{self.reg_index[ops[0].name]}] = "
+              f"sdiv({read(ops[1])}, {read(ops[2])})")
+        elif op == "rem":
+            w(f"r[{self.reg_index[ops[0].name]}] = "
+              f"srem({read(ops[1])}, {read(ops[2])})")
+        elif op in _FLOAT_OPS:
+            w(f"r[{self.reg_index[ops[0].name]}] = "
+              f"{read(ops[1])} {_FLOAT_OPS[op]} {read(ops[2])}")
+        elif op == "fdiv":
+            w(f"fb_ = {read(ops[2])}")
+            w(f"r[{self.reg_index[ops[0].name]}] = "
+              f"({read(ops[1])} / fb_) if fb_ else fdv({read(ops[1])}, fb_)")
+        elif op == "setcc":
+            w(f"r[{self.reg_index[ops[0].name]}] = "
+              f"1 if {read(ops[1])} {_ICMP_PY[instr.pred]} {read(ops[2])} "
+              f"else 0")
+        elif op == "fsetcc":
+            w(f"fa_ = {read(ops[1])}")
+            w(f"fb_ = {read(ops[2])}")
+            w(f"r[{self.reg_index[ops[0].name]}] = "
+              f"1 if (fa_ == fa_ and fb_ == fb_ and "
+              f"fa_ {_FCMP_PY[instr.pred]} fb_) else 0")
+        elif op == "cmov":
+            w(f"r[{self.reg_index[ops[0].name]}] = "
+              f"{read(ops[2])} if {read(ops[1])} else {read(ops[3])}")
+        elif op == "ld":
+            w(f"adr_ = {read(ops[1])} + {read(ops[2])}")
+            if self.timed:
+                w("hit_ = dca(adr_)")
+                self._fetch(w, instr)
+                w(f"L_ = {self.LDHIT} if hit_ else {self.LDMISS}")
+                self._chain(w, instr, "L_")
+            w("if adr_ <= 0:")
+            w('    raise err("load from invalid address %d" % adr_)')
+            w(f"r[{self.reg_index[ops[0].name]}] = mg(adr_, 0)")
+            return
+        elif op == "st":
+            w(f"adr_ = {read(ops[1])} + {read(ops[2])}")
+            if self.timed:
+                w("hit_ = dca(adr_)")
+                self._fetch(w, instr)
+                self._chain(w, instr, "1")
+                w(f"if not hit_: issue += {self.ST_EXTRA!r}")
+            w("if adr_ <= 0:")
+            w('    raise err("store to invalid address %d" % adr_)')
+            w(f"m[adr_] = {read(ops[0])}")
+            return
+        elif op in _FLOAT_UNARY:
+            w(f"r[{self.reg_index[ops[0].name]}] = "
+              f"ffi('{_FLOAT_UNARY[op]}', ({read(ops[1])},))")
+        elif op == "fpow":
+            w(f"r[{self.reg_index[ops[0].name]}] = "
+              f"ffi('pow', ({read(ops[1])}, {read(ops[2])}))")
+        elif op == "cvtsi2sd":
+            w(f"r[{self.reg_index[ops[0].name]}] = float({read(ops[1])})")
+        elif op == "cvtsd2si":
+            w(f"r[{self.reg_index[ops[0].name]}] = f2i({read(ops[1])})")
+        elif op == "fneg":
+            w(f"r[{self.reg_index[ops[0].name]}] = -{read(ops[1])}")
+        elif op == "print":
+            if ops[0] == "i":
+                w(f"v_ = {read(ops[1])} & {_MASK_LIT}")
+                w(f"oa(('i', v_ - {_TWO64_LIT} if v_ >= {_HALF_LIT} "
+                  f"else v_))")
+            else:
+                w(f"oa(('f', r6({read(ops[1])})))")
+        elif op == "memset":
+            w(f"d_ = {read(ops[0])}")
+            w(f"v_ = {read(ops[1])}")
+            w(f"c_ = int({read(ops[2])})")
+            w("if c_ > 0 and d_ <= 0:")
+            w('    raise err("store to invalid address %d" % d_)')
+            w("for i_ in range(c_):")
+            w("    m[d_ + i_] = v_")
+            self._block_op_timing(w, instr)
+            return
+        elif op == "memcpy":
+            w(f"d_ = {read(ops[0])}")
+            w(f"s_ = {read(ops[1])}")
+            w(f"c_ = int({read(ops[2])})")
+            w("if c_ > 0:")
+            w("    if s_ <= 0:")
+            w('        raise err("load from invalid address %d" % s_)')
+            w("    vs_ = [mg(s_ + i_, 0) for i_ in range(c_)]")
+            w("    if d_ <= 0:")
+            w('        raise err("store to invalid address %d" % d_)')
+            w("    for i_ in range(c_):")
+            w("        m[d_ + i_] = vs_[i_]")
+            self._block_op_timing(w, instr)
+            return
+        elif op == "vop":
+            fn = ops[0]
+            for index, (_, a, b) in enumerate(instr.lanes):
+                w(f"la{index}_ = {read(a)}")
+                w(f"lb{index}_ = {read(b)}")
+            for index, (dst, _, _) in enumerate(instr.lanes):
+                target = self.reg_index[dst.name]
+                if fn == "fdiv":
+                    w(f"r[{target}] = (la{index}_ / lb{index}_) "
+                      f"if lb{index}_ else fdv(la{index}_, lb{index}_)")
+                else:
+                    w(f"r[{target}] = la{index}_ "
+                      f"{_FLOAT_OPS[fn]} lb{index}_")
+        else:
+            w(f"raise err('unknown opcode {op!r}')")
+            return
+        self._fetch(w, instr)
+        self._chain(w, instr, str(self._lat(op)))
+
+    def _block_op_timing(self, w, instr):
+        if not self.timed:
+            return
+        self._fetch(w, instr)
+        self._chain(w, instr, "1")
+        w(f"issue += c_ * {self.PER_CELL!r}")
+        w(f"for i_ in range(0, c_, {self.DLINE}):")
+        w(f"    dca({instr.address} + i_)")
+
+    # -- segment enumeration -------------------------------------------------
+    def _enumerate(self):
+        self.records = []
+        self.block_entry = {}
+        self.func_entry = {}
+        self._falloffs = {}
+        for mfunc in self.program.functions.values():
+            for block in mfunc.blocks:
+                runs, current = [], []
+                for instr in block.instructions:
+                    current.append(instr)
+                    if instr.opcode in _SPLIT:
+                        runs.append(current)
+                        current = []
+                if current:
+                    runs.append(current)
+                if not runs:
+                    self.block_entry[block.label] = \
+                        self._falloff(block.label)
+                    continue
+                first = len(self.records)
+                for offset, run in enumerate(runs):
+                    nxt = first + offset + 1 if offset + 1 < len(runs) \
+                        else None
+                    self.records.append({"kind": "code", "block": block,
+                                         "instrs": run, "next": nxt})
+                self.block_entry[block.label] = first
+            if mfunc.blocks:
+                self.func_entry[mfunc.name] = (
+                    self.block_entry[mfunc.blocks[0].label],
+                    mfunc.frame_slots)
+        # Resolve fall-through targets that run off the block.
+        for index in range(len(self.records)):
+            record = self.records[index]
+            if record["kind"] != "code" or record["next"] is not None:
+                continue
+            last = record["instrs"][-1].opcode
+            if last in ("bcc", "fbcc", "call") or last not in _SPLIT:
+                record["next"] = self._falloff(record["block"].label)
+
+    def _falloff(self, label):
+        index = self._falloffs.get(label)
+        if index is None:
+            index = len(self.records)
+            self._falloffs[label] = index
+            self.records.append({"kind": "falloff", "label": label})
+        return index
+
+    # -- code generation -----------------------------------------------------
+    def compile(self):
+        self._enumerate()
+        lines = ["def build(rt):"]
+        p = lines.append
+        p("    r = rt.r")
+        p("    m = rt.m")
+        p("    mg = m.get")
+        p("    oa = rt.out.append")
+        p("    hg = rt.hg")
+        p("    hgg = hg.get")
+        p("    K = rt.K")
+        p("    err = rt.err")
+        p("    ffi = rt.ffi")
+        p("    sdiv = rt.sdiv")
+        p("    srem = rt.srem")
+        p("    fdv = rt.fdv")
+        p("    f2i = rt.f2i")
+        p("    r6 = rt.r6")
+        p("    FUEL = rt.fuel")
+        p("    icnt = rt.t_icount")
+        if self.timed:
+            p("    rd = rt.rd")
+            p("    dca = rt.dca")
+            p("    icd = rt.icd")
+            p("    pt = rt.pt")
+            p("    ptg = pt.get")
+            p("    issue = rt.t_issue")
+            p("    stl = rt.t_stall")
+            p("    ict = rt.t_ictick")
+            p("    ich = rt.t_ichits")
+            p("    icm = rt.t_icmiss")
+            p("    msp = rt.t_msp")
+        for index, record in enumerate(self.records):
+            self._emit_segment(lines, index, record)
+        p("    def flush():")
+        if self.timed:
+            p("        return issue, stl, ict, ich, icm, msp, icnt")
+        else:
+            p("        return 0.0, 0.0, 0, 0, 0, 0, icnt")
+        segments = ", ".join(f"s{i}" for i in range(len(self.records)))
+        comma = "," if len(self.records) == 1 else ""
+        p(f"    return ({segments}{comma}), flush")
+        source = "\n".join(lines) + "\n"
+        code = compile(source, f"<tape:{self.program.name}>", "exec")
+        namespace = {}
+        exec(code, namespace)
+        return _CompiledTape(
+            build=namespace["build"],
+            entries=dict(self.func_entry),
+            calls=tuple(self.calls),
+            consts=tuple(self.consts),
+            reg_names=self.reg_names,
+            n_int=self.n_int,
+            ret_index=self.reg_index[self.isa.ret_int.name],
+            timed=self.timed,
+            source=source,
+        )
+
+    def _emit_segment(self, lines, index, record):
+        p = lines.append
+        p(f"    def s{index}(fb):")
+        if record["kind"] == "falloff":
+            message = f"fell off block {record['label']}"
+            p(f"        raise err({message!r})")
+            return
+
+        def w(line):
+            p("        " + line)
+
+        if self.timed:
+            w("nonlocal issue, stl, ict, ich, icm, msp, icnt")
+        else:
+            w("nonlocal icnt")
+        instrs = record["instrs"]
+        w(f"icnt += {len(instrs)}")
+        w("if icnt > FUEL:")
+        w("    raise err('simulator fuel exhausted')")
+        counts, order = {}, []
+        for instr in instrs:
+            if instr.opcode not in counts:
+                order.append(instr.opcode)
+            counts[instr.opcode] = counts.get(instr.opcode, 0) + 1
+        for opcode in order:
+            w(f"hg[{opcode!r}] = hgg({opcode!r}, 0) + {counts[opcode]}")
+        self._line, self._tag, self._run = None, None, 0
+        for instr in instrs[:-1]:
+            self._emit_exec(w, instr)
+        self._emit_control(w, instrs[-1], record)
+
+    def _emit_control(self, w, instr, record):
+        op = instr.opcode
+        ops = instr.operands
+        read = self._read
+        if op == "jmp":
+            self._fetch(w, instr)
+            if self.timed:
+                w(f"issue += {self.INV_W!r}")
+            self._flush_line(w)
+            w(f"return {self.block_entry[ops[0].name]}")
+        elif op in ("bcc", "fbcc"):
+            if op == "bcc":
+                w(f"tk_ = {read(ops[0])} {_ICMP_PY[instr.pred]} "
+                  f"{read(ops[1])}")
+            else:
+                w(f"fa_ = {read(ops[0])}")
+                w(f"fb_ = {read(ops[1])}")
+                w(f"tk_ = fa_ == fa_ and fb_ == fb_ and "
+                  f"fa_ {_FCMP_PY[instr.pred]} fb_")
+            self._fetch(w, instr)
+            self._chain(w, instr, "1")
+            if self.timed:
+                site = (instr.address >> 1) % 256
+                w(f"c_ = ptg({site}, 2)")
+                w("if tk_:")
+                w(f"    pt[{site}] = c_ + 1 if c_ < 3 else 3")
+                w("    if c_ < 2:")
+                w("        msp += 1")
+                w(f"        issue += {self.MISPRED}")
+                w("else:")
+                w(f"    pt[{site}] = c_ - 1 if c_ > 0 else 0")
+                w("    if c_ >= 2:")
+                w("        msp += 1")
+                w(f"        issue += {self.MISPRED}")
+            self._flush_line(w)
+            taken = self.block_entry[ops[2].name]
+            w(f"return {taken} if tk_ else {record['next']}")
+        elif op == "ret":
+            self._fetch(w, instr)
+            if self.timed:
+                w(f"issue += {self.INV_W!r}")
+            self._flush_line(w)
+            w("return -1")
+        elif op == "call":
+            self._fetch(w, instr)
+            if self.timed:
+                w(f"issue += {self.INV_W!r}")
+                w(f"issue += {self.CALLOVH}")
+            self._flush_line(w)
+            entry, slots = self.func_entry[ops[0]]
+            call_id = len(self.calls)
+            self.calls.append((entry, slots, record["next"]))
+            w(f"return {-(2 + call_id)}")
+        else:
+            # Block ran off the end without a terminator.
+            self._emit_exec(w, instr)
+            self._flush_line(w)
+            message = f"fell off block {record['block'].label}"
+            w(f"raise err({message!r})")
+
+
+# -- runtime -----------------------------------------------------------------
+
+class TapeSimulator:
+    """Drop-in fast replacement for :class:`~repro.sim.machine.Simulator`.
+
+    Same constructor and ``run`` signature; produces a
+    :class:`MachineResult` with bit-identical observables, instruction
+    counts, histogram order, and (when a ``PipelineModel`` is supplied)
+    identical cycle counts and cache/predictor state.
+    """
+
+    def __init__(self, program, isa, timing=None, fuel=20_000_000):
+        self.program = program
+        self.isa = isa
+        self.timing = timing
+        self.fuel = fuel
+        self.instructions_executed = 0
+        self.dynamic_histogram = {}
+        self._tape = _get_tape(program, isa, timing is not None)
+        tape = self._tape
+        n_float = len(tape.reg_names) - tape.n_int
+        self._rt = SimpleNamespace(
+            r=[0] * tape.n_int + [0.0] * n_float,
+            rd=[0.0] * len(tape.reg_names),
+            m=dict(program.global_init),
+            out=[],
+            hg=self.dynamic_histogram,
+            K=tape.consts,
+            err=SimulationError,
+            ffi=evaluate_float_intrinsic,
+            sdiv=arith.sdiv64,
+            srem=arith.srem64,
+            fdv=arith.fdiv,
+            f2i=arith.fptosi,
+            r6=arith.round_float_output,
+            fuel=fuel,
+            dca=None, icd=None, pt=None,
+            t_issue=0.0, t_stall=0.0, t_ictick=0, t_ichits=0,
+            t_icmiss=0, t_msp=0, t_icount=0,
+        )
+        if timing is not None:
+            self._rt.dca = timing.dcache.access
+            self._rt.icd = timing.icache.data
+            self._rt.pt = timing.predictor.table
+        self._sp = _STACK_BASE
+
+    def run(self, function_name="main"):
+        tape = self._tape
+        entry = tape.entries.get(function_name)
+        if entry is None:
+            raise SimulationError(f"no function {function_name!r}")
+        rt = self._rt
+        timing = self.timing
+        rt.t_icount = self.instructions_executed
+        if timing is not None:
+            rt.t_issue = timing.issue
+            rt.t_stall = timing.stall_cycles
+            rt.t_ictick = timing.icache.tick
+            rt.t_ichits = timing.icache.hits
+            rt.t_icmiss = timing.icache.misses
+            rt.t_msp = timing.mispredicts
+        segments, flush = tape.build(rt)
+        try:
+            self._dispatch(segments, tape.calls, entry[0], entry[1], 0)
+        finally:
+            (issue, stall, ic_tick, ic_hits, ic_misses, mispredicts,
+             executed) = flush()
+            self.instructions_executed = executed
+            if timing is not None:
+                timing.issue = issue
+                timing.stall_cycles = stall
+                timing.icache.tick = ic_tick
+                timing.icache.hits = ic_hits
+                timing.icache.misses = ic_misses
+                timing.mispredicts = mispredicts
+                names = tape.reg_names
+                ready = rt.rd
+                timing.ready.update(
+                    {names[i]: ready[i] for i in range(len(ready))
+                     if ready[i] != 0.0})
+        value = rt.r[tape.ret_index]
+        return MachineResult(arith.wrap64(value), rt.out,
+                             self.instructions_executed,
+                             self.dynamic_histogram, timing)
+
+    def _dispatch(self, segments, calls, segment, frame_slots, depth):
+        if depth > 400:
+            raise SimulationError("call stack overflow")
+        self._sp -= frame_slots
+        frame_base = self._sp
+        try:
+            while True:
+                nxt = segments[segment](frame_base)
+                if nxt >= 0:
+                    segment = nxt
+                elif nxt == -1:
+                    return
+                else:
+                    callee, callee_slots, cont = calls[-2 - nxt]
+                    self._dispatch(segments, calls, callee, callee_slots,
+                                   depth + 1)
+                    segment = cont
+        finally:
+            self._sp = frame_base + frame_slots

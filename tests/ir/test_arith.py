@@ -1,0 +1,159 @@
+"""Unit and regression tests for :mod:`repro.ir.arith` — the single
+definition of exact 64-bit two's-complement semantics.
+
+The regression here pins a live miscompile: ``sdiv``/``srem`` used to
+truncate through a Python float (``int(a / b)``), so ``(2**62 + 1) / 1``
+*executed* as ``2**62`` while constant folding produced ``2**62 + 1`` —
+an optimized-vs-unoptimized divergence invisible to differential tests
+because both sides were wrong in different places.
+"""
+
+import math
+
+import pytest
+
+from repro.backend import compile_module, get_isa
+from repro.baselines import STANDARD_LEVELS
+from repro.errors import SimulationError
+from repro.ir import arith, run_module
+from repro.ir.types import I32
+from repro.lang import compile_source
+from repro.passes import PassManager
+from repro.sim import Simulator, TapeSimulator
+
+
+# -- wrap ---------------------------------------------------------------------
+
+def test_wrap64_identity_and_overflow():
+    assert arith.wrap64(0) == 0
+    assert arith.wrap64(arith.INT64_MAX) == arith.INT64_MAX
+    assert arith.wrap64(arith.INT64_MIN) == arith.INT64_MIN
+    assert arith.wrap64(arith.INT64_MAX + 1) == arith.INT64_MIN
+    assert arith.wrap64(arith.INT64_MIN - 1) == arith.INT64_MAX
+    assert arith.wrap64(1 << 64) == 0
+    assert arith.wrap64(-(1 << 64) - 7) == -7
+
+
+# -- truncated division -------------------------------------------------------
+
+@pytest.mark.parametrize("a,b,quotient,remainder", [
+    (7, 2, 3, 1),
+    (-7, 2, -3, -1),
+    (7, -2, -3, 1),
+    (-7, -2, 3, -1),
+    (0, 5, 0, 0),
+    (1, 3, 0, 1),
+    (-1, 3, 0, -1),
+    (arith.INT64_MAX, 1, arith.INT64_MAX, 0),
+    (arith.INT64_MIN, 1, arith.INT64_MIN, 0),
+    (arith.INT64_MIN, 2, -(1 << 62), 0),
+    ((1 << 53) + 1, 1, (1 << 53) + 1, 0),
+])
+def test_sdiv_srem_truncate_toward_zero(a, b, quotient, remainder):
+    assert arith.sdiv_trunc(a, b) == quotient
+    assert arith.srem_trunc(a, b) == remainder
+    # C identity: (a/b)*b + a%b == a.
+    assert quotient * b + remainder == a
+
+
+def test_sdiv64_int64_min_by_minus_one_wraps():
+    # The one quotient that overflows int64; hardware wraps.
+    assert arith.sdiv64(arith.INT64_MIN, -1) == arith.INT64_MIN
+    assert arith.srem64(arith.INT64_MIN, -1) == 0
+
+
+def test_division_by_zero_raises():
+    with pytest.raises(SimulationError):
+        arith.sdiv_trunc(1, 0)
+    with pytest.raises(SimulationError):
+        arith.srem_trunc(1, 0)
+
+
+def test_exactness_beyond_double_precision():
+    # 2**62 + 1 is not representable as a double; the float detour
+    # rounded it to 2**62.
+    value = (1 << 62) + 1
+    assert arith.sdiv_trunc(value, 1) == value
+    assert arith.sdiv64(value, 1) == value
+    assert int(value / 1) != value  # the old, broken computation
+
+
+# -- float helpers ------------------------------------------------------------
+
+def test_fdiv_by_zero_rules():
+    assert math.isnan(arith.fdiv(0.0, 0.0))
+    assert arith.fdiv(1.0, 0.0) == math.inf
+    assert arith.fdiv(-1.0, 0.0) == -math.inf
+    assert arith.fdiv(1.0, -0.0) == -math.inf
+    assert arith.fdiv(1.0, 4.0) == 0.25
+
+
+def test_fptosi_special_values():
+    assert arith.fptosi(float("nan")) == 0
+    assert arith.fptosi(math.inf) == 0
+    assert arith.fptosi(-math.inf) == 0
+    assert arith.fptosi(3.9) == 3
+    assert arith.fptosi(-3.9) == -3
+
+
+def test_comparisons():
+    assert arith.icmp("slt", -1, 0)
+    assert not arith.icmp("sgt", -1, 0)
+    assert arith.fcmp("olt", 1.0, 2.0)
+    # Ordered comparisons with NaN are always false.
+    nan = float("nan")
+    for pred in ("oeq", "one", "olt", "ole", "ogt", "oge"):
+        assert not arith.fcmp(pred, nan, 1.0)
+        assert not arith.fcmp(pred, 1.0, nan)
+
+
+def test_eval_int_binop_respects_type_bits():
+    assert arith.eval_int_binop("add", (1 << 31) - 1, 1, I32) == -(1 << 31)
+    assert arith.eval_int_binop("shl", 1, 65) == 2  # shift masked to 63
+    assert arith.eval_int_binop("lshr", -1, 1) == arith.INT64_MAX
+    with pytest.raises(SimulationError):
+        arith.eval_int_binop("bogus", 1, 2)
+
+
+# -- the miscompile regression ------------------------------------------------
+
+_DIVERGENCE_SOURCE = """
+int main() {
+  int a = 4611686018427387905;
+  int b = 1;
+  print_int(a / b);
+  print_int(a % 3);
+  return 0;
+}
+"""
+
+
+def test_sdiv_no_unopt_vs_opt_divergence():
+    """(2**62 + 1) sdiv 1 must execute exactly — unoptimized execution
+    and the instcombine-folded -O2 build must print the same value, on
+    the interpreter and on both simulators."""
+    expected = (("i", 4611686018427387905), ("i", 2))
+
+    unopt = run_module(compile_source(_DIVERGENCE_SOURCE))
+    assert unopt.output == expected
+
+    module = compile_source(_DIVERGENCE_SOURCE)
+    PassManager().run(module, STANDARD_LEVELS["-O2"])
+    assert run_module(module).output == expected
+
+    for target in ("x86", "riscv"):
+        isa = get_isa(target)
+        for mod_source in (compile_source(_DIVERGENCE_SOURCE), module):
+            program = compile_module(mod_source, isa)
+            assert Simulator(program, isa).run().output == expected
+            assert TapeSimulator(program, isa).run().output == expected
+
+
+def test_const_initializer_division_is_exact():
+    # irgen's constant-initializer evaluator shared the float bug.
+    source = """
+    int g = 9007199254740993 / 3;
+    int main() { print_int(g); return 0; }
+    """
+    result = run_module(compile_source(source))
+    assert result.output == (("i", 3002399751580331),)

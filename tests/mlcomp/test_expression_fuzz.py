@@ -11,13 +11,29 @@ from hypothesis import strategies as st
 
 from repro.backend import compile_module, get_isa
 from repro.baselines import STANDARD_LEVELS
-from repro.ir import run_module
+from repro.ir import arith, run_module
 from repro.ir.types import I64
 from repro.lang import compile_source
 from repro.passes import PassManager
-from repro.sim import Simulator
+from repro.sim import PipelineModel, Simulator, TapeSimulator
 
 _BINOPS = ["+", "-", "*", "/", "%", "&", "|", "^"]
+
+#: Exact-arithmetic boundary values: the int64 extremes (where a float
+#: detour visibly corrupts quotients) and the 2**53 double-precision
+#: cliff on either side.
+_BOUNDARY = [
+    arith.INT64_MAX, -arith.INT64_MAX, arith.INT64_MIN,
+    1 << 62, -(1 << 62), (1 << 53) + 1, (1 << 53) - 1, -((1 << 53) + 1),
+]
+
+
+def _render_int(value):
+    # INT64_MIN has no literal spelling (the unnegated magnitude
+    # overflows); everything else parenthesizes negatives.
+    if value == arith.INT64_MIN:
+        return "(-9223372036854775807 - 1)"
+    return f"({value})" if value < 0 else str(value)
 
 
 class _Expr:
@@ -37,8 +53,9 @@ def _wrap(v):
 @st.composite
 def expressions(draw, depth=0):
     if depth >= 3 or draw(st.booleans()):
-        value = draw(st.integers(-1000, 1000))
-        return _Expr(str(value), value, True)
+        value = draw(st.one_of(st.integers(-1000, 1000),
+                               st.sampled_from(_BOUNDARY)))
+        return _Expr(_render_int(value), value, True)
     op = draw(st.sampled_from(_BINOPS))
     lhs = draw(expressions(depth=depth + 1))
     rhs = draw(expressions(depth=depth + 1))
@@ -54,11 +71,11 @@ def expressions(draw, depth=0):
     elif op == "/":
         if b == 0:
             return _Expr("0", 0, False)
-        value = _wrap(int(a / b))
+        value = arith.sdiv64(a, b)
     elif op == "%":
         if b == 0:
             return _Expr("0", 0, False)
-        value = _wrap(a - int(a / b) * b)
+        value = arith.srem64(a, b)
     elif op == "&":
         value = _wrap(a & b)
     elif op == "|":
@@ -198,19 +215,62 @@ def test_shift_semantics_match(values, shift):
     expected = 0
     for v in values:
         expected ^= _wrap(v << shift)
-    expected = _wrap(expected - int(expected / 97) * 97)
+    expected = arith.srem64(expected, 97)
     result = run_module(compile_source(source))
     assert result.return_value == expected
 
 
 @settings(max_examples=30, deadline=None)
-@given(a=st.integers(-10**9, 10**9), b=st.integers(-10**9, 10**9))
+@given(a=st.one_of(st.integers(-(2**63 - 1), 2**63 - 1),
+                   st.sampled_from(_BOUNDARY)),
+       b=st.one_of(st.integers(-(2**63 - 1), 2**63 - 1),
+                   st.sampled_from(_BOUNDARY)))
 def test_division_truncation_matches_c(a, b):
+    """Exact C-style truncated division at full 64-bit range — the
+    values above 2**53 are precisely the ones a float detour corrupts."""
     if b == 0:
         return
-    source = f"int main() {{ print_int({a} / {b}); " \
-             f"print_int({a} % {b}); return 0; }}"
+    source = f"int main() {{ print_int({_render_int(a)} / {_render_int(b)}); " \
+             f"print_int({_render_int(a)} % {_render_int(b)}); return 0; }}"
     result = run_module(compile_source(source))
-    quotient = _wrap(int(a / b))
-    remainder = _wrap(a - int(a / b) * b)
+    quotient = arith.sdiv64(a, b)
+    remainder = arith.srem64(a, b)
     assert result.output == (("i", quotient), ("i", remainder))
+
+
+@settings(max_examples=25, deadline=None)
+@given(expr=expressions(), data=st.data())
+def test_three_engines_bit_identical(expr, data):
+    """Interpreter, seed simulator, and tape simulator agree bit-for-bit
+    on observables — and the two simulators on instruction counts,
+    histograms, and cycle counts — across random pass pipelines."""
+    if not expr.valid:
+        return
+    source = f"""
+    int main() {{
+      int result = {expr.text};
+      print_int(result);
+      return result % 251;
+    }}
+    """
+    interpreted = run_module(compile_source(source))
+    assert interpreted.output == (("i", expr.value),)
+
+    module = compile_source(source)
+    sequence = data.draw(st.lists(
+        st.sampled_from(list(STANDARD_LEVELS["-O2"])), max_size=8))
+    PassManager().run(module, sequence)
+    isa = get_isa(data.draw(st.sampled_from(["x86", "riscv"])))
+    program = compile_module(module, isa)
+
+    seed_timing, tape_timing = PipelineModel(isa), PipelineModel(isa)
+    seed_run = Simulator(program, isa, seed_timing).run()
+    tape_run = TapeSimulator(program, isa, tape_timing).run()
+    assert seed_run.output == tape_run.output == interpreted.output
+    assert seed_run.return_value == tape_run.return_value
+    assert seed_run.instructions_executed \
+        == tape_run.instructions_executed
+    assert seed_run.dynamic_histogram == tape_run.dynamic_histogram
+    assert seed_timing.cycles() == tape_timing.cycles()
+    assert seed_timing.stall_cycles == tape_timing.stall_cycles
+    assert seed_timing.mispredicts == tape_timing.mispredicts

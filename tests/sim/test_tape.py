@@ -1,0 +1,155 @@
+"""Differential tests for the tape-compiled simulator.
+
+The tape engine is only allowed to be *fast*: against the seed
+:class:`~repro.sim.machine.Simulator` it must be bit-identical in
+observables, instruction counts, histogram contents *and insertion
+order*, cycle counts, cache state, and branch-predictor state — for
+every workload, both ISAs, timed and untimed, before and after
+optimization pipelines.
+"""
+
+import pytest
+
+from repro.backend import compile_module, get_isa
+from repro.baselines import STANDARD_LEVELS
+from repro.errors import SimulationError
+from repro.lang import compile_source
+from repro.passes import PassManager
+from repro.sim import (
+    PipelineModel,
+    Platform,
+    Simulator,
+    TapeSimulator,
+    clear_tape_cache,
+    program_fingerprint,
+    tape_cache_stats,
+)
+from repro.workloads.registry import load_suite
+
+
+def _assert_equivalent(program, isa, timed):
+    seed_timing = PipelineModel(isa) if timed else None
+    tape_timing = PipelineModel(isa) if timed else None
+    seed = Simulator(program, isa, seed_timing).run()
+    tape = TapeSimulator(program, isa, tape_timing).run()
+    assert tape.return_value == seed.return_value
+    assert tape.output == seed.output
+    assert tape.instructions_executed == seed.instructions_executed
+    assert tape.dynamic_histogram == seed.dynamic_histogram
+    # The energy model sums the histogram in insertion order; order is
+    # part of the contract, not just the multiset.
+    assert list(tape.dynamic_histogram) == list(seed.dynamic_histogram)
+    if timed:
+        assert tape_timing.issue == seed_timing.issue
+        assert tape_timing.stall_cycles == seed_timing.stall_cycles
+        assert tape_timing.mispredicts == seed_timing.mispredicts
+        assert tape_timing.ready == seed_timing.ready
+        for cache_name in ("icache", "dcache"):
+            tape_cache = getattr(tape_timing, cache_name)
+            seed_cache = getattr(seed_timing, cache_name)
+            assert tape_cache.hits == seed_cache.hits
+            assert tape_cache.misses == seed_cache.misses
+            assert tape_cache.tick == seed_cache.tick
+            assert tape_cache.data == seed_cache.data
+        assert tape_timing.predictor.table == seed_timing.predictor.table
+
+
+@pytest.mark.parametrize("target", ["x86", "riscv"])
+@pytest.mark.parametrize("suite", ["beebs", "parsec", "multi",
+                                   "earlyexit"])
+def test_tape_matches_seed_unoptimized(suite, target):
+    isa = get_isa(target)
+    for workload in load_suite(suite):
+        program = compile_module(workload.compile(), isa)
+        _assert_equivalent(program, isa, timed=True)
+
+
+@pytest.mark.parametrize("target", ["x86", "riscv"])
+def test_tape_matches_seed_untimed(target):
+    isa = get_isa(target)
+    for workload in load_suite("multi"):
+        program = compile_module(workload.compile(), isa)
+        _assert_equivalent(program, isa, timed=False)
+
+
+@pytest.mark.parametrize("target", ["x86", "riscv"])
+def test_tape_matches_seed_after_o2(target):
+    isa = get_isa(target)
+    for workload in load_suite("beebs")[:4]:
+        module = workload.compile()
+        PassManager().run(module, STANDARD_LEVELS["-O2"])
+        program = compile_module(module, isa)
+        _assert_equivalent(program, isa, timed=True)
+
+
+def test_tape_cache_content_addressing():
+    """Recompiling the same workload hits the tape cache; a different
+    program misses it."""
+    clear_tape_cache()
+    isa = get_isa("riscv")
+    workload = load_suite("multi")[0]
+    first = compile_module(workload.compile(), isa)
+    second = compile_module(workload.compile(), isa)
+    assert program_fingerprint(first) == program_fingerprint(second)
+
+    TapeSimulator(first, isa, PipelineModel(isa)).run()
+    stats = tape_cache_stats()
+    assert stats["misses"] == 1
+    TapeSimulator(second, isa, PipelineModel(isa)).run()
+    stats = tape_cache_stats()
+    assert stats["misses"] == 1 and stats["hits"] == 1
+
+    other = compile_module(load_suite("multi")[1].compile(), isa)
+    assert program_fingerprint(other) != program_fingerprint(first)
+    TapeSimulator(other, isa, PipelineModel(isa)).run()
+    assert tape_cache_stats()["misses"] == 2
+
+
+def test_platform_routes_sim_engine():
+    """Platform defaults to the tape engine and produces measurements
+    identical to an explicitly seed-backed platform."""
+    module_source = load_suite("beebs")[0].source
+    tape_platform = Platform("riscv")
+    seed_platform = Platform("riscv", sim_engine="seed")
+    assert tape_platform.sim_engine == "tape"
+    tape_m = tape_platform.profile(compile_source(module_source))
+    seed_m = seed_platform.profile(compile_source(module_source))
+    assert tape_m.metrics() == seed_m.metrics()
+    assert tape_m.output == seed_m.output
+    assert tape_m.return_value == seed_m.return_value
+    assert tape_m.cycles == seed_m.cycles
+    with pytest.raises(ValueError):
+        Platform("riscv", sim_engine="bogus")
+
+
+def test_error_parity():
+    """Failing runs raise the same SimulationError text as the seed."""
+    div_zero = compile_source("""
+    int main() { int d = 0; print_int(7 / d); return 0; }
+    """)
+    loop = compile_source("""
+    int main() { int i = 0; while (i < 100000) { i += 1; } return i; }
+    """)
+    isa = get_isa("riscv")
+    for module, fuel in ((div_zero, 20_000_000), (loop, 50)):
+        program = compile_module(module, isa)
+        with pytest.raises(SimulationError) as seed_error:
+            Simulator(program, isa, fuel=fuel).run()
+        with pytest.raises(SimulationError) as tape_error:
+            TapeSimulator(program, isa, fuel=fuel).run()
+        assert str(tape_error.value) == str(seed_error.value)
+
+
+def test_tape_recursion_depth_limit_matches_seed():
+    source = """
+    int boom(int n) { return boom(n + 1); }
+    int main() { return boom(0); }
+    """
+    isa = get_isa("riscv")
+    program = compile_module(compile_source(source), isa)
+    with pytest.raises(SimulationError) as seed_error:
+        Simulator(program, isa).run()
+    with pytest.raises(SimulationError) as tape_error:
+        TapeSimulator(program, isa).run()
+    assert "call stack overflow" in str(seed_error.value)
+    assert str(tape_error.value) == str(seed_error.value)

@@ -36,6 +36,7 @@ Marked ``fast``: this is the cheap guard tier, run in the default
 (tier-1) selection even though it lives in ``benchmarks/``.
 """
 
+import gc
 import json
 import os
 import time
@@ -53,6 +54,21 @@ from repro.passes.transform_cache import (
 from repro.workloads import load_suite
 
 pytestmark = pytest.mark.fast
+
+
+@pytest.fixture(autouse=True)
+def _isolate_from_suite_heap():
+    """Freeze the heap the wider test session accumulated before this
+    module runs, so the wall-clock ratios below measure the pass layer
+    and not gen-2 collections re-scanning ~900 earlier tests' surviving
+    objects (the cost of which lands on whichever side allocates more).
+    Both sides of every ratio run under the same collector state."""
+    gc.collect()
+    gc.freeze()
+    try:
+        yield
+    finally:
+        gc.unfreeze()
 
 BENCH_PATH = os.path.join(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))), "BENCH_passmanager.json")

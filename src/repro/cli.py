@@ -102,7 +102,9 @@ def cmd_mlcomp(args):
                     cache_size=args.cache_size,
                     cache_dir=args.cache_dir,
                     eval_mode=args.eval_mode,
-                    workers=args.workers)
+                    workers=args.workers,
+                    farm_dir=args.farm_dir,
+                    scheduler_workers=args.scheduler_workers)
     if args.max_workloads:
         mlcomp.workloads = mlcomp.workloads[:args.max_workloads]
     print(f"[1/4] data extraction ({len(mlcomp.workloads)} workloads)")
@@ -131,6 +133,33 @@ def cmd_mlcomp(args):
         print(f"[engine] {label}: {tier['hits']} hits / "
               f"{lookups} lookups (hit rate {tier['hit_rate']:.1%}, "
               f"{tier['evictions']} evictions)")
+    farm = stats.get("farm")
+    if farm is not None:
+        local = farm["local"]["totals"]
+        shard_line = ", ".join(
+            f"{shard['hits']}/{shard['hits'] + shard['misses']}"
+            for shard in farm["local"]["per_shard"]
+            if shard["hits"] or shard["misses"])
+        total = farm["aggregate"]
+        print(f"[farm] {farm['dir']}: local {local['hits']} hits / "
+              f"{local['hits'] + local['misses']} lookups, "
+              f"{local['compactions']} compactions "
+              f"(per-shard: {shard_line or 'idle'})")
+        print(f"[farm] cross-process: {total['processes']} processes, "
+              f"{total['hits']} hits / "
+              f"{total['hits'] + total['misses']} lookups "
+              f"(hit rate {total['hit_rate']:.1%}, "
+              f"{total['cross_hits']} cross-process hits, "
+              f"{total['stores']} stores)")
+    sched = stats.get("scheduler")
+    if sched is not None:
+        print(f"[scheduler] {sched['requests']} requests: "
+              f"{sched['cache_hits']} cache hits, "
+              f"{sched['coalesced']} coalesced in-flight, "
+              f"{sched['dispatched']} dispatched in "
+              f"{sched['batches']} batches "
+              f"(max batch {sched['max_batch']}, "
+              f"max queue {sched['max_queue']})")
     if args.save:
         mlcomp.selector.save(args.save)
         print(f"saved policy to {args.save}")
@@ -201,6 +230,14 @@ def build_parser():
                    help="executor for cold evaluations")
     p.add_argument("--workers", type=int, default=None,
                    help="worker count for thread/process modes")
+    p.add_argument("--farm-dir", default=None,
+                   help="join the shared compile farm at this "
+                        "directory (cross-process result store; "
+                        "process workers compose through it)")
+    p.add_argument("--scheduler-workers", type=int, default=None,
+                   help="dispatcher threads for the async batch "
+                        "scheduler (coalesces concurrent clients; "
+                        "off when unset)")
     p.set_defaults(func=cmd_mlcomp)
     return parser
 

@@ -17,9 +17,13 @@ from repro.engine.evaluator import (
     WorkerError,
     evaluate_point,
     point_measurement_seed,
+    process_store,
 )
+from repro.engine.scheduler import BatchScheduler
+from repro.engine.store import ShardedStore, StoreStats
 
 __all__ = [
+    "BatchScheduler",
     "CacheStats",
     "EXECUTION_MODES",
     "EvalFailure",
@@ -27,6 +31,8 @@ __all__ = [
     "EvaluationCache",
     "EvaluationEngine",
     "PointEvaluator",
+    "ShardedStore",
+    "StoreStats",
     "WorkerError",
     "cache_key",
     "evaluate_point",
@@ -34,4 +40,5 @@ __all__ = [
     "objective_rows",
     "point_measurement_seed",
     "predict_many",
+    "process_store",
 ]

@@ -7,15 +7,18 @@ deployment checks, baseline searches) that asks for the same point gets
 the stored result instead of re-running the compiler and simulator.
 
 The cache is a bounded LRU with hit/miss/eviction counters and an
-optional on-disk JSON store (one file per entry, named by the key
-digest) that survives across processes.
+optional on-disk tier that survives across processes: a
+:class:`repro.engine.store.ShardedStore` (the compile farm's sharded
+append-only segment store), which replaced the original
+one-JSON-file-per-entry layout — legacy ``<key>.json`` entries remain
+readable.
 """
 
 import hashlib
-import json
-import os
 import threading
 from collections import OrderedDict
+
+from repro.engine.store import ShardedStore
 
 
 DEFAULT_FUEL = 20_000_000
@@ -85,19 +88,28 @@ class EvaluationCache:
     ``store_dir`` enables the on-disk tier: entries evicted from (or
     never present in) memory are reloaded from disk on a miss, and every
     store is mirrored to disk, so a warm directory makes a fresh process
-    start with a full cache.
+    start with a full cache.  The tier is a cross-process
+    :class:`~repro.engine.store.ShardedStore`, so many concurrent
+    clients and worker processes pointed at the same directory share one
+    warm farm; pass an existing ``store`` instance to share a single
+    in-process handle.
     """
 
-    def __init__(self, max_entries=4096, store_dir=None):
+    def __init__(self, max_entries=4096, store_dir=None, store=None):
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
-        self.store_dir = store_dir
+        if store is not None:
+            self.store = store
+        elif store_dir is not None:
+            self.store = ShardedStore(store_dir)
+        else:
+            self.store = None
+        self.store_dir = self.store.root if self.store is not None \
+            else None
         self.stats = CacheStats()
         self._entries = OrderedDict()
         self._lock = threading.Lock()
-        if store_dir is not None:
-            os.makedirs(store_dir, exist_ok=True)
 
     def __len__(self):
         return len(self._entries)
@@ -140,27 +152,19 @@ class EvaluationCache:
             self._entries.clear()
 
     # -- disk tier --------------------------------------------------------
-    def _disk_path(self, key):
-        return os.path.join(self.store_dir, f"{key}.json")
-
     def _disk_load(self, key):
-        if self.store_dir is None:
+        if self.store is None:
             return None
-        path = self._disk_path(key)
         try:
-            with open(path) as handle:
-                return json.load(handle)
-        except (OSError, ValueError):
+            return self.store.get(key)
+        except OSError:  # pragma: no cover - best effort
             return None
 
     def _disk_store(self, key, payload):
-        if self.store_dir is None:
+        if self.store is None:
             return
-        path = self._disk_path(key)
         try:
-            with open(path + ".tmp", "w") as handle:
-                json.dump(payload, handle)
-            os.replace(path + ".tmp", path)
+            self.store.put(key, payload)
             self.stats.disk_stores += 1
         except (OSError, TypeError):  # pragma: no cover - best effort
             pass

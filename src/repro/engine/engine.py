@@ -93,8 +93,18 @@ class EvaluationEngine:
 
     def __init__(self, platform, cache=None, cache_size=4096,
                  store_dir=None, mode="serial", workers=None,
-                 fuel=20_000_000, compose=True):
+                 fuel=20_000_000, compose=True, farm_dir=None,
+                 scheduler_workers=None, scheduler_pending=256):
         self.platform = platform
+        #: Compile-farm directory: a cross-process
+        #: :class:`~repro.engine.store.ShardedStore` shared by every
+        #: client and pool worker pointed at it.  Doubles as the disk
+        #: tier behind this engine's LRU, and is propagated into
+        #: process-pool specs so workers compose per-function results
+        #: through it instead of re-simulating farm-known code.
+        self.farm_dir = farm_dir
+        if farm_dir is not None and store_dir is None:
+            store_dir = farm_dir
         #: Function-granular second-level cache consumer: on a
         #: sequence-key miss, serial evaluations run the (cheap) pass
         #: pipeline locally and look the *optimized* module's
@@ -125,6 +135,16 @@ class EvaluationEngine:
         self._workload_fingerprints = {}
         self._estimator_tokens = weakref.WeakKeyDictionary()
         self._token_counter = 0
+        #: Optional async batch front-end (the compile-farm service
+        #: shape): concurrent clients calling evaluate/evaluate_batch
+        #: are coalesced, batched and backpressured through it.
+        if scheduler_workers:
+            from repro.engine.scheduler import BatchScheduler
+            self.scheduler = BatchScheduler(
+                self, workers=scheduler_workers,
+                max_pending=scheduler_pending)
+        else:
+            self.scheduler = None
 
     # -- identity ---------------------------------------------------------
     @property
@@ -178,6 +198,11 @@ class EvaluationEngine:
             "measurement_seed": self.measurement_seed,
             "fuel": fuel or self.fuel,
             "sim_engine": self.platform.sim_engine,
+            # Process-pool workers compose through the shared farm; the
+            # serial/thread paths compose in-process via _evaluate_miss
+            # (whose cache already fronts the same store).
+            "farm_dir": self.farm_dir
+            if self.evaluator.mode == "process" else None,
         }
 
     # -- profiled evaluations --------------------------------------------
@@ -224,7 +249,14 @@ class EvaluationEngine:
         return payload
 
     def evaluate(self, workload, sequence, fuel=None):
-        """Evaluate one (workload, sequence) point, cache-first."""
+        """Evaluate one (workload, sequence) point, cache-first.
+
+        With a scheduler attached, the request joins the shared batch
+        queue: duplicate in-flight points (this client's or any
+        other's) are coalesced into one evaluation.
+        """
+        if self.scheduler is not None:
+            return self.scheduler.evaluate(workload, sequence, fuel)
         key = self.key_for(workload, sequence, fuel)
         if self.cache is not None:
             payload = self.cache.get(key)
@@ -243,7 +275,29 @@ class EvaluationEngine:
         executor.  ``on_error='collect'`` replaces failed points with
         :class:`EvalFailure` entries instead of raising
         :class:`WorkerError` on the first failure.
+
+        With a scheduler attached, the batch is submitted through the
+        shared front-end so it coalesces with other clients' in-flight
+        work (results stay in input order).
         """
+        if self.scheduler is not None:
+            return self._evaluate_batch_scheduled(points, fuel,
+                                                  on_error)
+        return self._evaluate_batch_direct(points, fuel, on_error)
+
+    def _evaluate_batch_scheduled(self, points, fuel, on_error):
+        futures = [self.scheduler.submit(workload, sequence, fuel)
+                   for workload, sequence in points]
+        results = [future.result() for future in futures]
+        if on_error == "raise":
+            for result in results:
+                if result.failed:
+                    raise WorkerError(result.name, result.sequence,
+                                      result.error)
+        return results
+
+    def _evaluate_batch_direct(self, points, fuel=None,
+                               on_error="raise"):
         points = list(points)
         results = [None] * len(points)
         pending = {}  # key -> (spec, [indices]) — dedup within a batch
@@ -449,7 +503,9 @@ class EvaluationEngine:
 
     # -- reporting --------------------------------------------------------
     def stats(self):
-        """Hit/miss statistics for both cache tiers."""
+        """Hit/miss statistics for every tier: the LRU caches, the
+        shared farm store (local per-shard counters plus the
+        farm-wide cross-process aggregate), and the scheduler."""
         from repro.sim import tape_cache_stats
 
         out = {"pe": self.pe_cache.stats.as_dict(),
@@ -458,6 +514,14 @@ class EvaluationEngine:
         out["evaluations"] = (self.cache.stats.as_dict()
                               if self.cache is not None else None)
         out["tape"] = tape_cache_stats()
+        store = self.cache.store if self.cache is not None else None
+        out["farm"] = None if store is None else {
+            "dir": store.root,
+            "local": store.stats.as_dict(),
+            "aggregate": store.aggregate_stats(),
+        }
+        out["scheduler"] = (self.scheduler.as_dict()
+                            if self.scheduler is not None else None)
         return out
 
     def __repr__(self):

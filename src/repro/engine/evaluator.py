@@ -15,10 +15,30 @@ equivalent and cached results indistinguishable from fresh ones.
 """
 
 import hashlib
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 EXECUTION_MODES = ("serial", "thread", "process")
+
+#: Per-process handles on shared farm stores, keyed by directory — one
+#: store instance per (process, farm) so pool workers open each farm
+#: once and keep its reader index warm across points.
+_PROCESS_STORES = {}
+
+
+def process_store(farm_dir):
+    """This process's handle on the shared farm store at ``farm_dir``
+    (fork-safe: a pid change discards inherited handles so a child
+    never appends to its parent's segment files)."""
+    from repro.engine.store import ShardedStore
+
+    root = os.path.abspath(farm_dir)
+    entry = _PROCESS_STORES.get(root)
+    if entry is None or entry[0] != os.getpid():
+        entry = (os.getpid(), ShardedStore(root))
+        _PROCESS_STORES[root] = entry
+    return entry[1]
 
 
 class WorkerError(RuntimeError):
@@ -108,14 +128,63 @@ def evaluate_point(spec):
     """Run one compile->optimize->profile point from a plain spec dict.
 
     Spec keys: ``source``, ``name``, ``sequence``, ``target``,
-    ``measurement_seed``, ``fuel`` (optional).  Returns a
-    JSON-serializable payload dict (the cache entry format).  Top-level
-    so it is picklable for process pools.
+    ``measurement_seed``, ``fuel`` (optional), ``farm_dir`` (optional).
+    Returns a JSON-serializable payload dict (the cache entry format).
+    Top-level so it is picklable for process pools.
+
+    With ``farm_dir`` set, the point composes through the shared farm:
+    after running the (cheap) pass pipeline, the optimized module's
+    content address is looked up in the cross-process result index, and
+    feature extraction + codegen + simulation only run when no worker
+    or client anywhere has measured that code before — the same
+    function-granular composition the in-process engine applies, made
+    visible to process pools.
     """
+    farm_dir = spec.get("farm_dir")
+    if farm_dir:
+        return _evaluate_point_farm(spec, process_store(farm_dir))
     module, fingerprint, result_fingerprint, function_fingerprints = \
         optimize_point(spec)
     return profile_optimized(spec, module, fingerprint,
                              result_fingerprint, function_fingerprints)
+
+
+def farm_result_key(spec, result_fingerprint):
+    """The farm result-index key of an optimized module's content —
+    identical to ``EvaluationEngine.result_key_for`` for the same
+    platform/seed/fuel, so workers and clients feed one index."""
+    from repro.engine.cache import cache_key
+
+    return cache_key(result_fingerprint, (), spec["target"],
+                     spec["measurement_seed"],
+                     spec.get("fuel") or 20_000_000)
+
+
+def _evaluate_point_farm(spec, store):
+    module, fingerprint, result_fingerprint, function_fingerprints = \
+        optimize_point(spec)
+    result_key = farm_result_key(spec, result_fingerprint)
+    stored = store.get(result_key)
+    if stored is not None:
+        payload = dict(stored)
+        payload.update({
+            "fingerprint": fingerprint,
+            "result_fingerprint": result_fingerprint,
+            "function_fingerprints": function_fingerprints,
+            "sequence": list(spec["sequence"]),
+            "measurement_seed": spec["measurement_seed"],
+        })
+        return payload
+    payload = profile_optimized(spec, module, fingerprint,
+                                result_fingerprint,
+                                function_fingerprints)
+    index_entry = dict(payload)
+    index_entry.update({
+        "fingerprint": result_fingerprint,
+        "sequence": [],
+    })
+    store.put(result_key, index_entry)
+    return payload
 
 
 def _guarded_evaluate(spec):

@@ -1,0 +1,219 @@
+"""Async batch scheduler: the compile farm's service front-end.
+
+Many concurrent clients (search threads, RL rollouts, Study batches,
+external callers) submit evaluation requests; the scheduler
+
+- serves cache hits immediately on the submitting thread,
+- **coalesces duplicate in-flight keys** — one evaluation resolves
+  every waiter asking for the same point, so N clients probing the
+  same candidate pay for it once *before* it ever reaches the cache,
+- **batches** misses and hands each batch to the engine's evaluator
+  (which dedups, composes through the farm index, and parallelizes),
+- applies **bounded-queue backpressure**: when ``max_pending`` keys
+  are queued, further submissions block until dispatchers drain.
+
+``submit`` returns a :class:`concurrent.futures.Future` resolving to
+the same :class:`~repro.engine.engine.EvalResult` /
+:class:`~repro.engine.engine.EvalFailure` objects the engine returns,
+so results are bit-identical to direct evaluation — the scheduler only
+changes *when* work runs, never what it computes.
+"""
+
+import copy
+import queue
+import threading
+from concurrent.futures import Future
+
+from repro.engine.evaluator import WorkerError
+
+
+class _InFlight:
+    """One pending evaluation key and everyone waiting on it."""
+
+    __slots__ = ("workload", "sequence", "fuel", "futures")
+
+    def __init__(self, workload, sequence, fuel, future):
+        self.workload = workload
+        self.sequence = tuple(sequence)
+        self.fuel = fuel
+        self.futures = [future]
+
+
+class BatchScheduler:
+    """Coalescing, batching front-end over one
+    :class:`~repro.engine.engine.EvaluationEngine`.
+
+    ``workers`` dispatcher threads pull queued keys, form batches of up
+    to ``max_batch`` keys (draining whatever else is already queued —
+    a lone client is never made to wait for co-batchers), and evaluate
+    them through the engine's direct batch path.
+    """
+
+    def __init__(self, engine, workers=1, max_pending=256, max_batch=32):
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self._engine = engine
+        self.max_batch = max(1, int(max_batch))
+        self._queue = queue.Queue(maxsize=max_pending)
+        self._inflight = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self.stats = {
+            "requests": 0,
+            "cache_hits": 0,
+            "coalesced": 0,
+            "batches": 0,
+            "dispatched": 0,
+            "max_batch": 0,
+            "max_queue": 0,
+        }
+        self._threads = []
+        for index in range(max(1, int(workers))):
+            thread = threading.Thread(
+                target=self._dispatch_loop,
+                name=f"farm-scheduler-{index}", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    # -- client API -------------------------------------------------------
+    def submit(self, workload, sequence, fuel=None):
+        """Request one evaluation; returns a Future.  Blocks only when
+        the pending queue is full (backpressure)."""
+        if self._closed:
+            raise RuntimeError("scheduler is closed")
+        engine = self._engine
+        key = engine.key_for(workload, sequence, fuel)
+        future = Future()
+        with self._lock:
+            self.stats["requests"] += 1
+        payload = engine.cache.get(key) if engine.cache is not None \
+            else None
+        if payload is not None:
+            from repro.engine.engine import EvalResult
+            with self._lock:
+                self.stats["cache_hits"] += 1
+            future.set_result(EvalResult(payload, key, cached=True))
+            return future
+        with self._lock:
+            entry = self._inflight.get(key)
+            if entry is not None:
+                entry.futures.append(future)
+                self.stats["coalesced"] += 1
+                return future
+            self._inflight[key] = _InFlight(workload, sequence, fuel,
+                                            future)
+        self._queue.put(key)  # blocks when max_pending keys are queued
+        with self._lock:
+            self.stats["max_queue"] = max(self.stats["max_queue"],
+                                          self._queue.qsize())
+        return future
+
+    def evaluate(self, workload, sequence, fuel=None):
+        """Synchronous submit: waits for (and unwraps) the result,
+        raising :class:`WorkerError` on failure — the
+        ``EvaluationEngine.evaluate`` contract."""
+        result = self.submit(workload, sequence, fuel).result()
+        if result.failed:
+            raise WorkerError(result.name, result.sequence, result.error)
+        return result
+
+    def close(self, timeout=5.0):
+        """Stop the dispatchers; pending futures fail with
+        RuntimeError."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        with self._lock:
+            pending = list(self._inflight.values())
+            self._inflight.clear()
+        for entry in pending:
+            for future in entry.futures:
+                if not future.done():
+                    future.set_exception(
+                        RuntimeError("scheduler closed"))
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    def as_dict(self):
+        with self._lock:
+            out = dict(self.stats)
+        out["in_flight"] = len(self._inflight)
+        out["queued"] = self._queue.qsize()
+        return out
+
+    # -- dispatcher -------------------------------------------------------
+    def _dispatch_loop(self):
+        while True:
+            key = self._queue.get()
+            if key is None:
+                return
+            batch = [key]
+            while len(batch) < self.max_batch:
+                try:
+                    extra = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is None:  # shutdown sentinel for a sibling
+                    self._queue.put(None)
+                    break
+                batch.append(extra)
+            try:
+                self._run_batch(batch)
+            except Exception as error:  # noqa: BLE001 - fail waiters
+                self._fail_batch(batch, error)
+
+    def _run_batch(self, keys):
+        engine = self._engine
+        with self._lock:
+            entries = [self._inflight[key] for key in keys]
+            self.stats["batches"] += 1
+            self.stats["dispatched"] += len(keys)
+            self.stats["max_batch"] = max(self.stats["max_batch"],
+                                          len(keys))
+        # One engine call per distinct fuel (fuel is part of the key, so
+        # a batch may legitimately mix budgets).
+        groups = {}
+        for key, entry in zip(keys, entries):
+            groups.setdefault(entry.fuel, []).append((key, entry))
+        for fuel, group in groups.items():
+            points = [(entry.workload, entry.sequence)
+                      for _, entry in group]
+            results = engine._evaluate_batch_direct(
+                points, fuel=fuel, on_error="collect")
+            for (key, entry), result in zip(group, results):
+                with self._lock:
+                    entry = self._inflight.pop(key, entry)
+                self._resolve(entry, result)
+
+    def _resolve(self, entry, result):
+        for position, future in enumerate(entry.futures):
+            if position == 0 or result.failed:
+                future.set_result(result)
+                continue
+            # Coalesced waiters observe a cache-hit view of the same
+            # payload (mirrors batch-level dedup in evaluate_batch).
+            duplicate = copy.copy(result)
+            duplicate.cached = True
+            future.set_result(duplicate)
+
+    def _fail_batch(self, keys, error):
+        from repro.engine.engine import EvalFailure
+        for key in keys:
+            with self._lock:
+                entry = self._inflight.pop(key, None)
+            if entry is None:
+                continue
+            failure = EvalFailure(
+                getattr(entry.workload, "name", "?"), entry.sequence,
+                repr(error))
+            for future in entry.futures:
+                if not future.done():
+                    future.set_result(failure)

@@ -27,12 +27,17 @@ class MLComp:
     Engine knobs: ``cache_size``/``cache_dir`` bound and persist the
     evaluation cache (``cache=False`` disables it), ``eval_mode`` picks
     the executor (``serial``/``thread``/``process``) and ``workers``
-    its width.
+    its width.  ``farm_dir`` joins the shared compile farm at that
+    directory (cross-process result store; process-pool workers compose
+    through it), and ``scheduler_workers`` puts the async batch
+    scheduler in front of the engine so concurrent clients coalesce
+    and batch their requests.
     """
 
     def __init__(self, target="x86", suite=None, phases=None,
                  measurement_seed=0, cache=True, cache_size=4096,
-                 cache_dir=None, eval_mode="serial", workers=None):
+                 cache_dir=None, eval_mode="serial", workers=None,
+                 farm_dir=None, scheduler_workers=None):
         self.platform = Platform(target, measurement_seed)
         suite = suite or default_suite_for(target)
         self.workloads = load_suite(suite)
@@ -41,9 +46,10 @@ class MLComp:
         self.engine = EvaluationEngine(
             self.platform,
             cache=(EvaluationCache(max_entries=cache_size,
-                                   store_dir=cache_dir)
+                                   store_dir=cache_dir or farm_dir)
                    if cache else False),
-            mode=eval_mode, workers=workers)
+            mode=eval_mode, workers=workers, farm_dir=farm_dir,
+            scheduler_workers=scheduler_workers)
         self.dataset = None
         self.estimator = None
         self.trainer = None

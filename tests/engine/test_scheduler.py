@@ -1,0 +1,189 @@
+"""The async batch scheduler (ISSUE 7 tentpole, layer 3).
+
+Covers: request coalescing (one evaluation serves every concurrent
+waiter), batching, bounded-queue backpressure, failure semantics
+(WorkerError / EvalFailure parity with the direct engine paths), and
+the many-client differential: rows through the scheduler are
+bit-identical to direct evaluation.
+"""
+
+import threading
+
+import pytest
+
+from repro.engine import (
+    BatchScheduler,
+    EvalFailure,
+    EvaluationEngine,
+    WorkerError,
+)
+from repro.sim import Platform
+from repro.workloads import load_suite
+
+SEQUENCES = ((), ("mem2reg", "simplifycfg"),
+             ("mem2reg", "instcombine", "dce"))
+
+
+def _engine(**kwargs):
+    kwargs.setdefault("scheduler_workers", 2)
+    return EvaluationEngine(Platform("riscv", measurement_seed=4),
+                            **kwargs)
+
+
+def _rows(results):
+    return [(r.result_fingerprint, tuple(sorted(r.metrics().items())),
+             tuple(r.features), r.code_size, r.output, r.return_value)
+            for r in results]
+
+
+@pytest.fixture
+def workload():
+    return load_suite("beebs")[0]
+
+
+def test_concurrent_duplicate_submissions_coalesce(workload):
+    engine = _engine()
+    try:
+        futures = [engine.scheduler.submit(workload, ("mem2reg",))
+                   for _ in range(6)]
+        results = [future.result() for future in futures]
+        # One fresh evaluation; every coalesced waiter sees a hit view.
+        assert [r.cached for r in results] == [False] + [True] * 5
+        assert len({r.result_fingerprint for r in results}) == 1
+        stats = engine.scheduler.as_dict()
+        assert stats["coalesced"] == 5
+        assert stats["dispatched"] == 1
+        # Exactly one simulation happened.
+        assert engine.compose_stats["misses"] == 1
+    finally:
+        engine.scheduler.close()
+
+
+def test_many_clients_one_warm_farm(workload):
+    """8 client threads with fully overlapping point sets: the farm
+    evaluates each distinct point once (coalescing + cache), and every
+    client observes identical rows."""
+    engine = _engine()
+    points = [(workload, seq) for seq in SEQUENCES]
+    rows_by_client = {}
+    errors = []
+
+    def client(n):
+        try:
+            rows_by_client[n] = _rows(engine.evaluate_batch(points))
+        except Exception as error:  # noqa: BLE001 - surfaced below
+            errors.append(error)
+
+    try:
+        threads = [threading.Thread(target=client, args=(n,))
+                   for n in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(rows_by_client) == 8
+        reference = rows_by_client[0]
+        assert all(rows == reference
+                   for rows in rows_by_client.values())
+        # 8 clients x 3 points, only 3 evaluations anywhere.
+        assert engine.compose_stats["misses"] + \
+            engine.compose_stats["hits"] == len(SEQUENCES)
+        stats = engine.scheduler.as_dict()
+        assert stats["requests"] == 8 * len(SEQUENCES)
+        assert stats["coalesced"] + stats["cache_hits"] == \
+            stats["requests"] - stats["dispatched"]
+    finally:
+        engine.scheduler.close()
+
+
+def test_scheduled_rows_match_direct_engine(workload):
+    direct = EvaluationEngine(Platform("riscv", measurement_seed=4))
+    scheduled = _engine()
+    points = [(workload, seq) for seq in SEQUENCES] * 2
+    try:
+        assert _rows(direct.evaluate_batch(points)) == \
+            _rows(scheduled.evaluate_batch(points))
+    finally:
+        scheduled.scheduler.close()
+
+
+def test_evaluate_routes_through_scheduler(workload):
+    engine = _engine()
+    try:
+        fresh = engine.evaluate(workload, ("mem2reg",))
+        hit = engine.evaluate(workload, ("mem2reg",))
+        assert not fresh.cached and hit.cached
+        assert fresh.metrics() == hit.metrics()
+        assert engine.scheduler.as_dict()["requests"] == 2
+    finally:
+        engine.scheduler.close()
+
+
+def test_failure_semantics_match_direct_paths(workload):
+    engine = _engine()
+    try:
+        with pytest.raises(WorkerError, match="no-such-phase"):
+            engine.evaluate(workload, ("no-such-phase",))
+        results = engine.evaluate_batch(
+            [(workload, ("mem2reg",)), (workload, ("nope",))],
+            on_error="collect")
+        assert [r.failed for r in results] == [False, True]
+        assert isinstance(results[1], EvalFailure)
+        assert "nope" in results[1].error
+        with pytest.raises(WorkerError):
+            engine.evaluate_batch([(workload, ("nope",))])
+        # Coalesced waiters on a failing point all see the failure.
+        futures = [engine.scheduler.submit(workload, ("bad-phase",))
+                   for _ in range(3)]
+        outcomes = [future.result() for future in futures]
+        assert all(outcome.failed for outcome in outcomes)
+    finally:
+        engine.scheduler.close()
+
+
+def test_bounded_queue_backpressure(workload):
+    """max_pending=1 still completes an 8-point burst — submissions
+    block instead of overflowing, and every future resolves."""
+    engine = EvaluationEngine(Platform("riscv", measurement_seed=4))
+    scheduler = BatchScheduler(engine, workers=1, max_pending=1,
+                               max_batch=2)
+    try:
+        futures = []
+
+        def producer():
+            for seq in SEQUENCES:
+                for phase_tail in ((), ("dce",)):
+                    futures.append(scheduler.submit(
+                        workload, tuple(seq) + phase_tail))
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        thread.join(timeout=120)
+        assert not thread.is_alive()
+        results = [future.result(timeout=120) for future in futures]
+        assert len(results) == 6
+        assert all(not result.failed for result in results)
+        assert scheduler.as_dict()["max_queue"] <= 1
+    finally:
+        scheduler.close()
+
+
+def test_mixed_fuel_batches_keep_fuel_in_the_key(workload):
+    engine = _engine()
+    try:
+        big = engine.scheduler.submit(workload, ())
+        small = engine.scheduler.submit(workload, (), fuel=10)
+        assert not big.result().failed
+        outcome = small.result()
+        assert outcome.failed and "fuel" in outcome.error.lower()
+    finally:
+        engine.scheduler.close()
+
+
+def test_close_is_idempotent_and_rejects_new_work(workload):
+    engine = _engine()
+    engine.scheduler.close()
+    engine.scheduler.close()
+    with pytest.raises(RuntimeError):
+        engine.scheduler.submit(workload, ())

@@ -104,7 +104,10 @@ def cmd_mlcomp(args):
                     eval_mode=args.eval_mode,
                     workers=args.workers,
                     farm_dir=args.farm_dir,
-                    scheduler_workers=args.scheduler_workers)
+                    scheduler_workers=args.scheduler_workers,
+                    eval_timeout=args.eval_timeout,
+                    max_retries=args.max_retries,
+                    degrade=not args.no_degrade)
     if args.max_workloads:
         mlcomp.workloads = mlcomp.workloads[:args.max_workloads]
     print(f"[1/4] data extraction ({len(mlcomp.workloads)} workloads)")
@@ -160,6 +163,21 @@ def cmd_mlcomp(args):
               f"{sched['batches']} batches "
               f"(max batch {sched['max_batch']}, "
               f"max queue {sched['max_queue']})")
+    faults = stats.get("faults")
+    if faults is not None:
+        counters = faults["aggregate"] or faults["local"]
+        failures = (counters["timeouts"] + counters["crashes"]
+                    + counters["transient"] + counters["deterministic"])
+        degraded = faults.get("degraded_to")
+        print(f"[faults] {failures} failures "
+              f"({counters['timeouts']} timeouts, "
+              f"{counters['crashes']} crashes, "
+              f"{counters['transient']} transient, "
+              f"{counters['deterministic']} deterministic), "
+              f"{counters['retries']} retries, "
+              f"{counters['pool_respawns']} pool respawns, "
+              f"{faults['quarantined_points']} quarantined points"
+              + (f", degraded to {degraded}" if degraded else ""))
     if args.save:
         mlcomp.selector.save(args.save)
         print(f"saved policy to {args.save}")
@@ -238,6 +256,16 @@ def build_parser():
                    help="dispatcher threads for the async batch "
                         "scheduler (coalesces concurrent clients; "
                         "off when unset)")
+    # Fault-tolerance knobs.
+    p.add_argument("--eval-timeout", type=float, default=None,
+                   help="wall-clock deadline (seconds) per evaluation "
+                        "point; hung workers are killed and retried")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="bounded retries for transient failures "
+                        "(timeouts, crashed workers, store I/O)")
+    p.add_argument("--no-degrade", action="store_true",
+                   help="never step down process->thread->serial when "
+                        "the worker pool breaks repeatedly")
     p.set_defaults(func=cmd_mlcomp)
     return parser
 

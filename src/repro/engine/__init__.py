@@ -6,6 +6,12 @@ from repro.engine.batched import (
     predict_many,
 )
 from repro.engine.cache import CacheStats, EvaluationCache, cache_key
+from repro.engine.chaos import (
+    ChaosInjector,
+    InjectedCrash,
+    InjectedFault,
+    InjectedIOError,
+)
 from repro.engine.engine import (
     EvalFailure,
     EvalResult,
@@ -19,25 +25,45 @@ from repro.engine.evaluator import (
     point_measurement_seed,
     process_store,
 )
+from repro.engine.faults import (
+    EvalTimeout,
+    FailureInfo,
+    FaultStats,
+    Quarantine,
+    RetryPolicy,
+    classify_exception,
+    point_fingerprint,
+)
 from repro.engine.scheduler import BatchScheduler
 from repro.engine.store import ShardedStore, StoreStats
 
 __all__ = [
     "BatchScheduler",
     "CacheStats",
+    "ChaosInjector",
     "EXECUTION_MODES",
     "EvalFailure",
     "EvalResult",
+    "EvalTimeout",
     "EvaluationCache",
     "EvaluationEngine",
+    "FailureInfo",
+    "FaultStats",
+    "InjectedCrash",
+    "InjectedFault",
+    "InjectedIOError",
     "PointEvaluator",
+    "Quarantine",
+    "RetryPolicy",
     "ShardedStore",
     "StoreStats",
     "WorkerError",
     "cache_key",
+    "classify_exception",
     "evaluate_point",
     "feature_matrix",
     "objective_rows",
+    "point_fingerprint",
     "point_measurement_seed",
     "predict_many",
     "process_store",

@@ -54,6 +54,7 @@ class CacheStats:
         self.evictions = 0
         self.disk_hits = 0
         self.disk_stores = 0
+        self.disk_errors = 0
 
     @property
     def lookups(self):
@@ -73,6 +74,7 @@ class CacheStats:
             "evictions": self.evictions,
             "disk_hits": self.disk_hits,
             "disk_stores": self.disk_stores,
+            "disk_errors": self.disk_errors,
             "hit_rate": self.hit_rate,
         }
 
@@ -152,12 +154,16 @@ class EvaluationCache:
             self._entries.clear()
 
     # -- disk tier --------------------------------------------------------
+    # The disk tier is strictly best-effort: an I/O error on either
+    # side degrades to a cache miss / an unmirrored entry (counted in
+    # ``disk_errors``), never a failed evaluation.
     def _disk_load(self, key):
         if self.store is None:
             return None
         try:
             return self.store.get(key)
-        except OSError:  # pragma: no cover - best effort
+        except OSError:
+            self.stats.disk_errors += 1
             return None
 
     def _disk_store(self, key, payload):
@@ -166,5 +172,5 @@ class EvaluationCache:
         try:
             self.store.put(key, payload)
             self.stats.disk_stores += 1
-        except (OSError, TypeError):  # pragma: no cover - best effort
-            pass
+        except (OSError, TypeError):
+            self.stats.disk_errors += 1

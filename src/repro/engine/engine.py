@@ -17,6 +17,7 @@ all route through here, so repeated points are paid for once.
 """
 
 import hashlib
+import os
 import threading
 import time
 import weakref
@@ -33,6 +34,13 @@ from repro.engine.evaluator import (
     optimize_point,
     point_measurement_seed,
     profile_optimized,
+)
+from repro.engine.faults import (
+    DETERMINISTIC,
+    FaultStats,
+    Quarantine,
+    RetryPolicy,
+    run_point_with_recovery,
 )
 from repro.features import extract_features
 from repro.ir.printer import module_fingerprint
@@ -75,17 +83,29 @@ class EvalResult:
 
 
 class EvalFailure:
-    """A point whose evaluation raised; kept in batch output order."""
+    """A point whose evaluation failed; kept in batch output order.
+
+    ``kind`` is the failure taxonomy bucket (see
+    :mod:`repro.engine.faults`): ``deterministic`` failures are the
+    point's own fault, ``timeout``/``crash``/``transient`` exhausted
+    their retries, ``quarantined`` points are poison, and
+    ``rejected``/``cancelled`` mark scheduler-level outcomes.
+    ``attempts`` counts how many runs the point got before giving up.
+    """
 
     failed = True
 
-    def __init__(self, name, sequence, error):
+    def __init__(self, name, sequence, error, kind=DETERMINISTIC,
+                 attempts=1):
         self.name = name
         self.sequence = tuple(sequence)
         self.error = error
+        self.kind = kind
+        self.attempts = attempts
 
     def __repr__(self):
-        return f"<EvalFailure {self.name} {self.sequence}: {self.error}>"
+        return (f"<EvalFailure {self.name} {self.sequence} "
+                f"[{self.kind}]: {self.error}>")
 
 
 class EvaluationEngine:
@@ -94,7 +114,9 @@ class EvaluationEngine:
     def __init__(self, platform, cache=None, cache_size=4096,
                  store_dir=None, mode="serial", workers=None,
                  fuel=20_000_000, compose=True, farm_dir=None,
-                 scheduler_workers=None, scheduler_pending=256):
+                 scheduler_workers=None, scheduler_pending=256,
+                 eval_timeout=None, max_retries=2, degrade=True,
+                 quarantine_strikes=3, chaos=None):
         self.platform = platform
         #: Compile-farm directory: a cross-process
         #: :class:`~repro.engine.store.ShardedStore` shared by every
@@ -125,7 +147,24 @@ class EvaluationEngine:
         # PE scores are keyed by a per-process estimator token, so they
         # live in a memory-only tier (never the disk store).
         self.pe_cache = EvaluationCache(max_entries=cache_size)
-        self.evaluator = PointEvaluator(mode=mode, workers=workers)
+        #: Fault-tolerance layer (PR 8): telemetry, retry policy and the
+        #: poison-point ledger are engine-level so the evaluator, the
+        #: composed path and the scheduler all share one view.  With a
+        #: farm the quarantine ledger and fault counters persist under
+        #: the farm directory so every client benefits.
+        self.chaos = chaos
+        self.fault_stats = FaultStats(farm_dir)
+        self.quarantine = Quarantine(
+            os.path.join(farm_dir, "_quarantine") if farm_dir else None,
+            threshold=quarantine_strikes)
+        self.retry_policy = RetryPolicy(max_retries=max_retries)
+        self.evaluator = PointEvaluator(
+            mode=mode, workers=workers, timeout=eval_timeout,
+            retry=self.retry_policy, quarantine=self.quarantine,
+            degrade=degrade, chaos=chaos, stats=self.fault_stats)
+        if chaos is not None and self.cache is not None and \
+                self.cache.store is not None:
+            self.cache.store.chaos = chaos
         self.fuel = fuel
         # Function-granular reuse for PE-side feature extraction: static
         # per-function partials keyed by function fingerprint, shared by
@@ -262,8 +301,15 @@ class EvaluationEngine:
             payload = self.cache.get(key)
             if payload is not None:
                 return EvalResult(payload, key, cached=True)
-        payload = self._evaluate_miss(self._spec(workload, sequence,
-                                                 fuel), fuel)
+        payload, error = run_point_with_recovery(
+            lambda spec: self._evaluate_miss(spec, fuel),
+            self._spec(workload, sequence, fuel),
+            retry=self.retry_policy, faults=self.fault_stats,
+            quarantine=self.quarantine, chaos=self.chaos,
+            timeout=self.evaluator.timeout)
+        if error is not None:
+            raise WorkerError(error.name, error.sequence, error.error,
+                              kind=error.kind)
         if self.cache is not None:
             self.cache.put(key, payload)
         return EvalResult(payload, key, cached=False)
@@ -293,7 +339,9 @@ class EvaluationEngine:
             for result in results:
                 if result.failed:
                     raise WorkerError(result.name, result.sequence,
-                                      result.error)
+                                      result.error,
+                                      kind=getattr(result, "kind",
+                                                   None))
         return results
 
     def _evaluate_batch_direct(self, points, fuel=None,
@@ -328,12 +376,13 @@ class EvaluationEngine:
         for (key, (spec, indices)), (payload, error) in zip(
                 pending.items(), outcomes):
             if error is not None:
-                name, sequence, message = error
                 if on_error == "raise":
-                    raise WorkerError(name, sequence, message)
+                    raise WorkerError(error.name, error.sequence,
+                                      error.error, kind=error.kind)
                 for index in indices:
-                    results[index] = EvalFailure(name, sequence,
-                                                 message)
+                    results[index] = EvalFailure(
+                        error.name, error.sequence, error.error,
+                        kind=error.kind, attempts=error.attempts)
                 continue
             if self.cache is not None:
                 self.cache.put(key, payload)
@@ -349,16 +398,19 @@ class EvaluationEngine:
         the serial mode, on the thread pool otherwise — returning
         ``(payload, error)`` pairs in input order (the evaluator-run
         contract).  Pool dispatch is :meth:`map`'s, so the composed
-        path and ad-hoc batches share one sizing rule."""
+        path and ad-hoc batches share one sizing rule.  Each point gets
+        the full in-process recovery stack (quarantine check, chaos
+        hooks, classification, bounded retries)."""
 
-        def guarded(spec):
-            try:
-                return self._evaluate_miss(spec, fuel), None
-            except Exception as error:  # noqa: BLE001 - collected
-                return None, (spec["name"], tuple(spec["sequence"]),
-                              repr(error))
+        def guarded(indexed):
+            index, spec = indexed
+            return run_point_with_recovery(
+                lambda decorated: self._evaluate_miss(decorated, fuel),
+                spec, retry=self.retry_policy, faults=self.fault_stats,
+                quarantine=self.quarantine, chaos=self.chaos,
+                timeout=self.evaluator.timeout, point_index=index)
 
-        return self.map(guarded, specs)
+        return self.map(guarded, list(enumerate(specs)))
 
     def profile_module(self, module, fuel=None, am=None):
         """Profile an already-optimized module, content-addressed by its
@@ -522,6 +574,12 @@ class EvaluationEngine:
         }
         out["scheduler"] = (self.scheduler.as_dict()
                             if self.scheduler is not None else None)
+        out["faults"] = {
+            "local": self.fault_stats.as_dict(),
+            "aggregate": self.fault_stats.aggregate(),
+            "quarantined_points": len(self.quarantine),
+            "degraded_to": self.evaluator.degraded_mode,
+        }
         return out
 
     def __repr__(self):

@@ -1,25 +1,79 @@
 """Deterministic serial/thread/process evaluation of compile->profile
-points.
+points, under fault supervision.
 
 A *point* is one ``(program source, pass sequence)`` pair on one
 platform.  :func:`evaluate_point` is a pure function of its spec dict —
 it compiles the source, runs the sequence, extracts features and
 profiles the result — so the same spec yields the same payload whether
-it runs inline, on a thread, or in a worker process.
+it runs inline, on a thread, or in a worker process, and *whether or
+not it had to be retried*: fault recovery can never change a result,
+only whether one exists.
 
 Measurement noise is derived from the *final* module fingerprint (see
 :func:`point_measurement_seed`), so identical programs measure
 identically regardless of evaluation order or worker count.  That is
 what makes ``serial``/``thread``/``process`` modes bit-for-bit
 equivalent and cached results indistinguishable from fresh ones.
+
+Supervision (PR 8): :class:`PointEvaluator` no longer trusts its pools.
+
+- **Per-point deadlines**: every dispatched spec carries the
+  configured wall-clock ``timeout``; workers arm a ``SIGALRM`` alarm
+  (:func:`repro.engine.faults.deadline`) and the parent keeps a
+  watchdog with a grace factor, killing and respawning a process pool
+  whose worker is hard-hung.
+- **BrokenProcessPool recovery**: a died worker (OOM kill, injected
+  crash) breaks the pool; the supervisor respawns it and re-runs the
+  in-flight specs *one at a time* so the poison point identifies
+  itself — innocent co-flyers are re-enqueued without penalty, the
+  crasher collects quarantine strikes.
+- **Classification + bounded retries**: failures come back as
+  :class:`repro.engine.faults.FailureInfo` with a kind; only transient
+  kinds (timeout/crash/I-O) are retried, with deterministic backoff.
+- **Graceful degradation**: when the pool infrastructure breaks
+  repeatedly (``degrade_after``), the evaluator steps down
+  process -> thread -> serial for the remainder of the batch (and
+  stays there for subsequent batches — a broken environment rarely
+  heals itself mid-run).  Results stay bit-identical by construction.
 """
 
 import hashlib
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.engine.chaos import maybe_fail_point
+from repro.engine.faults import (
+    CRASH,
+    QUARANTINED,
+    TIMEOUT,
+    FailureInfo,
+    FaultStats,
+    RetryPolicy,
+    classify_exception,
+    counter_for_kind,
+    deadline,
+    point_fingerprint,
+    run_point_with_recovery,
+)
 
 EXECUTION_MODES = ("serial", "thread", "process")
+
+#: Parent-side watchdog budget: the worker's own alarm should fire
+#: first (factor x the deadline), the parent only steps in for hard
+#: hangs the alarm cannot interrupt.
+PROCESS_WATCHDOG_FACTOR = 2.0
+PROCESS_WATCHDOG_SLACK = 0.25
+#: Threads have no worker-side alarm, so the parent deadline is the
+#: only enforcement — no grace factor beyond scheduling slack.
+THREAD_WATCHDOG_SLACK = 0.05
 
 #: Per-process handles on shared farm stores, keyed by directory — one
 #: store instance per (process, farm) so pool workers open each farm
@@ -42,15 +96,17 @@ def process_store(farm_dir):
 
 
 class WorkerError(RuntimeError):
-    """An evaluation failed inside a worker; carries the point context."""
+    """An evaluation failed inside a worker; carries the point context
+    and the failure classification."""
 
-    def __init__(self, name, sequence, cause):
+    def __init__(self, name, sequence, cause, kind=None):
         super().__init__(
             f"evaluation of {name!r} with sequence {tuple(sequence)!r} "
             f"failed: {cause}")
         self.name = name
         self.sequence = tuple(sequence)
         self.cause = cause
+        self.kind = kind
 
 
 def point_measurement_seed(measurement_seed, result_fingerprint):
@@ -188,29 +244,61 @@ def _evaluate_point_farm(spec, store):
 
 
 def _guarded_evaluate(spec):
-    """evaluate_point wrapped so failures travel back as values (pool
-    futures would otherwise lose the point context)."""
+    """evaluate_point wrapped so failures travel back as *classified*
+    values (pool futures would otherwise lose the point context).  Runs
+    the spec's chaos hooks and arms the worker-side deadline."""
     try:
-        return evaluate_point(spec), None
+        with deadline(spec.get("timeout")):
+            maybe_fail_point(spec)
+            return evaluate_point(spec), None
     except Exception as error:  # noqa: BLE001 - propagated to caller
-        return None, (spec["name"], tuple(spec["sequence"]), repr(error))
+        return None, FailureInfo(spec["name"], tuple(spec["sequence"]),
+                                 repr(error), classify_exception(error),
+                                 int(spec.get("attempt", 1)))
+
+
+class _PointState:
+    """Supervision bookkeeping for one spec in one batch."""
+
+    __slots__ = ("index", "spec", "attempt", "ready_at")
+
+    def __init__(self, index, spec):
+        self.index = index
+        self.spec = spec
+        self.attempt = 1
+        self.ready_at = 0.0
 
 
 class PointEvaluator:
-    """Evaluates batches of specs in input order.
+    """Evaluates batches of specs in input order, under supervision.
 
     ``mode='serial'`` is the deterministic reference; ``thread`` keeps a
     shared in-process cache warm while overlapping point evaluations;
     ``process`` sidesteps the GIL for CPU-bound simulation at the cost
-    of per-worker interpreter startup.
+    of per-worker interpreter startup.  All three share one failure
+    contract: :meth:`run` returns ``(payload, FailureInfo | None)``
+    pairs in input order, and never lets a raw exception, a hung
+    worker, or a broken pool escape or wedge the batch.
     """
 
-    def __init__(self, mode="serial", workers=None):
+    def __init__(self, mode="serial", workers=None, timeout=None,
+                 retry=None, quarantine=None, degrade=True,
+                 degrade_after=3, chaos=None, stats=None):
         if mode not in EXECUTION_MODES:
             raise ValueError(
                 f"unknown mode {mode!r}; choose from {EXECUTION_MODES}")
         self.mode = mode
         self.workers = max(1, int(workers)) if workers else None
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.quarantine = quarantine
+        self.degrade = degrade
+        self.degrade_after = max(1, int(degrade_after))
+        self.chaos = chaos
+        self.faults = stats if stats is not None else FaultStats()
+        #: Sticky degraded tier: once the pool infrastructure proved
+        #: broken, later batches start at the degraded tier too.
+        self.degraded_mode = None
 
     def pool_size(self, n_items):
         """Worker count for a batch of ``n_items`` (configured width,
@@ -218,15 +306,298 @@ class PointEvaluator:
         in for this evaluator must share."""
         return self.workers or min(8, n_items)
 
+    # -- batch entry ------------------------------------------------------
     def run(self, specs):
         """Evaluate all specs; returns ``(payload, error)`` pairs in the
-        same order as the input (error is None on success)."""
+        same order as the input (error is None on success, else a
+        :class:`FailureInfo`)."""
         specs = list(specs)
         if not specs:
             return []
-        if self.mode == "serial" or len(specs) == 1:
-            return [_guarded_evaluate(spec) for spec in specs]
-        executor_cls = (ThreadPoolExecutor if self.mode == "thread"
+        results = [None] * len(specs)
+        states = []
+        for index, spec in enumerate(specs):
+            blocked = self._quarantine_block(spec)
+            if blocked is not None:
+                results[index] = (None, blocked)
+            else:
+                states.append(_PointState(index, spec))
+        tier = self.degraded_mode or self.mode
+        if len(states) <= 1:
+            tier = "serial"
+        while states:
+            if tier == "serial":
+                self._run_serial(states, results)
+                states = []
+            else:
+                states = self._run_pooled(tier, states, results)
+                if states:
+                    tier = self._degrade_to(
+                        "thread" if tier == "process" else "serial")
+        self.faults.flush()
+        return results
+
+    # -- quarantine -------------------------------------------------------
+    def _quarantine_block(self, spec):
+        if self.quarantine is None:
+            return None
+        record = self.quarantine.blocked(point_fingerprint(spec))
+        if record is None:
+            return None
+        self.faults.bump("quarantine_blocks")
+        return FailureInfo(
+            spec["name"], tuple(spec["sequence"]),
+            f"quarantined after {record['strikes']} worker-killing "
+            f"strikes ({record.get('cause', 'worker crash')})",
+            QUARANTINED, 0)
+
+    # -- serial tier ------------------------------------------------------
+    def _run_serial(self, states, results):
+        for state in states:
+            payload, failure = run_point_with_recovery(
+                evaluate_point, state.spec, retry=self.retry,
+                faults=self.faults, chaos=self.chaos,
+                timeout=self.timeout, point_index=state.index,
+                first_attempt=state.attempt)
+            results[state.index] = (payload, failure)
+
+    # -- pooled tiers -----------------------------------------------------
+    def _run_pooled(self, tier, states, results):
+        """Supervised pool execution; returns the states still owed a
+        result when the tier must be abandoned (degradation), else
+        ``[]``."""
+        executor_cls = (ThreadPoolExecutor if tier == "thread"
                         else ProcessPoolExecutor)
-        with executor_cls(max_workers=self.pool_size(len(specs))) as pool:
-            return list(pool.map(_guarded_evaluate, specs))
+        width = self.pool_size(len(states))
+        # With a deadline, in-flight submissions are capped at the pool
+        # width so a spec's watchdog clock starts when a worker can
+        # actually start it (queued-behind-a-hang must not read as
+        # hung).  Without one, prefetch keeps workers from idling
+        # during the parent's harvest/refill round-trip.
+        cap = width if self.timeout else width * 2
+        try:
+            pool = executor_cls(max_workers=width)
+        except Exception:  # noqa: BLE001 - cannot build the pool: degrade
+            return states
+        pending = deque(states)
+        isolate = deque()  # break suspects: re-run one at a time
+        inflight = {}      # future -> state
+        deadlines = {}     # future -> parent watchdog timestamp
+        breaks = 0
+        try:
+            while pending or isolate or inflight:
+                now = time.monotonic()
+                broken = []  # states whose futures died with the pool
+                # -- refill (isolation runs strictly solo)
+                if isolate:
+                    if not inflight and isolate[0].ready_at <= now:
+                        state = isolate.popleft()
+                        if not self._try_submit(pool, tier, state,
+                                                inflight, deadlines):
+                            broken.append(state)
+                elif pending:
+                    while pending and len(inflight) < cap \
+                            and pending[0].ready_at <= now:
+                        state = pending.popleft()
+                        if not self._try_submit(pool, tier, state,
+                                                inflight, deadlines):
+                            broken.append(state)
+                            break
+                # -- wait, then settle worker-reported outcomes
+                if inflight and not broken:
+                    futures_wait(list(inflight), timeout=0.05,
+                                 return_when=FIRST_COMPLETED)
+                elif not inflight and not broken:
+                    time.sleep(0.005)  # backoff window: nothing ready
+                broken.extend(
+                    self._harvest(inflight, deadlines, results, pending))
+                # -- parent-side watchdog
+                hung = None
+                if self.timeout and not broken:
+                    now = time.monotonic()
+                    for future, state in list(inflight.items()):
+                        if deadlines.get(future, now + 1) > now \
+                                or future.done():
+                            continue
+                        if tier == "thread":
+                            # Threads cannot be killed: abandon the
+                            # future, charge the point a timeout.
+                            del inflight[future]
+                            deadlines.pop(future, None)
+                            self._settle(state, None, FailureInfo(
+                                state.spec["name"],
+                                tuple(state.spec["sequence"]),
+                                f"point exceeded {self.timeout}s "
+                                f"deadline (worker abandoned)",
+                                TIMEOUT, state.attempt),
+                                results, pending)
+                        else:
+                            hung = state
+                            break
+                if hung is not None:
+                    # A hard-hung worker: kill the pool, respawn, put
+                    # innocent co-flyers back, charge the hung point.
+                    breaks += 1
+                    self.faults.bump("pool_respawns")
+                    self._kill_pool(pool)
+                    others = [s for s in inflight.values()
+                              if s is not hung]
+                    inflight.clear()
+                    deadlines.clear()
+                    pool = executor_cls(max_workers=width)
+                    for state in sorted(others, key=lambda s: s.index,
+                                        reverse=True):
+                        pending.appendleft(state)
+                    self._charge_worker_kill(
+                        hung, TIMEOUT,
+                        f"hung past the {self.timeout}s deadline; "
+                        f"worker killed", results, isolate)
+                elif broken:
+                    # The pool died under us (a worker crashed).  Any
+                    # still-unharvested in-flight future is dead too.
+                    breaks += 1
+                    self.faults.bump("pool_respawns")
+                    self._kill_pool(pool)
+                    suspects = {id(s): s for s in broken}
+                    suspects.update(
+                        (id(s), s) for s in inflight.values())
+                    inflight.clear()
+                    deadlines.clear()
+                    pool = executor_cls(max_workers=width)
+                    ordered = sorted(suspects.values(),
+                                     key=lambda s: s.index)
+                    if len(ordered) == 1:
+                        # Alone in flight: definitely the crasher.
+                        self._charge_worker_kill(
+                            ordered[0], CRASH,
+                            "worker crashed (process pool broken)",
+                            results, isolate)
+                    else:
+                        # Ambiguous: bisect by re-running each suspect
+                        # solo so only the true crasher pays strikes.
+                        isolate.extend(ordered)
+                if (hung is not None or broken) and self.degrade \
+                        and breaks >= self.degrade_after:
+                    leftover = sorted(
+                        list(pending) + list(isolate)
+                        + list(inflight.values()),
+                        key=lambda s: s.index)
+                    return leftover
+            return []
+        finally:
+            self._kill_pool(pool)
+
+    def _try_submit(self, pool, tier, state, inflight, deadlines):
+        try:
+            future = pool.submit(_guarded_evaluate,
+                                 self._decorated(state))
+        except BrokenProcessPool:
+            return False
+        inflight[future] = state
+        if self.timeout:
+            deadlines[future] = (time.monotonic()
+                                 + self._parent_budget(tier))
+        return True
+
+    def _harvest(self, inflight, deadlines, results, pending):
+        """Settle every finished future; returns states whose futures
+        died with a broken pool."""
+        suspects = []
+        for future, state in list(inflight.items()):
+            if not future.done():
+                continue
+            del inflight[future]
+            deadlines.pop(future, None)
+            error = future.exception()
+            if error is None:
+                payload, failure = future.result()
+                self._settle(state, payload, failure, results, pending)
+            elif isinstance(error, BrokenProcessPool):
+                suspects.append(state)
+            else:
+                self._settle(state, None, FailureInfo(
+                    state.spec["name"], tuple(state.spec["sequence"]),
+                    repr(error), classify_exception(error),
+                    state.attempt), results, pending)
+        return suspects
+
+    def _settle(self, state, payload, failure, results, requeue):
+        """Record a worker-reported outcome: success, retryable
+        failure (re-enqueued with deterministic backoff), or final."""
+        if failure is None:
+            results[state.index] = (payload, None)
+            return
+        self.faults.bump(counter_for_kind(failure.kind))
+        if self.retry.should_retry(failure.kind, state.attempt):
+            self.faults.bump("retries")
+            state.ready_at = (time.monotonic()
+                              + self.retry.delay(state.attempt))
+            state.attempt += 1
+            requeue.append(state)
+        else:
+            results[state.index] = (
+                None, failure._replace(attempts=state.attempt))
+
+    def _charge_worker_kill(self, state, kind, cause, results, requeue):
+        """A point's worker had to be killed (crash or hard hang):
+        strike the quarantine ledger, then retry or finalize."""
+        self.faults.bump(counter_for_kind(kind))
+        spec = state.spec
+        if self.quarantine is not None:
+            strikes = self.quarantine.strike(
+                point_fingerprint(spec), spec["name"],
+                tuple(spec["sequence"]), cause)
+            if strikes >= self.quarantine.threshold:
+                self.faults.bump("quarantined")
+                results[state.index] = (None, FailureInfo(
+                    spec["name"], tuple(spec["sequence"]),
+                    f"quarantined after {strikes} worker-killing "
+                    f"strikes ({cause})", QUARANTINED, state.attempt))
+                return
+        if self.retry.should_retry(kind, state.attempt):
+            self.faults.bump("retries")
+            state.ready_at = (time.monotonic()
+                              + self.retry.delay(state.attempt))
+            state.attempt += 1
+            requeue.append(state)
+        else:
+            results[state.index] = (None, FailureInfo(
+                spec["name"], tuple(spec["sequence"]), cause, kind,
+                state.attempt))
+
+    def _decorated(self, state):
+        spec = dict(state.spec)
+        spec["attempt"] = state.attempt
+        if self.timeout:
+            spec["timeout"] = self.timeout
+        if self.chaos is not None:
+            spec["chaos"] = self.chaos
+            spec["chaos_point"] = state.index
+        return spec
+
+    def _parent_budget(self, tier):
+        if tier == "process":
+            return (self.timeout * PROCESS_WATCHDOG_FACTOR
+                    + PROCESS_WATCHDOG_SLACK)
+        return self.timeout + THREAD_WATCHDOG_SLACK
+
+    def _degrade_to(self, tier):
+        self.degraded_mode = tier
+        self.faults.bump("degradations")
+        return tier
+
+    @staticmethod
+    def _kill_pool(pool):
+        """Tear a pool down without waiting: terminate worker processes
+        (hung ones included) and cancel anything queued."""
+        try:
+            processes = getattr(pool, "_processes", None)
+            if processes:
+                for process in list(processes.values()):
+                    try:
+                        process.terminate()
+                    except Exception:  # noqa: BLE001 - already dead
+                        pass
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # noqa: BLE001 - teardown is best effort
+            pass

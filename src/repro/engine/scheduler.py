@@ -25,6 +25,7 @@ import threading
 from concurrent.futures import Future
 
 from repro.engine.evaluator import WorkerError
+from repro.engine.faults import CANCELLED, REJECTED, classify_exception
 
 
 class _InFlight:
@@ -66,6 +67,8 @@ class BatchScheduler:
             "dispatched": 0,
             "max_batch": 0,
             "max_queue": 0,
+            "rejected": 0,
+            "cancelled": 0,
         }
         self._threads = []
         for index in range(max(1, int(workers))):
@@ -102,11 +105,40 @@ class BatchScheduler:
                 return future
             self._inflight[key] = _InFlight(workload, sequence, fuel,
                                             future)
-        self._queue.put(key)  # blocks when max_pending keys are queued
+        try:
+            self._queue.put_nowait(key)
+        except queue.Full:
+            if self._engine.evaluator.degraded_mode:
+                # A degraded engine cannot promise to drain: resolving
+                # with a structured rejection beats deadlocking the
+                # client on a queue nobody is emptying fast enough.
+                self._reject(key)
+                return future
+            self._queue.put(key)  # healthy: block (backpressure)
         with self._lock:
             self.stats["max_queue"] = max(self.stats["max_queue"],
                                           self._queue.qsize())
         return future
+
+    def _reject(self, key):
+        """Resolve every waiter on ``key`` with a structured
+        rejection (degraded + saturated: see :meth:`submit`)."""
+        from repro.engine.engine import EvalFailure
+
+        with self._lock:
+            entry = self._inflight.pop(key, None)
+            self.stats["rejected"] += 1
+        self._engine.fault_stats.bump("rejected")
+        if entry is None:  # a dispatcher won the race; let it resolve
+            return
+        failure = EvalFailure(
+            getattr(entry.workload, "name", "?"), entry.sequence,
+            "scheduler saturated while the engine is degraded; "
+            "request rejected instead of queued", kind=REJECTED,
+            attempts=0)
+        for future in entry.futures:
+            if not future.done():
+                future.set_result(failure)
 
     def evaluate(self, workload, sequence, fuel=None):
         """Synchronous submit: waits for (and unwraps) the result,
@@ -114,15 +146,30 @@ class BatchScheduler:
         ``EvaluationEngine.evaluate`` contract."""
         result = self.submit(workload, sequence, fuel).result()
         if result.failed:
-            raise WorkerError(result.name, result.sequence, result.error)
+            raise WorkerError(result.name, result.sequence,
+                              result.error,
+                              kind=getattr(result, "kind", None))
         return result
 
     def close(self, timeout=5.0):
-        """Stop the dispatchers; pending futures fail with
-        RuntimeError."""
+        """Stop the dispatchers and settle every outstanding future:
+        still-queued (never dispatched) and in-flight keys resolve with
+        a structured ``cancelled`` :class:`EvalFailure` instead of
+        leaving callers blocked on abandoned futures.  Idempotent, and
+        safe to call while producers are still submitting."""
+        from repro.engine.engine import EvalFailure
+
         if self._closed:
             return
         self._closed = True
+        # Drain queued keys so dispatchers stop quickly; their entries
+        # are settled below with everything else still in flight.
+        while True:
+            try:
+                if self._queue.get_nowait() is None:
+                    break
+            except queue.Empty:
+                break
         for _ in self._threads:
             self._queue.put(None)
         for thread in self._threads:
@@ -131,10 +178,19 @@ class BatchScheduler:
             pending = list(self._inflight.values())
             self._inflight.clear()
         for entry in pending:
+            failure = EvalFailure(
+                getattr(entry.workload, "name", "?"), entry.sequence,
+                "scheduler closed before this point was evaluated",
+                kind=CANCELLED, attempts=0)
+            cancelled = 0
             for future in entry.futures:
                 if not future.done():
-                    future.set_exception(
-                        RuntimeError("scheduler closed"))
+                    future.set_result(failure)
+                    cancelled += 1
+            if cancelled:
+                with self._lock:
+                    self.stats["cancelled"] += 1
+                self._engine.fault_stats.bump("cancelled")
 
     def __enter__(self):
         return self
@@ -172,6 +228,9 @@ class BatchScheduler:
 
     def _run_batch(self, keys):
         engine = self._engine
+        chaos = getattr(engine, "chaos", None)
+        if chaos is not None:
+            chaos.on_dispatch(keys)
         with self._lock:
             entries = [self._inflight[key] for key in keys]
             self.stats["batches"] += 1
@@ -213,7 +272,7 @@ class BatchScheduler:
                 continue
             failure = EvalFailure(
                 getattr(entry.workload, "name", "?"), entry.sequence,
-                repr(error))
+                repr(error), kind=classify_exception(error))
             for future in entry.futures:
                 if not future.done():
                     future.set_result(failure)

@@ -47,6 +47,7 @@ import json
 import os
 import threading
 import time
+import zlib
 
 
 #: Segments grow to this size before being sealed (made immutable and
@@ -61,7 +62,38 @@ DEFAULT_COMPACT_AFTER = 8
 DEFAULT_TMP_MAX_AGE = 60.0
 
 _COUNTERS = ("hits", "misses", "stores", "cross_hits", "compactions",
-             "segments_merged", "orphans_swept", "corrupt_lines")
+             "segments_merged", "orphans_swept", "corrupt_lines",
+             "checksum_skips")
+
+
+def _encode_line(key, payload):
+    """One checksummed segment line: the ``{"k","p"}`` record with a
+    CRC32 of its own serialization spliced in as ``"c"``.  A torn or
+    bit-flipped line then fails either JSON framing or the checksum,
+    and readers skip it like a torn tail."""
+    body = json.dumps({"k": key, "p": payload}, separators=(",", ":"))
+    crc = zlib.crc32(body.encode("utf-8"))
+    return (body[:-1] + f',"c":{crc}}}\n').encode("utf-8")
+
+
+def _decode_line(line):
+    """Parse one segment line; returns ``(key, payload, status)`` where
+    status is ``"ok"``, ``"corrupt"`` (bad JSON framing) or
+    ``"checksum"`` (framed but fails its own CRC).  Lines without a
+    ``"c"`` field (pre-checksum builds) stay valid."""
+    try:
+        record = json.loads(line)
+        key = record["k"]
+        payload = record["p"]
+    except (ValueError, KeyError, TypeError):
+        return None, None, "corrupt"
+    crc = record.get("c")
+    if crc is not None:
+        body = json.dumps({"k": key, "p": payload},
+                          separators=(",", ":"))
+        if zlib.crc32(body.encode("utf-8")) != crc:
+            return None, None, "checksum"
+    return key, payload, "ok"
 
 
 class StoreStats:
@@ -107,9 +139,13 @@ class ShardedStore:
 
     def __init__(self, root, shards=16, seal_bytes=DEFAULT_SEAL_BYTES,
                  compact_after=DEFAULT_COMPACT_AFTER,
-                 tmp_max_age=DEFAULT_TMP_MAX_AGE):
+                 tmp_max_age=DEFAULT_TMP_MAX_AGE, chaos=None):
         if shards < 1:
             raise ValueError("shards must be >= 1")
+        #: Optional :class:`repro.engine.chaos.ChaosInjector`: lets the
+        #: fault harness raise I/O errors and corrupt/truncate lines on
+        #: this store's read/write paths deterministically.
+        self.chaos = chaos
         self.root = os.path.abspath(root)
         self.n_shards = shards
         self.seal_bytes = seal_bytes
@@ -177,23 +213,34 @@ class ShardedStore:
     # -- write path -------------------------------------------------------
     def put(self, key, payload):
         """Append one entry; visible to every process once written."""
+        if self.chaos is not None:
+            self.chaos.on_store_op("put", key)
         with self._lock:
             self._ensure_process()
             shard = self.shard_of(key)
             state = self._shard(shard)
-            line = json.dumps({"k": key, "p": payload},
-                              separators=(",", ":")) + "\n"
-            data = line.encode("utf-8")
+            data = _encode_line(key, payload)
+            if self.chaos is not None:
+                data = self.chaos.mangle_line(key, data)
             path = self._active_path(shard)
             os.makedirs(state.path, exist_ok=True)
             with open(path, "ab") as handle:
                 offset = handle.tell()
                 handle.write(data)
                 size = offset + len(data)
-            state.index[key] = (path, offset, len(data))
-            state.tails[path] = size
+            if data.endswith(b"\n"):
+                # Only an intact framed line enters our own index; a
+                # (chaos-)torn write is left for readers to skip.
+                state.index[key] = (path, offset, len(data))
+                state.tails[path] = size
+            else:
+                # Torn tail: seal the segment so the damage stays at a
+                # file end (the crashed-writer shape readers handle).
+                state.tails[path] = size
+                self._seal(shard, path)
+                path = None
             self.stats.bump(shard, "stores")
-            if size >= self.seal_bytes:
+            if path is not None and size >= self.seal_bytes:
                 self._seal(shard, path)
             self._flush_stats()
 
@@ -220,6 +267,8 @@ class ShardedStore:
     # -- read path --------------------------------------------------------
     def get(self, key):
         """The payload stored for ``key``, or None."""
+        if self.chaos is not None:
+            self.chaos.on_store_op("get", key)
         with self._lock:
             self._ensure_process()
             shard = self.shard_of(key)
@@ -234,14 +283,16 @@ class ShardedStore:
                                 "hits" if payload is not None
                                 else "misses")
                 return payload
-            payload = self._read_entry(entry)
+            payload = self._read_entry(shard, entry)
             if payload is None:
-                # Compaction moved the segment under us: rebuild the
-                # shard view from the current directory listing.
+                # Compaction moved the segment under us (or the indexed
+                # line fails its checksum): rebuild the shard view from
+                # the current directory listing.
                 self._shards[shard] = state = _Shard(state.path)
                 self._refresh(shard)
                 entry = state.index.get(key)
-                payload = self._read_entry(entry) if entry else None
+                payload = self._read_entry(shard, entry) if entry \
+                    else None
             if payload is None:
                 self.stats.bump(shard, "misses")
                 return None
@@ -251,7 +302,7 @@ class ShardedStore:
                 self._flush_stats()
             return payload
 
-    def _read_entry(self, entry):
+    def _read_entry(self, shard, entry):
         path, offset, length = entry
         try:
             with open(path, "rb") as handle:
@@ -259,11 +310,10 @@ class ShardedStore:
                 data = handle.read(length)
         except OSError:
             return None
-        try:
-            record = json.loads(data)
-            return record["p"]
-        except (ValueError, KeyError, TypeError):
-            return None
+        _, payload, status = _decode_line(data)
+        if status == "checksum":
+            self.stats.bump(shard, "checksum_skips")
+        return payload
 
     def _segments(self, shard):
         try:
@@ -297,10 +347,12 @@ class ShardedStore:
             for line in data.splitlines(keepends=True):
                 if not line.endswith(b"\n"):
                     break  # torn final line of a crashed writer
-                try:
-                    record = json.loads(line)
-                    state.index[record["k"]] = (path, offset, len(line))
-                except (ValueError, KeyError, TypeError):
+                key, _, status = _decode_line(line)
+                if status == "ok":
+                    state.index[key] = (path, offset, len(line))
+                elif status == "checksum":
+                    self.stats.bump(shard, "checksum_skips")
+                else:
                     self.stats.bump(shard, "corrupt_lines")
                 offset += len(line)
                 consumed += len(line)
@@ -385,9 +437,12 @@ class ShardedStore:
         for line in data.splitlines(keepends=True):
             if not line.endswith(b"\n"):
                 break
-            try:
-                yield json.loads(line)["k"], line
-            except (ValueError, KeyError, TypeError):
+            key, _, status = _decode_line(line)
+            if status == "ok":
+                yield key, line
+            elif status == "checksum":
+                self.stats.bump(shard, "checksum_skips")
+            else:
                 self.stats.bump(shard, "corrupt_lines")
 
     @staticmethod

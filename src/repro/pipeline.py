@@ -31,13 +31,17 @@ class MLComp:
     directory (cross-process result store; process-pool workers compose
     through it), and ``scheduler_workers`` puts the async batch
     scheduler in front of the engine so concurrent clients coalesce
-    and batch their requests.
+    and batch their requests.  ``eval_timeout`` puts a wall-clock
+    deadline on every point, ``max_retries`` bounds transient-failure
+    retries, and ``degrade=False`` pins the engine to its configured
+    mode instead of stepping down when pools break repeatedly.
     """
 
     def __init__(self, target="x86", suite=None, phases=None,
                  measurement_seed=0, cache=True, cache_size=4096,
                  cache_dir=None, eval_mode="serial", workers=None,
-                 farm_dir=None, scheduler_workers=None):
+                 farm_dir=None, scheduler_workers=None,
+                 eval_timeout=None, max_retries=2, degrade=True):
         self.platform = Platform(target, measurement_seed)
         suite = suite or default_suite_for(target)
         self.workloads = load_suite(suite)
@@ -49,7 +53,9 @@ class MLComp:
                                    store_dir=cache_dir or farm_dir)
                    if cache else False),
             mode=eval_mode, workers=workers, farm_dir=farm_dir,
-            scheduler_workers=scheduler_workers)
+            scheduler_workers=scheduler_workers,
+            eval_timeout=eval_timeout, max_retries=max_retries,
+            degrade=degrade)
         self.dataset = None
         self.estimator = None
         self.trainer = None

@@ -267,7 +267,9 @@ class Allocator:
                 rewritten.extend(loads)
                 rewritten.append(instr)
                 rewritten.extend(stores)
-            block.instructions = rewritten
+            # MIR blocks carry no maintained CFG; wholesale replacement
+            # is the supported idiom here.
+            block.instructions = rewritten  # replint: disable=R001
 
     def _take_scratch(self, cls, scratch_index):
         index = scratch_index[cls]

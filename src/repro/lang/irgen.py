@@ -138,7 +138,7 @@ class IRGenerator:
                     if rhs == 0:
                         _err(expr, "division by zero in constant "
                                    "initializer")
-                    return lhs / rhs
+                    return arith.fdiv(lhs, rhs)
                 if rhs == 0:
                     _err(expr, "division by zero in constant initializer")
                 return arith.sdiv_trunc(lhs, rhs)

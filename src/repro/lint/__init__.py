@@ -1,0 +1,64 @@
+"""replint — project static analysis that encodes our miscompile history.
+
+Every shipped miscompile class in this repro's history had a syntactic
+signature that could have been caught mechanically before it ran:
+
+- **R001** — raw ``.blocks``/``.instructions`` list mutation outside the
+  ``ir/`` container modules (the PR-5 stale-link silent-miscompile
+  class: a bypassed mutation API leaves the maintained reverse CFG and
+  block-position index describing a program that no longer exists).
+- **R002** — iteration over set-typed expressions in ``passes/`` (the
+  PR-2/PR-3 nondeterminism class: set order follows object addresses,
+  so a pass's output stops being a pure function of its input program).
+- **R003** — raw arithmetic on IR runtime values outside ``ir/arith.py``
+  (the PR-6 sdiv class: ``int(a / b)`` rounds through a Python float,
+  so ``(2**62+1) sdiv 1`` executed as ``2**62`` while constant folding
+  computed it exactly).
+- **R004** — ``Pass``/``FunctionPass`` subclasses without an explicit
+  ``preserved_analyses`` declaration (the PR-2 stale-analysis hazard:
+  an undeclared preservation contract is a contract nobody audited).
+- **R005** — access to private IR bookkeeping (``_preds``, the
+  block-position internals) outside ``ir/`` (reading maintained state
+  directly couples passes to representation details the mutation API
+  exists to hide — and writing it is the R001 class without the API's
+  invariants).
+
+The linter is an AST-visitor framework: rules are small visitors
+registered in a rule registry, findings can be suppressed per line with
+``# replint: disable=R001`` comments (append a justification), and the
+CLI (``python -m repro.lint src/``) exits nonzero when findings remain
+— wired next to ruff in CI so a regression of a historical bug class is
+an edit-site error, not a verifier error three layers later.
+
+The dynamic half of the same contract — recomputing every
+claimed-preserved analysis after each pass and diffing it against the
+cache — lives in :mod:`repro.passes.audit`.
+"""
+
+from repro.lint.config import LintConfig
+from repro.lint.core import Finding, Rule, all_rules, register_rule
+from repro.lint.runner import (
+    LintReport,
+    lint_file,
+    lint_paths,
+    lint_source,
+    render_human,
+    render_json,
+)
+
+# Importing the rule modules populates the registry.
+from repro.lint import rules as _rules  # noqa: F401  (side effect)
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "render_human",
+    "render_json",
+]

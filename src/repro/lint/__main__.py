@@ -1,0 +1,60 @@
+"""CLI: ``python -m repro.lint [paths...]``.
+
+Exits 0 on a clean tree, 1 when findings (or unparsable files) remain —
+suitable as a CI gate next to ruff.
+"""
+
+import argparse
+import sys
+
+from repro.lint.core import RULE_REGISTRY, all_rules
+from repro.lint.runner import lint_paths, render_human, render_json
+
+
+def _list_rules():
+    lines = []
+    for code in sorted(RULE_REGISTRY):
+        rule = RULE_REGISTRY[code]
+        lines.append(f"{code} [{rule.name}]")
+        lines.append(f"    {rule.history}")
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Project static analysis: each rule encodes one "
+                    "shipped miscompile class (see --list-rules).")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint "
+                             "(default: src)")
+    parser.add_argument("--format", choices=("human", "json"),
+                        default="human")
+    parser.add_argument("--rules", metavar="R001,R002",
+                        help="comma-separated subset of rules to run")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="describe the registered rules and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    rules = None
+    if args.rules:
+        try:
+            rules = all_rules([c.strip()
+                               for c in args.rules.split(",") if c])
+        except KeyError as error:
+            parser.error(str(error))
+
+    report = lint_paths(args.paths, rules=rules)
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_human(report))
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

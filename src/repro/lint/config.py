@@ -1,0 +1,110 @@
+"""Lint configuration: where each rule applies and what it watches.
+
+The defaults describe *this* repository's layout (the ``repro``
+package).  Paths are module-relative to the ``repro`` package root with
+forward slashes — ``ir/arith.py``, ``passes/licm.py`` — which keeps the
+rules independent of where the checkout lives.  Tests construct custom
+configs to exercise rules against synthetic module paths.
+"""
+
+from dataclasses import dataclass, field
+
+
+#: List-mutating methods whose call on an IR container bypasses the
+#: mutation API (R001).
+LIST_MUTATORS = frozenset({
+    "append", "insert", "remove", "pop", "clear", "extend",
+    "sort", "reverse",
+})
+
+#: IR container attributes maintained by the mutation API.
+CONTAINER_ATTRS = frozenset({"instructions", "blocks"})
+
+#: Calls that consume an iterable order-insensitively: iterating a set
+#: *inside* them cannot leak nondeterminism into the output program.
+ORDER_SAFE_CALLS = frozenset({
+    "sorted", "len", "sum", "min", "max", "any", "all", "set",
+    "frozenset",
+})
+
+#: Private IR bookkeeping attributes (maintained reverse CFG edges and
+#: the block-position index) that only ``ir/`` itself may touch (R005).
+PRIVATE_IR_ATTRS = frozenset({
+    "_preds", "_positions", "_invalidate_positions", "_add_pred",
+    "_remove_pred", "_connect_terminator", "_disconnect_terminator",
+    "_place",
+})
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    #: Module-path prefixes that ARE the IR container layer: R001/R005
+    #: do not apply inside them.
+    ir_prefixes: tuple = ("ir/",)
+
+    #: Module-path prefixes holding transformation passes: R002 (set
+    #: iteration) and R004 (preservation contract) apply here.
+    pass_prefixes: tuple = ("passes/",)
+
+    #: The one module allowed to define IR value arithmetic.
+    arith_module: str = "ir/arith.py"
+
+    #: Modules that evaluate IR runtime values (interpreters,
+    #: simulators, constant folding, the frontend's constant-expression
+    #: evaluator): any true division here must route through
+    #: ``ir/arith.py`` (R003).
+    value_modules: tuple = (
+        "ir/interpreter.py",
+        "sim/machine.py",
+        "sim/tape.py",
+        "passes/utils.py",
+        "passes/sccp.py",
+        "passes/instcombine.py",
+        "lang/irgen.py",
+    )
+
+    #: Modules exempt from R004: the framework module that *defines*
+    #: the Pass/FunctionPass contract (its default is the abstract
+    #: declaration every concrete pass must override explicitly).
+    preservation_exempt: tuple = ("passes/base.py",)
+
+    #: Base-class names that make a class a pass (R004).
+    pass_base_names: frozenset = frozenset({"Pass", "FunctionPass"})
+
+    #: Receiver-name hints for the set-typed ``Loop.blocks`` attribute
+    #: (``Function.blocks`` is an ordered list; ``Loop.blocks`` is a
+    #: set).  A ``.blocks`` access is treated as set-typed when the
+    #: receiver's name matches one of these (exact or substring
+    #: "loop").
+    loop_receiver_names: frozenset = frozenset({"lp", "subloop", "l"})
+
+    container_attrs: frozenset = CONTAINER_ATTRS
+    list_mutators: frozenset = LIST_MUTATORS
+    order_safe_calls: frozenset = ORDER_SAFE_CALLS
+    private_ir_attrs: frozenset = PRIVATE_IR_ATTRS
+
+    #: Rule codes to run (None = every registered rule).
+    enabled_rules: tuple = field(default=None)
+
+    # -- path predicates --------------------------------------------------
+    def in_ir(self, module_path):
+        return any(module_path.startswith(p) for p in self.ir_prefixes)
+
+    def in_passes(self, module_path):
+        return any(module_path.startswith(p) for p in self.pass_prefixes)
+
+    def is_arith(self, module_path):
+        return module_path == self.arith_module
+
+    def is_value_module(self, module_path):
+        return module_path in self.value_modules
+
+    def preservation_applies(self, module_path):
+        return (self.in_passes(module_path)
+                and module_path not in self.preservation_exempt)
+
+    def looks_like_loop_receiver(self, name):
+        return name in self.loop_receiver_names or "loop" in name.lower()
+
+
+DEFAULT_CONFIG = LintConfig()

@@ -1,0 +1,83 @@
+"""Rule framework: findings, the rule base class, and the registry."""
+
+import re
+
+#: Rule codes look like R001.
+CODE_RE = re.compile(r"^R\d{3}$")
+
+#: code -> Rule subclass, populated by @register_rule.
+RULE_REGISTRY = {}
+
+
+class Finding:
+    """One rule violation at one source location."""
+
+    __slots__ = ("rule", "line", "col", "message", "symbol", "path")
+
+    def __init__(self, rule, line, col, message, symbol=None, path=None):
+        self.rule = rule          # "R001"
+        self.line = line          # 1-based
+        self.col = col            # 0-based (ast convention)
+        self.message = message
+        self.symbol = symbol      # offending name, when one exists
+        self.path = path          # filled in by the runner
+
+    def sort_key(self):
+        return (self.path or "", self.line, self.col, self.rule)
+
+    def as_dict(self):
+        entry = {
+            "file": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+        if self.symbol is not None:
+            entry["symbol"] = self.symbol
+        return entry
+
+    def __repr__(self):
+        return f"<Finding {self.rule} {self.path}:{self.line}>"
+
+
+class Rule:
+    """One encoded bug class.
+
+    Subclasses set ``code`` (``Rxxx``), ``name`` (short kebab-case
+    slug), and ``history`` (the shipped bug this rule encodes — shown
+    by ``--list-rules`` and the README rule table), and implement
+    :meth:`check`, a generator of :class:`Finding` for one parsed file.
+    """
+
+    code = None
+    name = None
+    history = None
+
+    def check(self, ctx):
+        """Yield findings for ``ctx`` (a :class:`FileContext`)."""
+        raise NotImplementedError
+
+    def finding(self, node, message, symbol=None):
+        return Finding(self.code, node.lineno, node.col_offset,
+                       message, symbol=symbol)
+
+
+def register_rule(cls):
+    """Class decorator adding a rule to the registry."""
+    if not (cls.code and CODE_RE.match(cls.code)):
+        raise ValueError(f"bad rule code {cls.code!r}")
+    if cls.code in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    RULE_REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules(codes=None):
+    """Instantiate the registered rules (optionally a subset)."""
+    if codes is None:
+        codes = sorted(RULE_REGISTRY)
+    unknown = [c for c in codes if c not in RULE_REGISTRY]
+    if unknown:
+        raise KeyError(f"unknown rule code(s): {', '.join(unknown)}")
+    return [RULE_REGISTRY[code]() for code in sorted(codes)]

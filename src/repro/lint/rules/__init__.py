@@ -1,0 +1,6 @@
+"""Rule modules — importing them populates the registry."""
+
+from repro.lint.rules import arith_rules  # noqa: F401
+from repro.lint.rules import determinism  # noqa: F401
+from repro.lint.rules import mutation  # noqa: F401
+from repro.lint.rules import preservation  # noqa: F401

@@ -1,0 +1,70 @@
+"""R003: IR value semantics are defined once, in ``ir/arith.py``.
+
+History (PR-6): four sites (the interpreter, the seed simulator,
+constant folding, the frontend's constant-initializer evaluator)
+computed signed division as ``int(a / b)`` — a truncation *through a
+Python float*, which silently rounds any magnitude above 2**53.  So
+``(2**62+1) sdiv 1`` executed as ``2**62`` while instcombine folded it
+exactly: an optimized-vs-unoptimized divergence invisible to
+differential testing because execution was wrong on both sides.  PR-6
+moved every 64-bit value semantic into ``ir/arith.py``; this rule keeps
+it there.
+
+Two signatures are flagged:
+
+- ``int(a / b)`` / ``int(a // b)`` anywhere outside ``ir/arith.py`` —
+  the float-round-trip (or floor-instead-of-truncate) division idiom;
+- any bare true division ``/`` inside the *value-semantics modules*
+  (interpreter, simulators, constant folding, the const-initializer
+  evaluator): those modules evaluate IR runtime values, so a division
+  that does not route through ``repro.ir.arith`` is either the bug
+  class or needs an explicit justification
+  (``# replint: disable=R003``).
+"""
+
+import ast
+
+from repro.lint.core import Rule, register_rule
+
+
+@register_rule
+class RawValueArithmeticRule(Rule):
+    """Arithmetic on IR runtime values outside ``ir/arith.py``."""
+
+    code = "R003"
+    name = "raw-value-arithmetic"
+    history = ("PR-6 sdiv miscompile: int(a / b) truncated quotients "
+               "through a Python float, so (2**62+1) sdiv 1 executed "
+               "as 2**62 while constant folding computed it exactly.")
+
+    def check(self, ctx):
+        config = ctx.config
+        if config.is_arith(ctx.module_path):
+            return
+        value_module = config.is_value_module(ctx.module_path)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Name) and \
+                    node.func.id == "int" and len(node.args) == 1 and \
+                    isinstance(node.args[0], ast.BinOp) and \
+                    isinstance(node.args[0].op,
+                               (ast.Div, ast.FloorDiv)):
+                idiom = ("int(a / b) rounds through a Python float "
+                         "(exactness cliff at 2**53)"
+                         if isinstance(node.args[0].op, ast.Div) else
+                         "int(a // b) floors instead of truncating "
+                         "toward zero")
+                yield self.finding(
+                    node,
+                    f"{idiom}; IR division must use "
+                    f"repro.ir.arith.sdiv_trunc / eval_int_binop",
+                    symbol="int-div")
+            elif value_module and isinstance(node, ast.BinOp) and \
+                    isinstance(node.op, ast.Div):
+                yield self.finding(
+                    node,
+                    "bare '/' in a value-semantics module: IR value "
+                    "arithmetic must route through repro.ir.arith "
+                    "(fdiv/eval_float_binop); if this is not an IR "
+                    "value, justify with a disable comment",
+                    symbol="div")

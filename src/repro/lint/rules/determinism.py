@@ -1,0 +1,212 @@
+"""R002: passes must not iterate set-typed values.
+
+History (PR-2/PR-3): licm, loop-sink, and loop-unswitch iterated
+``Loop.blocks`` — a ``set`` — so hoist/sink order followed CPython
+object addresses and the optimized program differed run-to-run (the
+fix, ``Loop.ordered_blocks()``, iterates in function block order).  A
+pass's output must be a pure function of the input program; set
+iteration anywhere in a transformation is the mechanical signature of
+that bug class.
+
+Detection is a conservative local type analysis: an expression is
+set-typed when it is a set literal/comprehension, a ``set()``/
+``frozenset()`` call, a set-operator combination of set-typed operands,
+a set-method result (``union``/``intersection``/...), a local name
+every assignment of which is set-typed, or a ``.blocks`` attribute on a
+loop-named receiver (``Loop.blocks`` is a set; ``Function.blocks`` is
+an ordered list, so receiver names decide).  Iterating inside an
+order-insensitive consumer (``sum``/``any``/``all``/``min``/``max``/
+``len``/``sorted``/``set``/``frozenset``) is exempt: no ordering can
+leak through it.
+"""
+
+import ast
+
+from repro.lint.core import Rule, register_rule
+
+_SET_BINOPS = (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+_SET_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference",
+    "copy",
+})
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _scope_walk(root):
+    """Walk ``root`` without descending into nested function scopes."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _SCOPE_NODES):
+                continue
+            stack.append(child)
+
+
+def _store_names(target):
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            yield node.id
+
+
+class _ScopeTypes:
+    """Set-typed local names of one scope, by conservative fixpoint."""
+
+    def __init__(self, scope_root, config):
+        self.config = config
+        assigns = {}  # name -> [value expr or None (opaque store)]
+
+        def record(name, value):
+            assigns.setdefault(name, []).append(value)
+
+        body = scope_root
+        for node in _scope_walk(body):
+            if node is body and isinstance(body, _SCOPE_NODES):
+                for arg_node in ast.walk(node.args):
+                    if isinstance(arg_node, ast.arg):
+                        record(arg_node.arg, None)
+                continue
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        record(target.id, node.value)
+                    else:
+                        for name in _store_names(target):
+                            record(name, None)
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name):
+                    record(node.target.id, node.value)
+            elif isinstance(node, ast.AugAssign):
+                if isinstance(node.target, ast.Name):
+                    # x |= y keeps a set a set; any other augmented op
+                    # is opaque.
+                    if isinstance(node.op, _SET_BINOPS):
+                        record(node.target.id, node.value)
+                    else:
+                        record(node.target.id, None)
+            elif isinstance(node, ast.NamedExpr):
+                if isinstance(node.target, ast.Name):
+                    record(node.target.id, node.value)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                for name in _store_names(node.target):
+                    record(name, None)
+            elif isinstance(node, ast.comprehension):
+                for name in _store_names(node.target):
+                    record(name, None)
+            elif isinstance(node, ast.withitem):
+                if node.optional_vars is not None:
+                    for name in _store_names(node.optional_vars):
+                        record(name, None)
+            elif isinstance(node, ast.ExceptHandler):
+                if node.name:
+                    record(node.name, None)
+            elif isinstance(node, _SCOPE_NODES + (ast.ClassDef,)):
+                if getattr(node, "name", None):
+                    record(node.name, None)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    record(alias.asname or alias.name.split(".")[0],
+                           None)
+            elif isinstance(node, (ast.Global, ast.Nonlocal)):
+                for name in node.names:
+                    record(name, None)
+
+        self.setnames = set()
+        changed = True
+        while changed:
+            changed = False
+            for name, values in assigns.items():
+                if name in self.setnames:
+                    continue
+                if values and all(
+                        value is not None and self.is_setlike(value)
+                        for value in values):
+                    self.setnames.add(name)
+                    changed = True
+
+    def is_setlike(self, node):
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and \
+                    func.id in ("set", "frozenset"):
+                return True
+            if isinstance(func, ast.Attribute) and \
+                    func.attr in _SET_METHODS and \
+                    self.is_setlike(func.value):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and \
+                isinstance(node.op, _SET_BINOPS):
+            return self.is_setlike(node.left) or \
+                self.is_setlike(node.right)
+        if isinstance(node, ast.Name):
+            return node.id in self.setnames
+        if isinstance(node, ast.Attribute) and node.attr == "blocks" \
+                and isinstance(node.value, ast.Name) \
+                and self.config.looks_like_loop_receiver(node.value.id):
+            return True
+        return False
+
+
+@register_rule
+class SetIterationRule(Rule):
+    """Iteration over a set-typed expression in a pass module."""
+
+    code = "R002"
+    name = "set-iteration"
+    history = ("PR-2/PR-3 nondeterministic passes: licm/loop-sink/"
+               "loop-unswitch iterated Loop.blocks (a set), so the "
+               "optimized program depended on object addresses and "
+               "differed run-to-run.")
+
+    MESSAGE = ("iteration over a set-typed value follows object "
+               "addresses and varies run-to-run; iterate a "
+               "deterministically ordered view instead (e.g. "
+               "Loop.ordered_blocks(), sorted(...))")
+
+    def check(self, ctx):
+        config = ctx.config
+        if not config.in_passes(ctx.module_path):
+            return
+        scopes = [ctx.tree]
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, _SCOPE_NODES):
+                scopes.append(node)
+        for scope in scopes:
+            yield from self._check_scope(scope, config)
+
+    def _check_scope(self, scope, config):
+        types = _ScopeTypes(scope, config)
+        # Generator expressions consumed whole by an order-insensitive
+        # callable cannot leak iteration order.
+        safe_genexps = set()
+        for node in _scope_walk(scope):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Name) and \
+                    node.func.id in config.order_safe_calls:
+                for arg in node.args:
+                    if isinstance(arg, ast.GeneratorExp):
+                        safe_genexps.add(id(arg))
+        for node in _scope_walk(scope):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if types.is_setlike(node.iter):
+                    yield self.finding(node.iter, self.MESSAGE)
+            elif isinstance(node, (ast.ListComp, ast.DictComp)) or (
+                    isinstance(node, ast.GeneratorExp)
+                    and id(node) not in safe_genexps):
+                for generator in node.generators:
+                    if types.is_setlike(generator.iter):
+                        yield self.finding(generator.iter, self.MESSAGE)
+            elif isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Name) and \
+                    node.func.id in ("list", "tuple", "enumerate"):
+                for arg in node.args[:1]:
+                    if types.is_setlike(arg):
+                        yield self.finding(
+                            arg, self.MESSAGE + (
+                                f" (the '{node.func.id}()' result "
+                                f"fixes the nondeterministic order "
+                                f"into an ordered container)"))

@@ -1,0 +1,131 @@
+"""R001/R005: the IR mutation API is the only way to edit IR state.
+
+History (PR-5): ``Function.blocks`` and ``BasicBlock.instructions``
+are plain lists, but the IR maintains an edge-count-aware reverse CFG
+(``_preds``) and a block-position index that are updated *only* by the
+mutation API (``append``/``insert``/``set_terminator``/
+``remove_instruction``/``remove_block``/terminator target setters).  A
+raw list splice leaves those structures describing a program that no
+longer exists — the stale-link silent-miscompile class that PR-5 killed
+by construction and the verifier now cross-checks.  The verifier makes
+a bypass an error *eventually*; this rule makes it an error at the edit
+site.
+"""
+
+import ast
+
+from repro.lint.core import Rule, register_rule
+
+
+def _is_self(node):
+    return isinstance(node, ast.Name) and node.id == "self"
+
+
+def _container_attr(node, config):
+    """``node`` as an IR-container attribute access ``recv.instructions``
+    / ``recv.blocks`` on a non-``self`` receiver, else None."""
+    if isinstance(node, ast.Attribute) and \
+            node.attr in config.container_attrs and \
+            not _is_self(node.value):
+        return node
+    return None
+
+
+@register_rule
+class ContainerMutationRule(Rule):
+    """Direct list mutation of ``.blocks``/``.instructions``."""
+
+    code = "R001"
+    name = "raw-container-mutation"
+    history = ("PR-5 stale-link miscompiles: raw splices of "
+               "function.blocks/block.instructions bypass the mutation "
+               "API, so the maintained reverse CFG and block-position "
+               "index go stale and a later pass miscompiles silently.")
+
+    MESSAGE = ("direct {what} mutation of '.{attr}' bypasses the IR "
+               "mutation API (use BasicBlock.append/insert/"
+               "remove_instruction/set_terminator, Function.remove_block/"
+               "set_blocks, or block placement helpers)")
+
+    def check(self, ctx):
+        config = ctx.config
+        if config.in_ir(ctx.module_path):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) and \
+                        func.attr in config.list_mutators:
+                    container = _container_attr(func.value, config)
+                    if container is not None:
+                        yield self.finding(
+                            node,
+                            self.MESSAGE.format(
+                                what=f"'.{func.attr}()'",
+                                attr=container.attr),
+                            symbol=func.attr)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    hit = self._del_target(target, config)
+                    if hit is not None:
+                        yield self.finding(
+                            node,
+                            self.MESSAGE.format(what="'del'",
+                                                attr=hit.attr),
+                            symbol="del")
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (node.targets
+                           if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    hit = self._assign_target(target, config)
+                    if hit is not None:
+                        yield self.finding(
+                            node,
+                            self.MESSAGE.format(what="assignment",
+                                                attr=hit.attr),
+                            symbol=hit.attr)
+
+    @staticmethod
+    def _del_target(target, config):
+        # del x.instructions[i] / del x.instructions[a:b] / del x.blocks
+        if isinstance(target, ast.Subscript):
+            return _container_attr(target.value, config)
+        return _container_attr(target, config)
+
+    @staticmethod
+    def _assign_target(target, config):
+        # x.instructions[i] = ..., x.blocks[a:b] = ... (slice assign),
+        # x.instructions = ... (container rebinding).
+        if isinstance(target, ast.Subscript):
+            return _container_attr(target.value, config)
+        return _container_attr(target, config)
+
+
+@register_rule
+class PrivateIRStateRule(Rule):
+    """Access to private IR bookkeeping outside ``ir/``."""
+
+    code = "R005"
+    name = "private-ir-state"
+    history = ("PR-5 companion hazard: passes reading (or worse, "
+               "writing) the maintained predecessor map or the "
+               "block-position internals couple themselves to "
+               "representation details; a write is the R001 class "
+               "without even the list API's locality.")
+
+    def check(self, ctx):
+        config = ctx.config
+        if config.in_ir(ctx.module_path):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute) and \
+                    node.attr in config.private_ir_attrs and \
+                    not _is_self(node.value):
+                yield self.finding(
+                    node,
+                    f"access to private IR bookkeeping '.{node.attr}' "
+                    f"outside ir/ (use Block.predecessors()/"
+                    f"pred_edge_count(), Function.block_positions(), or "
+                    f"the mutation API)",
+                    symbol=node.attr)

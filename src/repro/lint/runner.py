@@ -1,0 +1,159 @@
+"""File discovery, rule execution, and report rendering."""
+
+import ast
+import json
+from pathlib import Path
+
+from repro.lint.config import DEFAULT_CONFIG
+from repro.lint.core import Finding, all_rules
+from repro.lint.suppress import apply_suppressions, suppressions
+
+#: JSON report schema version (tests pin it).
+JSON_VERSION = 1
+
+
+class FileContext:
+    """Everything a rule needs about one parsed file."""
+
+    __slots__ = ("tree", "module_path", "config", "source")
+
+    def __init__(self, tree, module_path, config, source):
+        self.tree = tree
+        self.module_path = module_path
+        self.config = config
+        self.source = source
+
+
+class LintReport:
+    """Findings plus bookkeeping for one lint run."""
+
+    def __init__(self):
+        self.findings = []
+        self.suppressed = []
+        self.files = 0
+        self.errors = []  # (path, message) for unparsable files
+
+    @property
+    def exit_code(self):
+        return 1 if (self.findings or self.errors) else 0
+
+    def counts(self):
+        table = {}
+        for finding in self.findings:
+            table[finding.rule] = table.get(finding.rule, 0) + 1
+        return dict(sorted(table.items()))
+
+    def sort(self):
+        self.findings.sort(key=Finding.sort_key)
+        self.suppressed.sort(key=Finding.sort_key)
+
+
+def module_rel_path(path):
+    """Path relative to the innermost ``repro`` package root, with
+    forward slashes (``src/repro/ir/arith.py`` -> ``ir/arith.py``).
+    Files outside a ``repro`` package keep their name — the
+    location-scoped rules simply do not apply to them."""
+    parts = Path(path).as_posix().split("/")
+    for index in range(len(parts) - 2, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index + 1:])
+    return parts[-1]
+
+
+def lint_source(source, module_path, config=None, rules=None,
+                path=None):
+    """Lint one source string; returns (findings, suppressed).
+
+    This is the fixture-test entry point: ``module_path`` places the
+    snippet in the package layout the location-scoped rules care about
+    (``passes/x.py``, ``ir/x.py``, ``sim/tape.py``, ...).
+    """
+    config = config or DEFAULT_CONFIG
+    if rules is None:
+        rules = all_rules(config.enabled_rules)
+    tree = ast.parse(source)
+    ctx = FileContext(tree, module_path, config, source)
+    findings = []
+    for rule in rules:
+        findings.extend(rule.check(ctx))
+    for finding in findings:
+        finding.path = path or module_path
+    kept, suppressed = apply_suppressions(findings, suppressions(source))
+    return kept, suppressed
+
+
+def iter_python_files(paths):
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py")
+                              if "__pycache__" not in p.parts)
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_file(path, config=None, rules=None, report=None):
+    """Lint one file into ``report`` (created when omitted)."""
+    report = report if report is not None else LintReport()
+    config = config or DEFAULT_CONFIG
+    if rules is None:
+        rules = all_rules(config.enabled_rules)
+    try:
+        source = Path(path).read_text()
+    except OSError as error:
+        report.errors.append((str(path), f"unreadable: {error}"))
+        return report
+    try:
+        kept, suppressed = lint_source(
+            source, module_rel_path(path), config=config, rules=rules,
+            path=str(path))
+    except SyntaxError as error:
+        report.errors.append((str(path), f"syntax error: {error}"))
+        return report
+    report.files += 1
+    report.findings.extend(kept)
+    report.suppressed.extend(suppressed)
+    return report
+
+
+def lint_paths(paths, config=None, rules=None):
+    """Lint every ``*.py`` under ``paths``; returns a LintReport."""
+    config = config or DEFAULT_CONFIG
+    if rules is None:
+        rules = all_rules(config.enabled_rules)
+    report = LintReport()
+    for path in iter_python_files(paths):
+        lint_file(path, config=config, rules=rules, report=report)
+    report.sort()
+    return report
+
+
+# -- rendering ---------------------------------------------------------------
+
+def render_human(report):
+    lines = []
+    for path, message in report.errors:
+        lines.append(f"{path}: error: {message}")
+    for finding in report.findings:
+        lines.append(f"{finding.path}:{finding.line}:"
+                     f"{finding.col + 1}: {finding.rule} "
+                     f"{finding.message}")
+    counts = report.counts()
+    summary = ", ".join(f"{rule}={n}" for rule, n in counts.items()) \
+        or "no findings"
+    lines.append(f"replint: {len(report.findings)} finding(s) in "
+                 f"{report.files} file(s) ({summary}; "
+                 f"{len(report.suppressed)} suppressed)")
+    return "\n".join(lines)
+
+
+def render_json(report):
+    return json.dumps({
+        "version": JSON_VERSION,
+        "files": report.files,
+        "findings": [f.as_dict() for f in report.findings],
+        "suppressed": [f.as_dict() for f in report.suppressed],
+        "counts": report.counts(),
+        "errors": [{"file": path, "message": message}
+                   for path, message in report.errors],
+    }, indent=2)

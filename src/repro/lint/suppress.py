@@ -1,0 +1,50 @@
+"""``# replint: disable=Rxxx`` suppression comments.
+
+A finding is suppressed when the physical line it is reported on (the
+statement's first line) carries a comment of the form::
+
+    something()  # replint: disable=R001
+    other()      # replint: disable=R002,R003 -- justification text
+
+Suppressions are extracted with :mod:`tokenize` so a ``#`` inside a
+string literal can never be misread as a comment.  Unparsable files
+yield no suppressions (the runner reports the syntax error itself).
+"""
+
+import io
+import re
+import tokenize
+
+_DIRECTIVE = re.compile(
+    r"#\s*replint:\s*disable=([A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)")
+
+
+def suppressions(source):
+    """Map of line number -> frozenset of suppressed rule codes."""
+    table = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _DIRECTIVE.search(token.string)
+            if match is None:
+                continue
+            codes = frozenset(
+                code.strip() for code in match.group(1).split(","))
+            line = token.start[0]
+            table[line] = table.get(line, frozenset()) | codes
+    except (tokenize.TokenizeError, IndentationError, SyntaxError):
+        return {}
+    return table
+
+
+def apply_suppressions(findings, table):
+    """Split ``findings`` into (kept, suppressed) per the table."""
+    kept, suppressed = [], []
+    for finding in findings:
+        if finding.rule in table.get(finding.line, ()):
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+    return kept, suppressed

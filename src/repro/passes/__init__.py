@@ -9,6 +9,7 @@ from repro.passes.analysis import (
     PRESERVE_CFG,
     PRESERVE_NONE,
 )
+from repro.passes.audit import AnalysisPreservationError
 from repro.passes.base import (
     PASS_REGISTRY,
     Pass,
@@ -43,6 +44,7 @@ TABLE_VI_PHASES = tuple(sorted(PASS_REGISTRY))
 __all__ = [
     "ALL_ANALYSES",
     "AnalysisManager",
+    "AnalysisPreservationError",
     "PASS_REGISTRY",
     "PRESERVE_CFG",
     "PRESERVE_NONE",

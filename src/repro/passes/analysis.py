@@ -206,6 +206,12 @@ class AnalysisManager:
             return None
         return entry[1].get(name)
 
+    def entries(self):
+        """Snapshot of ``(function, {name: value})`` pairs for every
+        cached function (read-only view for the preservation auditor)."""
+        return [(function, dict(cache))
+                for function, cache in self._entries.values()]
+
     # -- conveniences -----------------------------------------------------
     def domtree(self, function):
         return self.get("domtree", function)

@@ -8,6 +8,7 @@ them, declare which analyses they preserve, and report *which functions*
 they changed so verification and fingerprinting run function-granular.
 """
 
+import os
 import time
 from collections import OrderedDict
 
@@ -308,11 +309,24 @@ class PassManager:
 
     Per-phase timing, changed/verified function counts, and analysis
     hit/miss/invalidation counters are collected in ``self.stats``.
+
+    ``audit_analyses=True`` (or the ``REPRO_AUDIT_ANALYSES=1``
+    environment variable, consulted when the argument is left ``None``)
+    recomputes every still-cached analysis from scratch after each phase
+    and raises :class:`repro.passes.audit.AnalysisPreservationError` on
+    any divergence — the dynamic check that ``preserved_analyses``
+    declarations (statically mandated by replint rule R004) are true.
+    Far too slow for production; a dedicated test tier runs it across
+    the whole phase registry.
     """
 
-    def __init__(self, verify=False, analysis_cache=True):
+    def __init__(self, verify=False, analysis_cache=True,
+                 audit_analyses=None):
         self.verify = verify
         self.analysis_cache = analysis_cache
+        if audit_analyses is None:
+            audit_analyses = os.environ.get("REPRO_AUDIT_ANALYSES") == "1"
+        self.audit_analyses = audit_analyses
         self.stats = PassManagerStats()
 
     def run(self, module, phase_names, am=None):
@@ -375,6 +389,9 @@ class PassManager:
                 else:
                     verify_module(module)
                     verified = len(module.defined_functions())
+            if self.audit_analyses:
+                from repro.passes.audit import audit_preservation
+                audit_preservation(module, am, name)
             if fingerprints:
                 new_fingerprint = self._fingerprint(module, am)
                 activity.append(new_fingerprint != fingerprint)

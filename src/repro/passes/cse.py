@@ -105,11 +105,15 @@ class _EarlyCSEBase(FunctionPass):
 
 @register_pass("early-cse")
 class EarlyCSE(_EarlyCSEBase):
+    # Value-numbering rewrites only; the CFG is untouched (R004: the
+    # contract is declared per concrete pass, not inherited silently).
+    preserved_analyses = PRESERVE_CFG
     use_memory_ssa = False
 
 
 @register_pass("early-cse-memssa")
 class EarlyCSEMemSSA(_EarlyCSEBase):
+    preserved_analyses = PRESERVE_CFG
     use_memory_ssa = True
 
 

@@ -397,14 +397,18 @@ class _CombineBase(FunctionPass):
 
 @register_pass("instsimplify")
 class InstSimplify(_CombineBase):
+    # Value rewrites only; the CFG is untouched (R004: the contract is
+    # declared per concrete pass, not inherited silently).
+    preserved_analyses = PRESERVE_CFG
     create_instructions = False
 
 
 @register_pass("instcombine")
 class InstCombine(_CombineBase):
-    pass
+    preserved_analyses = PRESERVE_CFG
 
 
 @register_pass("aggressive-instcombine")
 class AggressiveInstCombine(_CombineBase):
+    preserved_analyses = PRESERVE_CFG
     aggressive = True

@@ -14,7 +14,7 @@ from repro.ir import (
     RetInst,
     StoreInst,
 )
-from repro.passes.analysis import PRESERVE_CFG
+from repro.passes.analysis import PRESERVE_CFG, PRESERVE_NONE
 from repro.passes.base import FunctionPass, Pass, register_pass
 from repro.passes.cloning import clone_region
 
@@ -43,6 +43,8 @@ def _is_recursive(function):
 class Inliner(Pass):
     """Bottom-up inlining with a size threshold."""
 
+    # Splices callee blocks into callers: CFG analyses do not survive.
+    preserved_analyses = PRESERVE_NONE
     module_memo = True
     THRESHOLD = 45
 
@@ -129,7 +131,7 @@ class Inliner(Pass):
         for clone_block in block_map.values():
             for inst in list(clone_block.instructions):
                 if isinstance(inst, AllocaInst):
-                    clone_block.instructions.remove(inst)
+                    clone_block.remove_instruction(inst)
                     entry.insert(0, inst)
 
 
@@ -397,6 +399,8 @@ class PruneEH(FunctionPass):
     """Without exceptions in the IR this reduces to removing unreachable
     blocks and marking functions that cannot trap."""
 
+    preserved_analyses = PRESERVE_NONE
+
     def run_on_function(self, function, am=None):
         from repro.passes.simplifycfg import SimplifyCFG
         changed = SimplifyCFG._remove_unreachable(function)
@@ -407,6 +411,10 @@ class PruneEH(FunctionPass):
 class ElimAvailExtern(Pass):
     """No linkage model exists in this IR, so the phase is a documented
     no-op (the PSS's inactive-subsequence logic exercises such phases)."""
+
+    # A no-op trivially keeps the CFG analyses valid (never invoked
+    # anyway: invalidation only runs when a pass reports a change).
+    preserved_analyses = PRESERVE_CFG
 
     def run_on_module(self, module, am):
         return False

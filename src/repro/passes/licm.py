@@ -184,7 +184,7 @@ class LICM(FunctionPass):
         if len(exiting) > 1 and not all(
                 dom.dominates(load.parent, block) for block in exiting):
             return False
-        for block in loop.blocks:
+        for block in loop.ordered_blocks():
             for inst in block.instructions:
                 if instruction_may_write(inst, load.pointer):
                     return False

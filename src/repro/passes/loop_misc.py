@@ -15,7 +15,12 @@ from repro.ir import (
     StoreInst,
 )
 from repro.ir.types import I64
-from repro.passes.analysis import PRESERVE_CFG, domtree_of, loopivs_of
+from repro.passes.analysis import (
+    PRESERVE_CFG,
+    PRESERVE_NONE,
+    domtree_of,
+    loopivs_of,
+)
 from repro.passes.base import FunctionPass, register_pass
 from repro.passes.cloning import clone_instruction, clone_region
 from repro.passes.loop_canon import (
@@ -59,6 +64,8 @@ class LoopDeletion(FunctionPass):
     it cannot turn a non-terminating program into a terminating one.
     """
 
+    preserved_analyses = PRESERVE_NONE
+
     def run_on_function(self, function, am=None):
         info = loops_of(function, am)
         mutated = False
@@ -92,7 +99,7 @@ class LoopDeletion(FunctionPass):
             return False, created
         # Rewire the preheader straight to the exit, drop the loop blocks.
         preheader.set_terminator(BranchInst(exit_block))
-        _drop_blocks(function, list(loop.blocks))
+        _drop_blocks(function, loop.ordered_blocks())
         return True, created
 
     def _delete_multi_exit(self, function, loop, am, created):
@@ -150,7 +157,7 @@ class LoopDeletion(FunctionPass):
                 return False, changed
             doomed = exit_blocks
         preheader.set_terminator(BranchInst(target))
-        _drop_blocks(function, list(loop.blocks) + doomed)
+        _drop_blocks(function, loop.ordered_blocks() + doomed)
         if am is not None:
             am.invalidate(function)
         return True, True
@@ -164,6 +171,8 @@ class IndVarSimplify(FunctionPass):
     induction variable updated by ``+ step*C`` — replacing a multiply in
     the loop body with an add.
     """
+
+    preserved_analyses = PRESERVE_NONE
 
     def run_on_function(self, function, am=None):
         changed = False
@@ -228,6 +237,8 @@ class LoopIdiom(FunctionPass):
     ``memset`` intrinsic executed in the preheader (the backend lowers it
     to a fast block operation)."""
 
+    preserved_analyses = PRESERVE_NONE
+
     def run_on_function(self, function, am=None):
         info = loops_of(function, am)
         mutated = False
@@ -258,7 +269,7 @@ class LoopIdiom(FunctionPass):
         # and anything that may trap (a division by a non-constant
         # elides its trap if the loop is deleted) — disqualifies.
         store = None
-        for block in loop.blocks:
+        for block in loop.ordered_blocks():
             for inst in block.instructions:
                 if isinstance(inst, StoreInst):
                     if store is not None:
@@ -306,7 +317,7 @@ class LoopIdiom(FunctionPass):
         # Delete the loop (same mechanics as loop-deletion).
         exit_block = exit_blocks[0]
         preheader.set_terminator(BranchInst(exit_block))
-        _drop_blocks(function, list(loop.blocks))
+        _drop_blocks(function, loop.ordered_blocks())
         return True, created
 
     def _match_memset_multi_exit(self, function, loop, am):
@@ -398,7 +409,7 @@ class LoopIdiom(FunctionPass):
             remove_block_from_phis(exit_block,
                                    exit_block.terminator().target)
             doomed.append(exit_block)
-        _drop_blocks(function, list(loop.blocks) + doomed)
+        _drop_blocks(function, loop.ordered_blocks() + doomed)
         if am is not None:
             am.invalidate(function)
         return True, True
@@ -539,7 +550,7 @@ class LoopLoadElim(FunctionPass):
         changed = False
         info = loops_of(function, am)
         for loop in info.loops:
-            for block in loop.blocks:
+            for block in loop.ordered_blocks():
                 available = None  # (pointer, value)
                 for inst in list(block.instructions):
                     if isinstance(inst, StoreInst):
@@ -566,6 +577,8 @@ class LoopDistribute(FunctionPass):
     stores to two different base arrays with no loads, and no values
     escaping the loop.
     """
+
+    preserved_analyses = PRESERVE_NONE
 
     def run_on_function(self, function, am=None):
         info = loops_of(function, am)
@@ -652,6 +665,7 @@ class LoopUnswitch(FunctionPass):
     two copies of the loop, one per branch direction, selected once
     outside."""
 
+    preserved_analyses = PRESERVE_NONE
     MAX_LOOP_SIZE = 60
 
     def run_on_function(self, function, am=None):

@@ -26,6 +26,7 @@ from repro.ir import (
     PhiInst,
     split_edge,
 )
+from repro.passes.analysis import PRESERVE_NONE
 from repro.passes.base import FunctionPass, register_pass
 from repro.passes.loop_canon import (
     ensure_canonical_loop,
@@ -90,6 +91,7 @@ def _clone_instruction(inst, operand_map, function):
 
 @register_pass("loop-rotate")
 class LoopRotate(FunctionPass):
+    preserved_analyses = PRESERVE_NONE
     MAX_HEADER_SIZE = 8
 
     def __init__(self):

@@ -25,7 +25,7 @@ from repro.ir import (
     Instruction,
     PhiInst,
 )
-from repro.passes.analysis import domtree_of, loopivs_of
+from repro.passes.analysis import PRESERVE_NONE, domtree_of, loopivs_of
 from repro.passes.base import FunctionPass, register_pass
 from repro.passes.cloning import clone_region
 from repro.passes.loop_canon import (
@@ -39,6 +39,7 @@ from repro.passes.utils import remove_block_from_phis
 
 @register_pass("loop-unroll")
 class LoopUnroll(FunctionPass):
+    preserved_analyses = PRESERVE_NONE
     MAX_TRIP_COUNT = 16
     MAX_BODY_INSTRUCTIONS = 40
 

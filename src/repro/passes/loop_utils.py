@@ -248,7 +248,7 @@ def exit_phis_reference_loop(exit_blocks, loop):
 
 def loop_body_is_pure(loop):
     """No stores/calls and no instructions that may trap."""
-    for block in loop.blocks:
+    for block in loop.ordered_blocks():
         for inst in block.instructions:
             if inst.is_terminator():
                 continue

@@ -54,17 +54,27 @@ class Mem2Reg(FunctionPass):
         reachable = reachable_blocks(function)
 
         # 1. Place phis at the iterated dominance frontier of each alloca's
-        #    defining (store) blocks.
+        #    defining (store) blocks.  Def blocks follow use-list order and
+        #    frontier sets are walked position-sorted: phi creation order
+        #    (and with it %m2r numbering) is a pure function of the input,
+        #    not of object addresses.
+        positions = function.block_positions()
         phi_owner = {}  # PhiInst -> AllocaInst
         for alloca in allocas:
-            def_blocks = {user.parent for user, _ in alloca.uses
-                          if isinstance(user, StoreInst)
-                          and user.parent is not None}
+            def_blocks, seen = [], set()
+            for user, _ in alloca.uses:
+                if isinstance(user, StoreInst) and \
+                        user.parent is not None and \
+                        id(user.parent) not in seen:
+                    seen.add(id(user.parent))
+                    def_blocks.append(user.parent)
             worklist = [b for b in def_blocks if b in reachable]
             placed = set()
             while worklist:
                 block = worklist.pop()
-                for frontier_block in frontiers.get(block, ()):
+                for frontier_block in sorted(
+                        frontiers.get(block, ()),
+                        key=lambda b: positions[id(b)]):
                     if frontier_block in placed:
                         continue
                     placed.add(frontier_block)

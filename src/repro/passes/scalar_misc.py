@@ -21,7 +21,7 @@ from repro.ir import (
     StoreInst,
 )
 from repro.ir.types import I64
-from repro.passes.analysis import PRESERVE_CFG, domtree_of
+from repro.passes.analysis import PRESERVE_CFG, PRESERVE_NONE, domtree_of
 from repro.passes.base import FunctionPass, Pass, register_pass
 from repro.passes.utils import (
     delete_dead_instructions,
@@ -38,6 +38,8 @@ class Reassociate(FunctionPass):
     """Canonicalize commutative chains: gather the leaves of a single-use
     add/mul tree, sort constants last, fold them, and rebuild a left-
     leaning chain.  This exposes CSE/constant-folding opportunities."""
+
+    preserved_analyses = PRESERVE_NONE
 
     def run_on_function(self, function, am=None):
         changed = False
@@ -118,6 +120,8 @@ class TailCallElim(FunctionPass):
     back edge updating the phis.
     """
 
+    preserved_analyses = PRESERVE_NONE
+
     def run_on_function(self, function, am=None):
         tail_sites = []
         for block in function.blocks:
@@ -171,6 +175,8 @@ class JumpThreading(FunctionPass):
     """Thread branches over phi-of-constant conditions: when a block's
     conditional branch tests a phi whose incoming value from predecessor P
     is a constant, P can jump directly to the decided successor."""
+
+    preserved_analyses = PRESERVE_NONE
 
     def run_on_function(self, function, am=None):
         changed = False
@@ -493,6 +499,10 @@ class LowerExpect(Pass):
     the phase exists for sequence compatibility and is a documented no-op.
     """
 
+    # A no-op trivially keeps the CFG analyses valid (never consulted:
+    # invalidation only runs when a pass reports a change).
+    preserved_analyses = PRESERVE_CFG
+
     def run_on_module(self, module, am):
         return False
 
@@ -500,6 +510,8 @@ class LowerExpect(Pass):
 @register_pass("alignment-from-assumptions")
 class AlignmentFromAssumptions(Pass):
     """Cell-addressed memory has no alignment; documented no-op."""
+
+    preserved_analyses = PRESERVE_CFG
 
     def run_on_module(self, module, am):
         return False
@@ -538,9 +550,8 @@ class SpeculativeExecution(FunctionPass):
                         break
                     if hoisted >= self.MAX_HOIST:
                         break
-                    target.instructions.remove(inst)
-                    block.insert(block.instructions.index(term), inst)
-                    inst.parent = block
+                    target.remove_instruction(inst)
+                    block.insert_before_terminator(inst)
                     hoisted += 1
                     changed = True
         return changed

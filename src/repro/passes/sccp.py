@@ -290,6 +290,9 @@ class IPSCCP(Pass):
     point (bounded by a small round count).
     """
 
+    # Unlike function-local SCCP there is no per-function "did a branch
+    # fold" tracking at module granularity; claim nothing.
+    preserved_analyses = PRESERVE_NONE
     module_memo = True
 
     def run_on_module(self, module, am):

@@ -30,6 +30,7 @@ from repro.ir import (
     SelectInst,
 )
 from repro.ir.cfg import reachable_blocks
+from repro.passes.analysis import PRESERVE_NONE
 from repro.passes.base import FunctionPass, register_pass
 from repro.passes.utils import (
     constant_fold_terminator,
@@ -40,7 +41,8 @@ from repro.passes.worklist import CFGWorklist, use_worklist
 
 @register_pass("simplifycfg")
 class SimplifyCFG(FunctionPass):
-    # CFG restructuring: preserves nothing (the default).
+    # CFG restructuring: preserves nothing.
+    preserved_analyses = PRESERVE_NONE
 
     def run_on_function(self, function, am=None):
         if not use_worklist(am):
@@ -165,12 +167,17 @@ class SimplifyCFG(FunctionPass):
         if not dead:
             return False
         dead_set = set(dead)
-        survivors = set()
+        # Ordered dedup: the worklist below seeds from this, and seeding
+        # order must not depend on block object addresses.
+        survivors = []
+        survivor_set = set()
         for block in dead:
             for succ in block.successors():
                 if succ not in dead_set:
                     remove_block_from_phis(block, succ)
-                    survivors.add(succ)
+                    if succ not in survivor_set:
+                        survivor_set.add(succ)
+                        survivors.append(succ)
         for block in dead:
             # Break def-use links into the live region first.
             for inst in list(block.instructions):

@@ -12,7 +12,7 @@ body exposes the independent operation groups the fuser needs.
 ``slp-vectorizer`` only marks straight-line code as fusable.
 """
 
-from repro.passes.analysis import PRESERVE_CFG
+from repro.passes.analysis import PRESERVE_CFG, PRESERVE_NONE
 from repro.passes.base import FunctionPass, register_pass
 from repro.passes.loop_unroll import LoopUnroll
 
@@ -44,6 +44,8 @@ class SLPVectorizer(FunctionPass):
 class LoopVectorize(FunctionPass):
     """Interleaving unroll + SLP enablement."""
 
+    # Delegates to LoopUnroll, which restructures the CFG.
+    preserved_analyses = PRESERVE_NONE
     mutates_callee_visible_state = True
 
     def run_on_function(self, function, am=None):

@@ -1,0 +1,234 @@
+"""Per-rule fixtures for replint (ISSUE 9).
+
+Each rule gets positive fixtures (including the *verbatim shapes of the
+historical bugs* the rule encodes — the mutation-API bypasses fixed in
+this PR, the ``int(a / b)`` float-detour idiom) and negative fixtures
+(the sanctioned idiom, and the same code in a location the rule does not
+govern).
+"""
+
+import textwrap
+
+from repro.lint import lint_source
+
+
+def codes(source, module_path="passes/example.py", rules=None):
+    kept, _ = lint_source(textwrap.dedent(source), module_path,
+                          rules=rules)
+    return [f.rule for f in kept]
+
+
+# -- R001: direct container mutation outside ir/ ---------------------------
+
+#: The verbatim pre-fix SpeculativeExecution hoist
+#: (src/repro/passes/scalar_misc.py, fixed in this PR): splicing an
+#: instruction between blocks through the raw lists.
+SPECULATIVE_EXECUTION_BYPASS = """
+def hoist(target, block, term, inst):
+    target.instructions.remove(inst)
+    block.insert(block.instructions.index(term), inst)
+    inst.parent = block
+"""
+
+#: The verbatim pre-fix Inliner alloca hoist
+#: (src/repro/passes/interprocedural.py, fixed in this PR).
+INLINER_BYPASS = """
+def hoist_allocas(block_map, entry):
+    for clone_block in block_map.values():
+        for inst in list(clone_block.instructions):
+            if isinstance(inst, AllocaInst):
+                clone_block.instructions.remove(inst)
+                entry.insert(0, inst)
+"""
+
+
+def test_r001_catches_the_speculative_execution_bypass():
+    assert codes(SPECULATIVE_EXECUTION_BYPASS) == ["R001"]
+
+
+def test_r001_catches_the_inliner_bypass():
+    assert codes(INLINER_BYPASS) == ["R001"]
+
+
+def test_r001_catches_mutator_calls_and_assignments():
+    assert codes("def f(fn, b):\n    fn.blocks.append(b)\n") == ["R001"]
+    assert codes("def f(b, phi):\n    b.instructions[0] = phi\n") == \
+        ["R001"]
+    assert codes("def f(fn):\n    del fn.blocks[2]\n") == ["R001"]
+    assert codes("def f(b, i):\n    b.instructions += [i]\n") == ["R001"]
+    assert codes("def f(b, new):\n    b.instructions = new\n") == ["R001"]
+
+
+def test_r001_exempts_the_mutation_api_and_reads():
+    clean = """
+    def f(target, block, inst, term):
+        target.remove_instruction(inst)
+        block.insert_before_terminator(inst)
+        index = block.instructions.index(term)
+        count = len(block.instructions)
+        return index, count
+    """
+    assert codes(clean) == []
+
+
+def test_r001_exempts_self_receivers_and_the_ir_layer():
+    # A container class maintaining its own storage is the pattern the
+    # mutation API itself is made of.
+    assert codes("class B:\n    def add(self, i):\n"
+                 "        self.instructions.append(i)\n") == []
+    # The same bypass inside ir/ IS the implementation.
+    assert codes(SPECULATIVE_EXECUTION_BYPASS,
+                 module_path="ir/basicblock.py") == []
+
+
+# -- R005: private IR bookkeeping outside ir/ ------------------------------
+
+def test_r005_catches_private_cfg_state_access():
+    assert codes("def f(b, p):\n    b._preds[p] = 1\n") == ["R005"]
+    assert codes("def f(b, p):\n    return p in b._preds\n") == ["R005"]
+    assert codes("def f(fn):\n    fn._invalidate_positions()\n") == \
+        ["R005"]
+
+
+def test_r005_exempts_the_ir_layer():
+    assert codes("def f(b, p):\n    b._preds[p] = 1\n",
+                 module_path="ir/basicblock.py") == []
+
+
+# -- R002: set iteration in passes/ ----------------------------------------
+
+def test_r002_catches_loop_blocks_iteration():
+    assert codes("def f(loop):\n    for b in loop.blocks:\n"
+                 "        use(b)\n") == ["R002"]
+    assert codes("def f(loop):\n    return [b for b in loop.blocks]\n") \
+        == ["R002"]
+    assert codes("def f(loop):\n    return list(loop.blocks)\n") == \
+        ["R002"]
+
+
+def test_r002_tracks_local_set_types():
+    flagged = """
+    def f(items):
+        seen = {x.parent for x in items}
+        for block in seen:
+            touch(block)
+    """
+    assert codes(flagged) == ["R002"]
+    assert codes("def f():\n    s = set()\n    s.add(1)\n"
+                 "    return list(s)\n") == ["R002"]
+
+
+def test_r002_exempts_ordered_views_and_order_safe_consumers():
+    clean = """
+    def f(loop, function):
+        for b in loop.ordered_blocks():
+            use(b)
+        for b in sorted(loop.blocks, key=key):
+            use(b)
+        n = len(loop.blocks)
+        total = sum(weight(b) for b in loop.blocks)
+        if any(dirty(b) for b in loop.blocks):
+            pass
+        for b in function.blocks:
+            use(b)
+        return n, total
+    """
+    assert codes(clean) == []
+
+
+def test_r002_only_applies_in_passes():
+    assert codes("def f(loop):\n    for b in loop.blocks:\n"
+                 "        use(b)\n", module_path="engine/report.py") == []
+
+
+# -- R003: IR value arithmetic outside ir/arith.py -------------------------
+
+def test_r003_catches_the_float_detour_idiom_everywhere():
+    # The historical sdiv miscompile: int(a / b) truncates through a
+    # double, corrupting quotients beyond 2**53.
+    assert codes("def f(a, b):\n    return int(a / b)\n",
+                 module_path="engine/metrics.py") == ["R003"]
+    assert codes("def f(a, b):\n    return int(a // b)\n",
+                 module_path="sim/report.py") == ["R003"]
+
+
+def test_r003_catches_bare_division_in_value_modules():
+    assert codes("def f(a, b):\n    return a / b\n",
+                 module_path="sim/machine.py") == ["R003"]
+    assert codes("def f(a, b):\n    return a / b\n",
+                 module_path="lang/irgen.py") == ["R003"]
+
+
+def test_r003_exempts_arith_itself_and_non_value_modules():
+    assert codes("def f(a, b):\n    return a / b\n",
+                 module_path="ir/arith.py") == []
+    assert codes("def f(a, b):\n    return a / b\n",
+                 module_path="engine/metrics.py") == []
+    # Routed through arith: the sanctioned idiom.
+    assert codes("def f(a, b):\n    return arith.fdiv(a, b)\n",
+                 module_path="sim/machine.py") == []
+    # Integer // on host quantities (cache indices) is not true
+    # division and stays legal in value modules.
+    assert codes("def f(addr, w):\n    return addr // w\n",
+                 module_path="sim/tape.py") == []
+
+
+# -- R004: undeclared preservation contract --------------------------------
+
+PASS_WITHOUT_DECLARATION = """
+from repro.passes.base import FunctionPass, register_pass
+
+@register_pass("demo")
+class Demo(FunctionPass):
+    def run_on_function(self, function, am=None):
+        return False
+"""
+
+PASS_WITH_DECLARATION = """
+from repro.passes.analysis import PRESERVE_NONE
+from repro.passes.base import FunctionPass, register_pass
+
+@register_pass("demo")
+class Demo(FunctionPass):
+    preserved_analyses = PRESERVE_NONE
+
+    def run_on_function(self, function, am=None):
+        return False
+"""
+
+
+def test_r004_catches_a_pass_without_a_declaration():
+    assert codes(PASS_WITHOUT_DECLARATION) == ["R004"]
+
+
+def test_r004_accepts_an_explicit_declaration():
+    assert codes(PASS_WITH_DECLARATION) == []
+
+
+def test_r004_tracks_in_module_lineage():
+    source = """
+    from repro.passes.analysis import PRESERVE_CFG
+    from repro.passes.base import FunctionPass
+
+    class Base(FunctionPass):
+        preserved_analyses = PRESERVE_CFG
+
+    class Child(Base):
+        use_memory_ssa = True
+    """
+    # Child is a pass via Base and must re-declare for itself.
+    assert codes(source) == ["R004"]
+
+
+def test_r004_only_applies_in_passes_and_exempts_base():
+    assert codes(PASS_WITHOUT_DECLARATION,
+                 module_path="engine/helper.py") == []
+    assert codes("class FunctionPass:\n    pass\n",
+                 module_path="passes/base.py") == []
+
+
+def test_rule_subset_runs_only_requested_rules():
+    assert codes(SPECULATIVE_EXECUTION_BYPASS, rules=None) == ["R001"]
+    from repro.lint import all_rules
+    only_r003 = all_rules(["R003"])
+    assert codes(SPECULATIVE_EXECUTION_BYPASS, rules=only_r003) == []

@@ -249,6 +249,65 @@ def test_random_pipelines_maintain_links_on_fuzz_corpus(expr, sequence):
     assert run_module(module).observable() == reference
 
 
+def test_speculative_execution_hoists_through_the_mutation_api():
+    """Regression pin (ISSUE 9 / replint R001): the hoist used to splice
+    instructions through the raw lists (``target.instructions.remove`` +
+    ``block.insert``), leaving block bookkeeping stale.  The API path
+    must fire on this shape and keep every maintained structure exact."""
+    source = """
+    int main() {
+      int a = 5;
+      int b = 7;
+      int r = 0;
+      if (a < b) { r = a * 3 + 1; } else { r = b * 2 - 1; }
+      print_int(r);
+      return r % 251;
+    }
+    """
+    module = compile_source(source)
+    reference = run_module(compile_source(source)).observable()
+    activity = PassManager(verify=True).run(
+        module, ["mem2reg", "speculative-execution"])
+    assert activity[1], "hoist path not exercised"
+    assert_cfg_state_consistent(module)
+    verify_module(module)
+    assert run_module(module).observable() == reference
+
+
+def test_inliner_hoists_allocas_through_the_mutation_api():
+    """Regression pin (ISSUE 9 / replint R001): the inliner's alloca
+    hoist used to detach clones with ``instructions.remove``.  The API
+    path must fire, land every alloca in the caller entry, and keep the
+    maintained structures exact."""
+    from repro.ir import AllocaInst
+    source = """
+    int pick(int i) {
+      int t[4];
+      t[0] = 1; t[1] = 3; t[2] = 5; t[3] = 7;
+      return t[i % 4];
+    }
+    int main() {
+      int acc = 0;
+      for (int i = 0; i < 8; i++) { acc += pick(i); }
+      print_int(acc);
+      return acc % 251;
+    }
+    """
+    module = compile_source(source)
+    reference = run_module(compile_source(source)).observable()
+    activity = PassManager(verify=True).run(module, ["inline"])
+    assert activity == [True], "inline path not exercised"
+    main = module.get_function("main")
+    allocas = [inst for block in main.blocks
+               for inst in block.instructions
+               if isinstance(inst, AllocaInst)]
+    assert allocas, "inlined allocas disappeared"
+    assert all(inst.parent is main.entry for inst in allocas)
+    assert_cfg_state_consistent(module)
+    verify_module(module)
+    assert run_module(module).observable() == reference
+
+
 def test_warm_vs_fresh_bit_identical_through_mutation_api():
     """One analysis manager reused across the whole pipeline (warm)
     must produce the same module as per-pass fresh managers — the
